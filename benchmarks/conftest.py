@@ -1,0 +1,64 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+real co-simulation machinery, converts measured counters to modeled time
+(Equation 1), prints the rows, and appends them to
+``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can cite them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.core import (
+    CONFIG_B,
+    CONFIG_BN,
+    CONFIG_BNSD,
+    CONFIG_Z,
+    RunResult,
+    run_cosim,
+)
+from repro.dut import (
+    NUTSHELL,
+    XIANGSHAN_DEFAULT,
+    XIANGSHAN_DUAL,
+    XIANGSHAN_MINIMAL,
+    DutConfig,
+)
+from repro.workloads import build
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+LADDER = (CONFIG_Z, CONFIG_B, CONFIG_BN, CONFIG_BNSD)
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist one experiment's regenerated rows."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+
+
+class MatrixRunner:
+    """Caches linux-boot co-simulation runs per (DUT, config)."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple[str, str], RunResult] = {}
+        self._workload = build("linux_boot_like", scale=1)
+
+    def run(self, dut: DutConfig, config) -> RunResult:
+        key = (dut.name, config.name)
+        if key not in self._cache:
+            self._cache[key] = run_cosim(
+                dut, config, self._workload.image,
+                max_cycles=self._workload.max_cycles)
+            assert self._cache[key].passed, (key, self._cache[key].mismatch)
+        return self._cache[key]
+
+
+@pytest.fixture(scope="session")
+def matrix() -> MatrixRunner:
+    return MatrixRunner()

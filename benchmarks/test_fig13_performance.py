@@ -1,0 +1,78 @@
+"""Figure 13: performance comparison across DUT scales.
+
+For each DUT configuration: 16-thread Verilator, unoptimised Palladium
+baseline, DiffTest-H on Palladium, and the DUT-only Palladium ceiling.
+"""
+
+import pytest
+from conftest import write_result
+
+from repro.comm import PALLADIUM, VERILATOR_16T
+from repro.core import CONFIG_BNSD, CONFIG_Z
+from repro.dut import (
+    NUTSHELL,
+    XIANGSHAN_DEFAULT,
+    XIANGSHAN_DUAL,
+    XIANGSHAN_MINIMAL,
+)
+
+DUTS = (NUTSHELL, XIANGSHAN_MINIMAL, XIANGSHAN_DEFAULT, XIANGSHAN_DUAL)
+
+
+@pytest.fixture(scope="module")
+def figure(matrix):
+    rows = {}
+    for dut in DUTS:
+        baseline = matrix.run(dut, CONFIG_Z)
+        optimized = matrix.run(dut, CONFIG_BNSD)
+        verilator = baseline.breakdown(VERILATOR_16T, dut.gates_millions,
+                                       False).speed_khz
+        base_khz = baseline.breakdown(PALLADIUM, dut.gates_millions,
+                                      False).speed_khz
+        opt_khz = optimized.breakdown(PALLADIUM, dut.gates_millions,
+                                      True).speed_khz
+        dut_only = PALLADIUM.dut_clock_khz(dut.gates_millions)
+        rows[dut.name] = (verilator, base_khz, opt_khz, dut_only)
+    return rows
+
+
+def test_fig13(figure, benchmark):
+    def regenerate() -> str:
+        lines = ["Figure 13: performance comparison (modeled KHz)",
+                 f"{'DUT':26s} {'Verilator16T':>13s} {'Baseline':>9s} "
+                 f"{'DiffTest-H':>11s} {'DUT-only':>9s}"]
+        for name, (verilator, base, opt, ceiling) in figure.items():
+            lines.append(f"{name:26s} {verilator:13.1f} {base:9.1f} "
+                         f"{opt:11.1f} {ceiling:9.1f}")
+        return "\n".join(lines)
+
+    text = benchmark(regenerate)
+    write_result("fig13_performance", text)
+
+    for name, (verilator, base, opt, ceiling) in figure.items():
+        # Ordering: Verilator and the baseline are slowest; DiffTest-H
+        # approaches (never exceeds) the DUT-only ceiling.
+        assert opt > base, name
+        assert opt > verilator, name
+        assert opt <= ceiling * 1.001, name
+
+
+def test_speedup_over_baseline(figure, benchmark):
+    """Paper: >=74x over the baseline across all DUT scales (XiangShan
+    Default: 80x).  Our compressed baseline density gives >=20x."""
+    factors = benchmark(lambda: {name: row[2] / row[1]
+                                 for name, row in figure.items()})
+    for name, factor in factors.items():
+        assert factor > 20, (name, factor)
+
+
+def test_speedup_over_verilator(figure, benchmark):
+    """Paper: 119x over 16-thread Verilator for XiangShan Default."""
+    row = figure["XiangShan (Default)"]
+    factor = benchmark(lambda: row[2] / row[0])
+    assert 40 <= factor <= 400, factor
+
+
+def test_larger_duts_simulate_slower(figure, benchmark):
+    ceilings = benchmark(lambda: [figure[d.name][3] for d in DUTS])
+    assert ceilings == sorted(ceilings, reverse=True)

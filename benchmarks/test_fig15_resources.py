@@ -1,0 +1,40 @@
+"""Figure 15: resource usage of DiffTest-H across XiangShan configs."""
+
+from conftest import write_result
+
+from repro.analysis import estimate_area
+from repro.dut import XIANGSHAN_DEFAULT, XIANGSHAN_DUAL, XIANGSHAN_MINIMAL
+
+CONFIGS = (XIANGSHAN_MINIMAL, XIANGSHAN_DEFAULT, XIANGSHAN_DUAL)
+
+
+def regenerate() -> str:
+    lines = ["Figure 15: resource usage (million gates)",
+             f"{'DUT':26s} {'DUT':>8s} {'DT-H(noB)':>10s} {'ovh':>6s} "
+             f"{'DT-H(+B)':>9s} {'ovh':>6s}"]
+    for config in CONFIGS:
+        no_batch = estimate_area(config, with_batch=False)
+        with_batch = estimate_area(config, with_batch=True)
+        lines.append(
+            f"{config.name:26s} {config.gates_millions:8.1f} "
+            f"{no_batch.difftest_mgates:10.2f} "
+            f"{no_batch.overhead_fraction:6.1%} "
+            f"{with_batch.difftest_mgates:9.2f} "
+            f"{with_batch.overhead_fraction:6.1%}")
+    lines.append("paper anchors: ~6% without Batch, ~25% average with Batch,"
+                 " max 26%")
+    return "\n".join(lines)
+
+
+def test_fig15(benchmark):
+    text = benchmark(regenerate)
+    write_result("fig15_resources", text)
+
+    fractions_no_batch = [estimate_area(c, with_batch=False).overhead_fraction
+                          for c in CONFIGS]
+    fractions_batch = [estimate_area(c, with_batch=True).overhead_fraction
+                       for c in CONFIGS]
+    assert all(0.04 <= f <= 0.09 for f in fractions_no_batch)
+    average = sum(fractions_batch) / len(fractions_batch)
+    assert 0.20 <= average <= 0.30
+    assert max(fractions_batch) <= 0.32  # paper max: 26%

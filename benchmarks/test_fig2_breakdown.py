@@ -1,0 +1,55 @@
+"""Figure 2: overhead breakdown across DUTs and platforms (baseline)."""
+
+import pytest
+from conftest import write_result
+
+from repro.analysis import breakdown_row, render_table
+from repro.comm import FPGA_VU19P, PALLADIUM
+from repro.core import CONFIG_Z
+from repro.dut import NUTSHELL, XIANGSHAN_DEFAULT
+
+
+@pytest.fixture(scope="module")
+def rows(matrix):
+    cases = [
+        ("NutShell / Palladium", NUTSHELL, PALLADIUM),
+        ("XiangShan / Palladium", XIANGSHAN_DEFAULT, PALLADIUM),
+        ("XiangShan / FPGA", XIANGSHAN_DEFAULT, FPGA_VU19P),
+    ]
+    out = []
+    for label, dut, platform in cases:
+        result = matrix.run(dut, CONFIG_Z)
+        out.append(breakdown_row(label, result.stats, platform, dut))
+    return out
+
+
+def test_fig2(rows, benchmark):
+    text = benchmark(lambda: "Figure 2: Overhead breakdown (baseline)\n"
+                     + render_table(rows))
+    write_result("fig2_breakdown", text)
+    by_label = {row.label: row for row in rows}
+
+    # Paper observations:
+    # (1) communication dominates the baseline everywhere (>90%).
+    for row in rows:
+        assert 1 - row.fractions["dut"] > 0.90, row.label
+    # (2) XiangShan incurs more data-transmission + software-processing
+    #     overhead than NutShell on the same Palladium (bigger events,
+    #     more complex checking) — compared in absolute time per cycle.
+    nutshell = by_label["NutShell / Palladium"]
+    xiangshan = by_label["XiangShan / Palladium"]
+
+    def trans_sw_us_per_cycle(row):
+        cycle_us = 1000.0 / row.speed_khz
+        return (row.fractions["transmission"]
+                + row.fractions["software"]) * cycle_us
+
+    assert trans_sw_us_per_cycle(xiangshan) > trans_sw_us_per_cycle(nutshell)
+    # (3) FPGA: higher startup share, lower transmission share (of comm).
+    fpga = by_label["XiangShan / FPGA"]
+    fpga_comm = 1 - fpga.fractions["dut"]
+    pldm_comm = 1 - xiangshan.fractions["dut"]
+    assert fpga.fractions["startup"] / fpga_comm > \
+        xiangshan.fractions["startup"] / pldm_comm
+    assert fpga.fractions["transmission"] / fpga_comm < \
+        xiangshan.fractions["transmission"] / pldm_comm

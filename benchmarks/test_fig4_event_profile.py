@@ -1,0 +1,32 @@
+"""Figure 4: event size vs. invocation frequency in the baseline stream."""
+
+from conftest import write_result
+
+from repro.core import CONFIG_Z
+from repro.dut import XIANGSHAN_DEFAULT
+from repro.events import all_event_classes
+
+
+def test_fig4(matrix, benchmark):
+    result = matrix.run(XIANGSHAN_DEFAULT, CONFIG_Z)
+
+    def regenerate() -> str:
+        rows = result.stats.profile.rows(result.cycles)
+        lines = ["Figure 4: event size and invocations (XiangShan, baseline)",
+                 f"{'id':>3s} {'event':22s} {'bytes':>6s} {'invoc/cycle':>12s}"]
+        for event_id, (name, size, rate) in enumerate(rows):
+            lines.append(f"{event_id:3d} {name:22s} {size:6d} {rate:12.5f}")
+        return "\n".join(lines)
+
+    text = benchmark(regenerate)
+    write_result("fig4_event_profile", text)
+
+    sizes = [cls.payload_size() for cls in all_event_classes()]
+    assert max(sizes) / min(sizes) >= 150  # the 170x structural diversity
+    rates = [rate for _name, _size, rate in
+             result.stats.profile.rows(result.cycles)]
+    active = [rate for rate in rates if rate > 0]
+    # Highly variable transmission frequencies (orders of magnitude).
+    assert max(active) / min(active) > 100
+    # Many event types active in a full-system workload.
+    assert len(active) >= 15

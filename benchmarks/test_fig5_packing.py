@@ -1,0 +1,99 @@
+"""Figure 5 quantified: fixed-offset packing vs Batch tight packing.
+
+The paper's claim: fixed-offset packing pads invalid slots, producing
+>60% bubbles and ~1.67x more communications to move the same valid
+events.  This bench runs both packers over identical event streams and
+measures bubbles, bytes and transfer counts.
+"""
+
+import pytest
+from conftest import write_result
+
+from repro.comm.packing import (
+    BatchPacker,
+    BatchUnpacker,
+    FixedLayout,
+    FixedPacker,
+    FixedUnpacker,
+    WireItem,
+)
+from repro.events import all_event_classes
+from repro.workloads import LINUX_BOOT, SyntheticStream
+
+CYCLES = 3000
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    stream_a = SyntheticStream(LINUX_BOOT, seed=21)
+    stream_b = SyntheticStream(LINUX_BOOT, seed=21)
+    fixed = FixedPacker(FixedLayout(all_event_classes()))
+    batch = BatchPacker()
+    fixed_transfers = 0
+    batch_transfers = 0
+    for cycle in stream_a.cycles(CYCLES):
+        items = [WireItem.from_event(e) for e in cycle]
+        fixed_transfers += len(fixed.pack_cycle(items))
+    for cycle in stream_b.cycles(CYCLES):
+        items = [WireItem.from_event(e) for e in cycle]
+        batch_transfers += len(batch.pack_cycle(items))
+    batch_transfers += len(batch.flush())
+    return fixed, batch, fixed_transfers, batch_transfers
+
+
+def test_fig5(measurements, benchmark):
+    fixed, batch, fixed_transfers, batch_transfers = measurements
+
+    def regenerate() -> str:
+        bubble_share = fixed.stats.bubble_bytes / fixed.stats.bytes_sent
+        byte_ratio = fixed.stats.bytes_sent / batch.stats.bytes_sent
+        lines = [
+            "Figure 5 (quantified): fixed-offset vs Batch packing",
+            f"{'scheme':8s} {'transfers':>10s} {'bytes':>12s} "
+            f"{'bubbles':>10s} {'utilization':>12s}",
+            f"{'fixed':8s} {fixed_transfers:10d} "
+            f"{fixed.stats.bytes_sent:12d} {fixed.stats.bubble_bytes:10d} "
+            f"{fixed.stats.utilization:12.1%}",
+            f"{'batch':8s} {batch_transfers:10d} "
+            f"{batch.stats.bytes_sent:12d} {batch.stats.bubble_bytes:10d} "
+            f"{batch.stats.utilization:12.1%}",
+            f"bubble share (paper: >60%): {bubble_share:.1%}",
+            f"byte inflation vs tight packing (paper: ~1.67x more "
+            f"communications for the same valid events): {byte_ratio:.2f}x",
+        ]
+        return "\n".join(lines)
+
+    text = benchmark(regenerate)
+    write_result("fig5_packing", text)
+
+    # Paper anchors.
+    bubble_share = fixed.stats.bubble_bytes / fixed.stats.bytes_sent
+    assert bubble_share > 0.60
+    assert batch.stats.bubble_bytes == 0
+    byte_ratio = fixed.stats.bytes_sent / batch.stats.bytes_sent
+    assert byte_ratio > 1.5  # >= the paper's 1.67x mechanism
+    assert batch_transfers < fixed_transfers
+
+
+def test_both_schemes_deliver_identical_events(benchmark):
+    stream = SyntheticStream(LINUX_BOOT, seed=33)
+    cycles = [[WireItem.from_event(e) for e in cycle]
+              for cycle in stream.cycles(200)]
+
+    def deliver():
+        layout = FixedLayout(all_event_classes())
+        fixed, funpack = FixedPacker(layout), FixedUnpacker(layout)
+        batch, bunpack = BatchPacker(), BatchUnpacker()
+        fixed_out, batch_out = [], []
+        for items in cycles:
+            for transfer in fixed.pack_cycle(items):
+                fixed_out.extend(funpack.unpack(transfer))
+            for transfer in batch.pack_cycle(items):
+                batch_out.extend(bunpack.unpack(transfer))
+        for transfer in batch.flush():
+            batch_out.extend(bunpack.unpack(transfer))
+        return fixed_out, batch_out
+
+    fixed_out, batch_out = benchmark(deliver)
+    assert sorted(fixed_out, key=lambda i: (i.order_tag, i.type_id)) == \
+        sorted(batch_out, key=lambda i: (i.order_tag, i.type_id))

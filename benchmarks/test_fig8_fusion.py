@@ -1,0 +1,78 @@
+"""Figure 8 quantified: order-coupled vs order-decoupled fusion.
+
+The paper's mechanism: NDEs break order-coupled fusion, so workloads with
+substantial device interaction (OS boot, drivers, I/O) suffer a low
+fusion ratio; Squash decouples transmission from checking order and keeps
+fusing.  This bench sweeps the NDE rate and measures both schemes.
+"""
+
+import pytest
+from conftest import write_result
+
+from repro.comm.fusion import OrderCoupledFuser, SquashFuser
+from repro.workloads import LINUX_BOOT, StreamProfile, SyntheticStream
+
+CYCLES = 2500
+
+
+def _fusion_ratio(fuser_cls, nde_rate: float, seed: int = 17) -> float:
+    profile = StreamProfile(
+        name=f"nde_{nde_rate}", mmio_rate=nde_rate / 2,
+        interrupt_rate=nde_rate / 2, exception_rate=0.001)
+    stream = SyntheticStream(profile, seed=seed)
+    fuser = fuser_cls(window=64, differencing=False)
+    for cycle in stream.cycles(CYCLES):
+        fuser.on_cycle(cycle)
+    fuser.flush()
+    return fuser.stats.fusion_ratio
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rates = (0.0, 0.005, 0.02, 0.08, 0.2)
+    rows = []
+    for rate in rates:
+        squash = _fusion_ratio(SquashFuser, rate)
+        coupled = _fusion_ratio(OrderCoupledFuser, rate)
+        rows.append((rate, squash, coupled))
+    return rows
+
+
+def test_fig8(sweep, benchmark):
+    def regenerate() -> str:
+        lines = ["Figure 8 (quantified): fusion ratio vs NDE rate",
+                 f"{'NDE/instr':>10s} {'Squash':>8s} {'coupled':>8s} "
+                 f"{'advantage':>10s}"]
+        for rate, squash, coupled in sweep:
+            lines.append(f"{rate:10.3f} {squash:8.2f} {coupled:8.2f} "
+                         f"{squash/coupled:9.2f}x")
+        return "\n".join(lines)
+
+    text = benchmark(regenerate)
+    write_result("fig8_fusion", text)
+
+    for rate, squash, coupled in sweep:
+        assert squash >= coupled * 0.99, rate
+    # The decoupling advantage grows with the NDE rate (the paper's
+    # OS-boot / driver / IO-intensive argument).
+    advantages = [squash / coupled for _rate, squash, coupled in sweep]
+    assert advantages[-1] > advantages[0] * 1.3
+    assert advantages[-1] > 1.5
+
+
+def test_coupled_breaks_scale_with_nde_rate(benchmark):
+    def count_breaks():
+        out = []
+        for rate in (0.005, 0.05):
+            profile = StreamProfile(name="x", mmio_rate=rate,
+                                    interrupt_rate=rate / 4)
+            stream = SyntheticStream(profile, seed=3)
+            fuser = OrderCoupledFuser(window=64, differencing=False)
+            for cycle in stream.cycles(CYCLES):
+                fuser.on_cycle(cycle)
+            fuser.flush()
+            out.append(fuser.stats.fusion_breaks)
+        return out
+
+    low, high = benchmark(count_breaks)
+    assert high > 3 * low

@@ -1,0 +1,132 @@
+"""Micro-benchmarks of the communication kernels themselves.
+
+These time the *Python implementation* of the hot paths (packing,
+unpacking, differencing, mux-tree compaction, checker stepping) with
+pytest-benchmark — useful for tracking regressions in the library itself,
+independent of the modeled-time experiments.
+"""
+
+import pytest
+
+import repro.events as EV
+from repro.comm.fusion import Completer, Differencer, SquashFuser
+from repro.comm.packing import (
+    BatchPacker,
+    BatchUnpacker,
+    WireItem,
+    mux_tree_pack,
+)
+from repro.workloads import LINUX_BOOT, SyntheticStream
+
+
+@pytest.fixture(scope="module")
+def cycle_events():
+    stream = SyntheticStream(LINUX_BOOT, seed=5)
+    cycles = [cycle for cycle in stream.cycles(200) if cycle]
+    return cycles
+
+
+def test_bench_batch_pack(cycle_events, benchmark):
+    items = [[WireItem.from_event(e) for e in cycle]
+             for cycle in cycle_events]
+
+    def pack():
+        packer = BatchPacker()
+        for cycle in items:
+            packer.pack_cycle(cycle)
+        return packer.flush()
+
+    transfers = benchmark(pack)
+    assert transfers or True
+
+
+def test_bench_batch_unpack(cycle_events, benchmark):
+    packer = BatchPacker()
+    transfers = []
+    for cycle in cycle_events:
+        transfers.extend(packer.pack_cycle(
+            [WireItem.from_event(e) for e in cycle]))
+    transfers.extend(packer.flush())
+    unpacker = BatchUnpacker()
+
+    def unpack():
+        total = 0
+        for transfer in transfers:
+            total += len(unpacker.unpack(transfer))
+        return total
+
+    total = benchmark(unpack)
+    assert total == sum(len(c) for c in cycle_events)
+
+
+def test_bench_squash_fusion(cycle_events, benchmark):
+    def fuse():
+        fuser = SquashFuser(window=32, differencing=False)
+        out = 0
+        for cycle in cycle_events:
+            out += len(fuser.on_cycle(cycle))
+        out += len(fuser.flush())
+        return out
+
+    assert benchmark(fuse) > 0
+
+
+def test_bench_differencing(benchmark):
+    snapshots = [EV.CsrState(order_tag=i,
+                             csrs=tuple((j + (i % 3 == 0)) for j in range(64)))
+                 for i in range(100)]
+
+    def diff_chain():
+        differ = Differencer()
+        completer = Completer()
+        for snapshot in snapshots:
+            completer.complete(differ.encode(snapshot))
+        return differ.diff_sent
+
+    assert benchmark(diff_chain) > 0
+
+
+def test_bench_mux_tree(benchmark):
+    slots = [WireItem.from_event(EV.IntWriteback(order_tag=i))
+             if i % 3 else None for i in range(64)]
+    result = benchmark(mux_tree_pack, slots)
+    assert len(result) == sum(1 for s in slots if s is not None)
+
+
+def test_bench_event_encode_decode(benchmark):
+    events = [EV.InstrCommit(order_tag=i, pc=i * 4, instr=0x13, wdata=i,
+                             rd=1, flags=1, fused_count=1) for i in range(64)]
+
+    def codec():
+        blobs = [event.encode() for event in events]
+        return [EV.VerificationEvent.decode(blob) for blob in blobs]
+
+    decoded = benchmark(codec)
+    assert decoded == events
+
+
+def test_bench_hart_steps(benchmark):
+    from repro.isa import ArchState, Bus, Hart, assemble
+    from repro.isa.const import DRAM_BASE
+
+    image = assemble("""
+_start:
+    li t0, 1000
+loop:
+    addi t1, t1, 3
+    mul t2, t1, t0
+    addi t0, t0, -1
+    bnez t0, loop
+    j _start
+""")
+
+    def run_steps():
+        state = ArchState()
+        bus = Bus()
+        bus.memory.store_bytes(DRAM_BASE, image)
+        hart = Hart(state, bus)
+        for _ in range(2000):
+            hart.step()
+        return hart.instret
+
+    assert benchmark(run_steps) == 2000

@@ -1,0 +1,26 @@
+"""Table 1: the 32 verification event types by category."""
+
+from conftest import write_result
+
+from repro.events import EventCategory, all_event_classes
+
+
+def regenerate() -> str:
+    lines = ["Table 1: Verification events",
+             f"{'Category':20s} {'Types':>5s}  Representative examples"]
+    by_category = {}
+    for cls in all_event_classes():
+        by_category.setdefault(cls.DESCRIPTOR.category, []).append(cls)
+    for category in EventCategory:
+        classes = by_category[category]
+        examples = ", ".join(c.__name__ for c in classes[:3])
+        lines.append(f"{category.value:20s} {len(classes):5d}  {examples}")
+    lines.append(f"{'total':20s} {sum(len(v) for v in by_category.values()):5d}")
+    return "\n".join(lines)
+
+
+def test_table1(benchmark):
+    text = benchmark(regenerate)
+    write_result("table1_events", text)
+    assert len(all_event_classes()) == 32
+    assert "control_flow" in text

@@ -1,0 +1,31 @@
+"""Table 2: co-simulation platform comparison (speed / debuggability / cost)."""
+
+from conftest import write_result
+
+from repro.comm import ALL_PLATFORMS
+from repro.dut import XIANGSHAN_DEFAULT
+
+#: Paper's optimal DUT-only speeds (KHz) for a large design.
+PAPER = {"rtl_sim": 3.0, "emulator": 500.0, "fpga": 50_000.0}
+
+
+def regenerate() -> str:
+    gates = XIANGSHAN_DEFAULT.gates_millions
+    lines = ["Table 2: Platform comparison (XiangShan Default, 57.6 M gates)",
+             f"{'Platform':26s} {'Debuggability':16s} {'Cost':12s} "
+             f"{'Speed (KHz)':>12s} {'Paper':>10s}"]
+    for platform in ALL_PLATFORMS:
+        speed = platform.dut_clock_khz(gates)
+        lines.append(
+            f"{platform.name:26s} {platform.debuggability:16s} "
+            f"{platform.cost:12s} {speed:12.1f} {PAPER[platform.kind]:10.1f}")
+    return "\n".join(lines)
+
+
+def test_table2(benchmark):
+    text = benchmark(regenerate)
+    write_result("table2_platforms", text)
+    # Shape: orders of magnitude between the three platform classes.
+    speeds = {p.kind: p.dut_clock_khz(57.6) for p in ALL_PLATFORMS}
+    assert speeds["rtl_sim"] < speeds["emulator"] / 50
+    assert speeds["emulator"] < speeds["fpga"] / 50

@@ -1,0 +1,100 @@
+"""Table 5: optimization breakdown across DUTs and platforms.
+
+The headline experiment: Baseline -> +Batch -> +NonBlock -> +Squash on
+NutShell/Palladium, XiangShan/Palladium and XiangShan/FPGA, reproducing
+the incremental speedups of the paper's artifact
+(reference/perf-log: 14->102->389->1030, 6->24->71->478, 100->1300->2200->7800 KHz).
+"""
+
+import pytest
+from conftest import LADDER, write_result
+
+from repro.comm import FPGA_VU19P, PALLADIUM
+from repro.dut import NUTSHELL, XIANGSHAN_DEFAULT
+
+PAPER = {
+    ("NutShell", "Cadence Palladium"): (14, 102, 389, 1030),
+    ("XiangShan (Default)", "Cadence Palladium"): (6, 24, 71, 478),
+    ("XiangShan (Default)", "Xilinx VU19P FPGA"): (100, 1300, 2200, 7800),
+}
+
+CASES = (
+    (NUTSHELL, PALLADIUM),
+    (XIANGSHAN_DEFAULT, PALLADIUM),
+    (XIANGSHAN_DEFAULT, FPGA_VU19P),
+)
+
+
+@pytest.fixture(scope="module")
+def ladders(matrix):
+    out = {}
+    for dut, platform in CASES:
+        speeds = []
+        for config in LADDER:
+            result = matrix.run(dut, config)
+            breakdown = result.breakdown(platform, dut.gates_millions,
+                                         config.nonblocking)
+            speeds.append(breakdown.speed_khz)
+        out[(dut.name, platform.name)] = speeds
+    return out
+
+
+def test_table5(ladders, benchmark):
+    def regenerate() -> str:
+        lines = ["Table 5: optimization breakdown (modeled KHz)",
+                 f"{'Setup':34s} {'Baseline':>9s} {'+Batch':>9s} "
+                 f"{'+NonBlock':>10s} {'+Squash':>9s}"]
+        for (dut_name, platform_name), speeds in ladders.items():
+            label = f"{dut_name} on {platform_name.split()[-1]}"
+            lines.append(label.ljust(34)
+                         + "".join(f" {s:9.1f}" for s in speeds[:2])
+                         + f" {speeds[2]:10.1f} {speeds[3]:9.1f}")
+            paper = PAPER[(dut_name, platform_name)]
+            lines.append(" " * 20 + "paper:".rjust(14)
+                         + "".join(f" {p:9.1f}" for p in paper[:2])
+                         + f" {paper[2]:10.1f} {paper[3]:9.1f}")
+            factors = [s / speeds[0] for s in speeds]
+            lines.append(" " * 20 + "speedups:".rjust(14)
+                         + "".join(f" {f:9.1f}" for f in factors[:2])
+                         + f" {factors[2]:10.1f} {factors[3]:9.1f}")
+        return "\n".join(lines)
+
+    text = benchmark(regenerate)
+    write_result("table5_breakdown", text)
+
+    for key, speeds in ladders.items():
+        paper = PAPER[key]
+        # Monotone ladder with a large total factor, like the paper.
+        assert speeds == sorted(speeds), key
+        total_factor = speeds[3] / speeds[0]
+        paper_factor = paper[3] / paper[0]
+        assert total_factor > paper_factor / 3, (key, total_factor)
+        # Absolute end points within ~2x of the paper's reported speeds.
+        assert paper[0] / 3 <= speeds[0] <= paper[0] * 3, key
+        assert paper[3] / 3 <= speeds[3] <= paper[3] * 3, key
+
+
+def test_batch_contribution(ladders, benchmark):
+    """Batch alone contributes ~4-13x (paper's range)."""
+    factors = benchmark(lambda: {key: speeds[1] / speeds[0]
+                                 for key, speeds in ladders.items()})
+    for key, factor in factors.items():
+        assert 2.5 <= factor <= 20, (key, factor)
+
+
+def test_squash_reaches_near_dut_speed_on_palladium(ladders, benchmark):
+    """On Palladium the fully-optimised co-sim approaches the DUT-only
+    speed (478 vs 480 KHz in the paper; >=75% here)."""
+    speeds = ladders[("XiangShan (Default)", "Cadence Palladium")]
+    dut_only = benchmark(PALLADIUM.dut_clock_khz,
+                         XIANGSHAN_DEFAULT.gates_millions)
+    assert speeds[3] > 0.75 * dut_only
+
+
+def test_fpga_remains_communication_bound(ladders, benchmark):
+    """On the FPGA even the full ladder stays well below DUT-only speed
+    (7.8 vs 50 MHz in the paper): communication still dominates."""
+    speeds = ladders[("XiangShan (Default)", "Xilinx VU19P FPGA")]
+    dut_only = benchmark(FPGA_VU19P.dut_clock_khz,
+                         XIANGSHAN_DEFAULT.gates_millions)
+    assert speeds[3] < 0.4 * dut_only

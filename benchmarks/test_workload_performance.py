@@ -1,0 +1,74 @@
+"""Section 6.2's workload matrix: realistic benchmarks across the stack.
+
+The paper evaluates on Linux boot, KVM, XVISOR, RVV_TEST and SPEC CPU
+2006.  This bench runs our stand-ins for each through the baseline and
+fully-optimised configurations and reports the modeled Palladium speeds
+— demonstrating that the speedup generalises across workload character
+(I/O-heavy, hypervisor, vector, compute).
+"""
+
+import pytest
+from conftest import write_result
+
+from repro.comm import PALLADIUM
+from repro.core import CONFIG_BNSD, CONFIG_Z, run_cosim
+from repro.dut import XIANGSHAN_DEFAULT
+from repro.workloads import build
+
+WORKLOADS = (
+    ("linux_boot_like", {}),
+    ("mini_os", {}),
+    ("kvm_like", {}),
+    ("xvisor_like", {}),
+    ("rvv_test", {}),
+    ("rvc_mix", {}),
+    ("spec_like", {"kernel": "crc"}),
+    ("spec_like", {"kernel": "matmul", "iterations": 20}),
+    ("spec_like", {"kernel": "pointer_chase", "iterations": 20}),
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    out = []
+    for name, kwargs in WORKLOADS:
+        workload = build(name, **kwargs)
+        base = run_cosim(XIANGSHAN_DEFAULT, CONFIG_Z, workload.image,
+                         max_cycles=workload.max_cycles)
+        opt = run_cosim(XIANGSHAN_DEFAULT, CONFIG_BNSD, workload.image,
+                        max_cycles=workload.max_cycles)
+        assert base.passed and opt.passed, (workload.name, base.mismatch,
+                                            opt.mismatch)
+        gates = XIANGSHAN_DEFAULT.gates_millions
+        base_khz = base.breakdown(PALLADIUM, gates, False).speed_khz
+        opt_khz = opt.breakdown(PALLADIUM, gates, True).speed_khz
+        out.append((workload.name, opt.instructions,
+                    opt.stats.nde_sent_ahead, base_khz, opt_khz))
+    return out
+
+
+def test_workload_matrix(rows, benchmark):
+    def regenerate() -> str:
+        lines = ["Workload matrix: baseline vs DiffTest-H on Palladium",
+                 f"{'workload':20s} {'instr':>7s} {'NDEs':>6s} "
+                 f"{'baseline':>9s} {'DiffTest-H':>11s} {'speedup':>8s}"]
+        for name, instr, ndes, base_khz, opt_khz in rows:
+            lines.append(f"{name:20s} {instr:7d} {ndes:6d} "
+                         f"{base_khz:9.1f} {opt_khz:11.1f} "
+                         f"{opt_khz/base_khz:7.1f}x")
+        return "\n".join(lines)
+
+    text = benchmark(regenerate)
+    write_result("workload_matrix", text)
+
+    for name, _instr, _ndes, base_khz, opt_khz in rows:
+        assert opt_khz > 10 * base_khz, name  # big speedup on every class
+
+
+def test_nde_heavy_workloads_still_fuse(rows, benchmark):
+    """Even the hypervisor/interrupt-heavy workloads keep Squash effective
+    (order decoupling: NDEs do not break fusion)."""
+    ndes = benchmark(lambda: {name: nde for name, _i, nde, _b, _o in rows})
+    assert ndes["kvm_like"] > 0
+    assert ndes["linux_boot_like"] > 0
+    assert ndes["mini_os"] > 0

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Optimization sweep: regenerate the Table 5 ladder on a boot workload.
+
+Runs the OS-boot-like composite workload under the four DIFF_CONFIG
+levels of the paper's artifact (Z / B / BIN / EBINSD), prints the
+measured communication quantities, and converts them into modeled
+co-simulation speed on Palladium and the FPGA.
+
+Run:  python examples/optimization_sweep.py
+"""
+
+from repro import (
+    CONFIG_B,
+    CONFIG_BN,
+    CONFIG_BNSD,
+    CONFIG_Z,
+    XIANGSHAN_DEFAULT,
+    run_cosim,
+)
+from repro.comm import FPGA_VU19P, PALLADIUM
+from repro.workloads import build
+
+LADDER = (
+    ("Baseline (Z)", CONFIG_Z),
+    ("+Batch (B)", CONFIG_B),
+    ("+NonBlock (BIN)", CONFIG_BN),
+    ("+Squash (EBINSD)", CONFIG_BNSD),
+)
+
+
+def main() -> None:
+    workload = build("linux_boot_like", scale=1)
+    print(f"workload: {workload.name} — {workload.description}\n")
+
+    header = (f"{'config':18s} {'invokes/cyc':>12s} {'bytes/cyc':>10s} "
+              f"{'fusion':>7s} {'PLDM KHz':>9s} {'FPGA KHz':>9s}")
+    print(header)
+    print("-" * len(header))
+    baseline_speeds = None
+    for label, config in LADDER:
+        result = run_cosim(XIANGSHAN_DEFAULT, config, workload.image,
+                           max_cycles=workload.max_cycles)
+        assert result.passed, result.mismatch
+        pldm = result.breakdown(PALLADIUM, XIANGSHAN_DEFAULT.gates_millions,
+                                config.nonblocking)
+        fpga = result.breakdown(FPGA_VU19P, XIANGSHAN_DEFAULT.gates_millions,
+                                config.nonblocking)
+        if baseline_speeds is None:
+            baseline_speeds = (pldm.speed_khz, fpga.speed_khz)
+        print(f"{label:18s} {result.stats.invokes_per_cycle:12.3f} "
+              f"{result.stats.bytes_per_cycle:10.1f} "
+              f"{result.stats.fusion_ratio:7.2f} "
+              f"{pldm.speed_khz:9.1f} {fpga.speed_khz:9.1f}")
+
+    print("\npaper reference (Table 5, XiangShan):")
+    print("  Palladium: 6 -> 24 -> 71 -> 478 KHz (80x)")
+    print("  FPGA:      100 -> 1300 -> 2200 -> 7800 KHz (78x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Tuning-toolkit workflow: trace dump, SQL analysis, trace-driven replay.
+
+Demonstrates the three toolkit capabilities of Section 5:
+
+1. dump the DUT trace once (``TraceWriter``);
+2. analyse it offline with the SQL backend (volume by type, NDE fraction,
+   what-if fusion strategies);
+3. re-drive the checker from the trace alone — iterating on verification
+   logic without re-running the DUT.
+
+Run:  python examples/trace_workflow.py
+"""
+
+import io
+
+from repro import XIANGSHAN_DEFAULT
+from repro.dut import DutSystem
+from repro.toolkit import TraceDb, TraceReader, TraceWriter, replay_trace
+from repro.workloads import build
+
+
+def main() -> None:
+    workload = build("microbench", iterations=150)
+
+    # --- 1. first (and only) DUT run: dump the trace -------------------
+    system = DutSystem(XIANGSHAN_DEFAULT)
+    system.load_image(workload.image)
+    sink = io.BytesIO()
+    writer = TraceWriter(sink)
+    db = TraceDb()  # in-memory SQLite; pass a path to persist
+    for _ in range(workload.max_cycles):
+        (bundle,) = system.cycle()
+        if bundle.events:
+            writer.write_cycle(bundle.cycle, bundle.events)
+            db.record_cycle(bundle.cycle, bundle.events)
+        if system.finished():
+            break
+    print(f"dumped {writer.events} events over {writer.cycles} cycles "
+          f"({len(sink.getvalue())} bytes)")
+
+    # --- 2. offline SQL analysis ---------------------------------------
+    print("\ntop event types by transmitted volume:")
+    for name, count, total in db.volume_by_type()[:6]:
+        print(f"  {name:20s} {count:6d} events {total:9d} bytes")
+    print(f"\nNDE fraction: {db.nde_fraction():.2%}")
+    print(f"events/cycle: {db.events_per_cycle():.2f}")
+
+    print("\nwhat-if fusion strategies on the recorded trace:")
+    for window in (8, 32, 128):
+        for differencing in (False, True):
+            outcome = db.simulate_fusion(window=window,
+                                         differencing=differencing)
+            print(f"  window={window:4d} diff={str(differencing):5s} -> "
+                  f"{outcome['wire_bytes']:8d} bytes "
+                  f"({outcome['reduction']:.1f}x reduction, "
+                  f"fusion ratio {outcome['fusion_ratio']:.1f})")
+
+    # --- 3. trace-driven checking (no DUT) ------------------------------
+    result = replay_trace(sink.getvalue(), workload.image)
+    print(f"\ntrace-driven checking: "
+          f"{'PASSED' if result.passed else 'FAILED'} "
+          f"({result.events} events, exit code {result.exit_code})")
+
+    # The trace is a portable artifact: read it anywhere.
+    with TraceReader(sink.getvalue()) as reader:
+        first_cycle, events = next(iter(reader))
+        print(f"first recorded cycle: #{first_cycle} with "
+              f"{len(events)} events: "
+              + ", ".join(type(e).__name__ for e in events[:4]) + ", ...")
+
+
+if __name__ == "__main__":
+    main()

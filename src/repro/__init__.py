@@ -1,0 +1,70 @@
+"""DiffTest-H reproduction: semantic-aware communication for
+hardware-accelerated processor co-simulation.
+
+Public API quick map:
+
+* :mod:`repro.core` — the framework: :func:`repro.core.run_cosim`,
+  :class:`repro.core.CoSimulation`, configuration ladder
+  (``CONFIG_Z`` … ``CONFIG_BNSD``), checker and Replay.
+* :mod:`repro.dut` — DUT simulators (NutShell / XiangShan configs) and
+  the fault-injection catalogue.
+* :mod:`repro.ref` — the golden reference model.
+* :mod:`repro.events` — the 32 verification event types of Table 1.
+* :mod:`repro.comm` — LogGP model, platforms, Batch packing, Squash
+  fusion, prior-work comparators.
+* :mod:`repro.workloads` — assembled RISC-V programs + synthetic streams.
+* :mod:`repro.analysis` — area and overhead models.
+* :mod:`repro.toolkit` — performance counters, SQL traces, trace replay.
+* :mod:`repro.isa` — the RV64 ISA substrate (decoder/executor/assembler).
+"""
+
+from . import analysis, comm, core, dut, events, isa, ref, toolkit, workloads
+from .core import (
+    CONFIG_B,
+    CONFIG_BN,
+    CONFIG_BNSD,
+    CONFIG_COUPLED,
+    CONFIG_FIXED,
+    CONFIG_Z,
+    CoSimulation,
+    DiffConfig,
+    RunResult,
+    run_cosim,
+)
+from .dut import (
+    NUTSHELL,
+    XIANGSHAN_DEFAULT,
+    XIANGSHAN_DUAL,
+    XIANGSHAN_MINIMAL,
+    DutConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "comm",
+    "core",
+    "dut",
+    "events",
+    "isa",
+    "ref",
+    "toolkit",
+    "workloads",
+    "CONFIG_B",
+    "CONFIG_BN",
+    "CONFIG_BNSD",
+    "CONFIG_COUPLED",
+    "CONFIG_FIXED",
+    "CONFIG_Z",
+    "CoSimulation",
+    "DiffConfig",
+    "RunResult",
+    "run_cosim",
+    "NUTSHELL",
+    "XIANGSHAN_DEFAULT",
+    "XIANGSHAN_DUAL",
+    "XIANGSHAN_MINIMAL",
+    "DutConfig",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Analysis models: area estimation and overhead breakdowns."""
+
+from .area import AreaReport, estimate_area, probe_bits
+from .overhead import (
+    BreakdownRow,
+    breakdown_row,
+    communication_fraction,
+    render_table,
+)
+from .sweeps import nonblocking_gain, required_reduction, speed_vs_parameter
+
+__all__ = [
+    "nonblocking_gain",
+    "required_reduction",
+    "speed_vs_parameter",
+    "AreaReport",
+    "estimate_area",
+    "probe_bits",
+    "BreakdownRow",
+    "breakdown_row",
+    "communication_fraction",
+    "render_table",
+]

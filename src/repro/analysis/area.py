@@ -1,0 +1,88 @@
+"""Resource (area) model for the DiffTest-H hardware units (Figure 15).
+
+Estimates the gate cost of the verification logic attached to a DUT
+configuration, in millions of gates as Palladium reports them:
+
+* **monitor probes** — capture flops + wiring per probe bit;
+* **replay buffer** — the event history buffered for Replay (the dominant
+  cost without Batch);
+* **squash unit** — fusion accumulators and differencing XOR network;
+* **batch packer** — the tight-packing alignment network and frame
+  buffers of the unified hardware/software interface (the reason Batch
+  raises overhead from ~6% to ~25%).
+
+Constants are calibrated once against the paper's two anchors —
+XiangShan (Default) at ~6% without Batch and ~25% with Batch — and then
+*predict* the other configurations from their probe widths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..dut.config import DutConfig
+from ..events import all_event_classes
+
+#: Gates per buffered bit (emulator-mapped SRAM cell + addressing).
+_BUFFER_GATES_PER_BIT = 1.5
+#: Replay buffer depth in cycle-entries.
+_BUFFER_DEPTH_CYCLES = 64
+#: Gates per probe bit (capture flop + mux + wiring).
+_PROBE_GATES_PER_BIT = 4.0
+#: Gates per bit of the Squash accumulators/differencing network.
+_SQUASH_GATES_PER_BIT = 2.0
+#: Gates per bit of the Batch alignment/packing network (byte-steering
+#: crossbar + double-buffered transmission frames + meta generation).
+_BATCH_GATES_PER_BIT = 306.0
+
+
+def probe_bits(config: DutConfig) -> int:
+    """Aggregate monitor probe width (bits) for one configuration.
+
+    Multi-instance probes scale with the commit width (a 2-wide core has
+    proportionally fewer commit/writeback/load ports than a 6-wide one).
+    """
+    width_factor = config.commit_width / 6.0
+    total_bits = 0
+    for cls in all_event_classes():
+        if not config.event_enabled(cls.__name__):
+            continue
+        instances = cls.DESCRIPTOR.instances
+        if instances > 1:
+            instances = max(1, round(instances * width_factor))
+        total_bits += cls.payload_size() * 8 * instances
+    return total_bits * config.num_cores
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Gate counts (millions) for one configuration (Figure 15)."""
+
+    config_name: str
+    dut_mgates: float
+    parts: Dict[str, float]  # unit -> millions of gates
+
+    @property
+    def difftest_mgates(self) -> float:
+        return sum(self.parts.values())
+
+    @property
+    def overhead_fraction(self) -> float:
+        return self.difftest_mgates / self.dut_mgates
+
+
+def estimate_area(config: DutConfig, with_batch: bool = True,
+                  with_squash: bool = True) -> AreaReport:
+    """Estimate DiffTest-H area on top of ``config``."""
+    bits = probe_bits(config)
+    parts: Dict[str, float] = {
+        "monitor": bits * _PROBE_GATES_PER_BIT / 1e6,
+        "replay_buffer": bits * _BUFFER_DEPTH_CYCLES * _BUFFER_GATES_PER_BIT
+        / 1e6,
+    }
+    if with_squash:
+        parts["squash"] = bits * _SQUASH_GATES_PER_BIT / 1e6
+    if with_batch:
+        parts["batch"] = bits * _BATCH_GATES_PER_BIT / 1e6
+    return AreaReport(config.name, config.gates_millions, parts)

@@ -1,0 +1,53 @@
+"""Overhead breakdown analysis (Figure 2 / Section 3.2).
+
+Turns measured run statistics into per-phase overhead fractions across
+(DUT, platform) combinations, reproducing the observations of the paper:
+XiangShan incurs higher transmission + software overhead than NutShell on
+Palladium (more events, bigger payloads), while the FPGA shows higher
+startup share but lower transmission share (PCIe: higher handshake
+latency, more bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..comm.loggp import OverheadBreakdown
+from ..comm.platform import PlatformSpec
+from ..core.stats import RunStats
+from ..dut.config import DutConfig
+
+
+@dataclass(frozen=True)
+class BreakdownRow:
+    """One bar of Figure 2."""
+
+    label: str
+    fractions: Dict[str, float]
+    speed_khz: float
+
+    def render(self) -> str:
+        parts = "  ".join(
+            f"{phase}={fraction:6.1%}" for phase, fraction in
+            self.fractions.items())
+        return f"{self.label:28s} {parts}  ({self.speed_khz:.1f} KHz)"
+
+
+def breakdown_row(label: str, stats: RunStats, platform: PlatformSpec,
+                  config: DutConfig, nonblocking: bool = False) -> BreakdownRow:
+    """Compute one (DUT, platform) overhead bar from measured stats."""
+    result: OverheadBreakdown = stats.breakdown(
+        platform, config.gates_millions, nonblocking)
+    return BreakdownRow(label, result.phase_fractions(), result.speed_khz)
+
+
+def communication_fraction(stats: RunStats, platform: PlatformSpec,
+                           config: DutConfig, nonblocking: bool) -> float:
+    """Share of total time spent on communication (the >98% headline)."""
+    result = stats.breakdown(platform, config.gates_millions, nonblocking)
+    return result.communication_fraction
+
+
+def render_table(rows: List[BreakdownRow]) -> str:
+    return "\n".join(row.render() for row in rows)

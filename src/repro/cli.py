@@ -1,0 +1,292 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the artifact's make-target workflow:
+
+* ``run``      — co-simulate a workload under a DUT/config/platform
+                 (the artifact's ``make pldm-run`` / ``make fpga-run``).
+* ``ladder``   — the Table 5 optimisation breakdown for one DUT.
+* ``inject``   — seed a catalogue bug and show the Replay debug report.
+* ``fuzz``     — differential fuzzing with random programs.
+* ``workloads``/``faults``/``events`` — list the available inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .comm import ALL_PLATFORMS, FPGA_VU19P, PALLADIUM, VERILATOR_16T
+from .core import (
+    CONFIG_B,
+    CONFIG_BN,
+    CONFIG_BNSD,
+    CONFIG_COUPLED,
+    CONFIG_FIXED,
+    CONFIG_Z,
+    CoSimulation,
+    run_cosim,
+)
+from .dut import (
+    FAULT_CATALOGUE,
+    NUTSHELL,
+    XIANGSHAN_DEFAULT,
+    XIANGSHAN_DUAL,
+    XIANGSHAN_MINIMAL,
+    fault_by_name,
+)
+from .events import all_event_classes
+from .toolkit import render_event_profile, render_report
+from .workloads import available, build, fuzz_workload
+
+_DUTS = {
+    "nutshell": NUTSHELL,
+    "xiangshan-minimal": XIANGSHAN_MINIMAL,
+    "xiangshan": XIANGSHAN_DEFAULT,
+    "xiangshan-dual": XIANGSHAN_DUAL,
+}
+_CONFIGS = {
+    "Z": CONFIG_Z,
+    "B": CONFIG_B,
+    "BIN": CONFIG_BN,
+    "EBINSD": CONFIG_BNSD,
+    "FIXED": CONFIG_FIXED,
+    "COUPLED": CONFIG_COUPLED,
+}
+_PLATFORMS = {
+    "palladium": PALLADIUM,
+    "fpga": FPGA_VU19P,
+    "verilator": VERILATOR_16T,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DiffTest-H reproduction: semantic-aware co-simulation")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="co-simulate one workload")
+    run.add_argument("--workload", default="microbench",
+                     help=f"one of: {', '.join(available())}")
+    run.add_argument("--dut", default="xiangshan", choices=sorted(_DUTS))
+    run.add_argument("--config", default="EBINSD", choices=sorted(_CONFIGS))
+    run.add_argument("--platform", default="palladium",
+                     choices=sorted(_PLATFORMS))
+    run.add_argument("--seed", type=int, default=2025)
+    run.add_argument("--max-cycles", type=int, default=None)
+    run.add_argument("--profile", action="store_true",
+                     help="print the per-event-type profile (Figure 4)")
+
+    ladder = sub.add_parser("ladder", help="Table 5 optimisation breakdown")
+    ladder.add_argument("--dut", default="xiangshan", choices=sorted(_DUTS))
+    ladder.add_argument("--workload", default="linux_boot_like")
+
+    inject = sub.add_parser("inject", help="seed a bug and debug it")
+    inject.add_argument("--fault", required=True,
+                        help="a fault name from `repro faults`")
+    inject.add_argument("--workload", default="microbench")
+    inject.add_argument("--trigger", type=int, default=500)
+    inject.add_argument("--dut", default="xiangshan", choices=sorted(_DUTS))
+    inject.add_argument("--config", default="EBINSD",
+                        choices=sorted(_CONFIGS))
+
+    fuzz = sub.add_parser("fuzz", help="differential fuzzing")
+    fuzz.add_argument("--seeds", type=int, default=10)
+    fuzz.add_argument("--length", type=int, default=100)
+    fuzz.add_argument("--start", type=int, default=0)
+
+    sweep = sub.add_parser(
+        "sweep", help="explore Equation 1 around a measured run")
+    sweep.add_argument("--workload", default="microbench")
+    sweep.add_argument("--dut", default="xiangshan", choices=sorted(_DUTS))
+    sweep.add_argument("--config", default="B", choices=sorted(_CONFIGS))
+    sweep.add_argument("--platform", default="palladium",
+                       choices=sorted(_PLATFORMS))
+    sweep.add_argument("--parameter", default="bw_bytes_per_us",
+                       help="platform constant to sweep")
+    sweep.add_argument("--values", default="",
+                       help="comma-separated values (default: x0.1..x10 of "
+                            "the platform's constant)")
+
+    sub.add_parser("workloads", help="list available workloads")
+    sub.add_parser("faults", help="list the Table 6 fault catalogue")
+    sub.add_parser("events", help="list the 32 verification event types")
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_run(args) -> int:
+    workload = build(args.workload)
+    dut = _DUTS[args.dut]
+    config = _CONFIGS[args.config]
+    platform = _PLATFORMS[args.platform]
+    result = run_cosim(dut, config, workload.image,
+                       max_cycles=args.max_cycles or workload.max_cycles,
+                       seed=args.seed, uart_input=workload.uart_input)
+    print(f"workload : {workload.name} ({workload.description})")
+    print(f"dut      : {dut.name}   config: {config.name}")
+    status = "HIT GOOD TRAP" if result.passed else (
+        "MISMATCH" if result.mismatch else f"exit={result.exit_code}")
+    print(f"result   : {status} after {result.cycles} cycles / "
+          f"{result.instructions} instructions")
+    if result.mismatch is not None:
+        print(result.mismatch.describe())
+        if result.debug_report is not None:
+            print(result.debug_report.render())
+    breakdown = result.breakdown(platform, dut.gates_millions,
+                                 config.nonblocking)
+    print(f"\nSimulation speed: {breakdown.speed_khz:.2f} KHz "
+          f"on {platform.name} "
+          f"(communication {breakdown.communication_fraction:.1%})")
+    print()
+    print(render_report(result.stats))
+    if args.profile:
+        print()
+        print(render_event_profile(result.stats))
+    if result.uart_output:
+        print(f"\nUART output:\n{result.uart_output}")
+    return 0 if result.passed else 1
+
+
+def _cmd_ladder(args) -> int:
+    workload = build(args.workload)
+    dut = _DUTS[args.dut]
+    print(f"{'config':8s} {'invokes/cyc':>12s} {'bytes/cyc':>10s} "
+          f"{'PLDM KHz':>9s} {'FPGA KHz':>9s}")
+    baseline = None
+    for name in ("Z", "B", "BIN", "EBINSD"):
+        config = _CONFIGS[name]
+        result = run_cosim(dut, config, workload.image,
+                           max_cycles=workload.max_cycles)
+        if not result.passed:
+            print(f"{name}: FAILED ({result.mismatch})")
+            return 1
+        pldm = result.breakdown(PALLADIUM, dut.gates_millions,
+                                config.nonblocking)
+        fpga = result.breakdown(FPGA_VU19P, dut.gates_millions,
+                                config.nonblocking)
+        if baseline is None:
+            baseline = pldm.speed_khz
+        print(f"{name:8s} {result.stats.invokes_per_cycle:12.3f} "
+              f"{result.stats.bytes_per_cycle:10.1f} {pldm.speed_khz:9.1f} "
+              f"{fpga.speed_khz:9.1f}  ({pldm.speed_khz/baseline:.1f}x)")
+    return 0
+
+
+def _cmd_inject(args) -> int:
+    workload = build(args.workload)
+    spec = fault_by_name(args.fault)
+    cosim = CoSimulation(_DUTS[args.dut], _CONFIGS[args.config],
+                         workload.image)
+    spec.install(cosim.dut.cores[0], args.trigger)
+    print(f"injected {spec.name} ({spec.description}, "
+          f"XiangShan PR {spec.pull_request}) at instruction {args.trigger}")
+    result = cosim.run(max_cycles=workload.max_cycles)
+    if result.mismatch is None:
+        print("bug escaped detection (corruption was architecturally dead)")
+        return 1
+    print(f"detected at cycle {result.mismatch.cycle}")
+    if result.debug_report is not None:
+        print(result.debug_report.render())
+    return 0
+
+
+def _cmd_fuzz(args) -> int:
+    failures = 0
+    for seed in range(args.start, args.start + args.seeds):
+        workload = fuzz_workload(seed, length=args.length)
+        result = run_cosim(XIANGSHAN_DEFAULT, CONFIG_BNSD, workload.image,
+                           max_cycles=workload.max_cycles)
+        verdict = "ok" if result.passed else "FAIL"
+        print(f"seed {seed:6d}: {verdict}  ({result.instructions} instr)")
+        if not result.passed:
+            failures += 1
+            if result.mismatch:
+                print("  " + result.mismatch.describe())
+    print(f"\n{args.seeds - failures}/{args.seeds} passed")
+    return 1 if failures else 0
+
+
+def _cmd_sweep(args) -> int:
+    from .analysis import nonblocking_gain, required_reduction, \
+        speed_vs_parameter
+
+    workload = build(args.workload)
+    dut = _DUTS[args.dut]
+    config = _CONFIGS[args.config]
+    platform = _PLATFORMS[args.platform]
+    result = run_cosim(dut, config, workload.image,
+                       max_cycles=workload.max_cycles)
+    if not result.passed:
+        print(f"run failed: {result.mismatch}")
+        return 1
+    counters = result.stats.counters
+    if args.values:
+        values = [float(v) for v in args.values.split(",")]
+    else:
+        base = getattr(platform, args.parameter)
+        values = [base * scale for scale in (0.1, 0.3, 1.0, 3.0, 10.0)]
+    print(f"sweep of {args.parameter} on {platform.name} "
+          f"({workload.name}, {config.name}):")
+    for value, khz in speed_vs_parameter(platform, dut.gates_millions,
+                                         counters, args.parameter, values,
+                                         nonblocking=config.nonblocking):
+        print(f"  {args.parameter} = {value:12.4f} -> {khz:10.1f} KHz")
+    info = nonblocking_gain(platform, dut.gates_millions, counters)
+    print(f"\nnon-blocking gain: {info['gain']:.2f}x "
+          f"(critical stage: {info['critical_stage']})")
+    needed = required_reduction(platform, dut.gates_millions, counters,
+                                target_fraction=0.9,
+                                nonblocking=config.nonblocking)
+    print("reduction needed to reach 90% of DUT-only speed "
+          "(inf = this knob alone cannot):")
+    for knob, factor in needed.items():
+        print(f"  {knob:9s}: {factor:.2f}x")
+    return 0
+
+
+def _cmd_workloads(_args) -> int:
+    for name in available():
+        workload = build(name)
+        print(f"{name:18s} {workload.description}")
+    return 0
+
+
+def _cmd_faults(_args) -> int:
+    for spec in FAULT_CATALOGUE:
+        print(f"{spec.pull_request:6s} {spec.name:28s} [{spec.component}] "
+              f"{spec.description}")
+    return 0
+
+
+def _cmd_events(_args) -> int:
+    for cls in all_event_classes():
+        descriptor = cls.DESCRIPTOR
+        print(f"{descriptor.event_id:3d} {cls.__name__:22s} "
+              f"{cls.payload_size():5d} B x{descriptor.instances:<3d} "
+              f"{descriptor.category.value:18s} "
+              f"{'NDE' if descriptor.is_nde else '   '} "
+              f"{descriptor.fusion_rule.value}")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "ladder": _cmd_ladder,
+    "inject": _cmd_inject,
+    "fuzz": _cmd_fuzz,
+    "sweep": _cmd_sweep,
+    "workloads": _cmd_workloads,
+    "faults": _cmd_faults,
+    "events": _cmd_events,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

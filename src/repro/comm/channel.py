@@ -1,0 +1,60 @@
+"""The hardware/software communication unit.
+
+The channel carries :class:`~repro.comm.packing.base.Transfer` objects
+from the acceleration unit to the software checker, counting invocations
+and bytes for the LogGP model.  In non-blocking mode it models the
+send/receive queues of Section 4.5: the hardware keeps running while
+transfers are in flight, and a bounded queue applies backpressure when
+software falls behind (tracked as occupancy statistics).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from .packing.base import Transfer
+
+
+class Channel:
+    """A counted, optionally non-blocking transfer queue."""
+
+    def __init__(self, nonblocking: bool = False, queue_depth: int = 64) -> None:
+        self.nonblocking = nonblocking
+        self.queue_depth = queue_depth
+        self._queue: Deque[Transfer] = deque()
+        self.invokes = 0
+        self.bytes_sent = 0
+        self.max_occupancy = 0
+        self.backpressure_events = 0
+
+    # ------------------------------------------------------------------
+    def send(self, transfer: Transfer) -> None:
+        """Hardware side: enqueue one transfer."""
+        self.invokes += 1
+        self.bytes_sent += transfer.size
+        self._queue.append(transfer)
+        if len(self._queue) > self.max_occupancy:
+            self.max_occupancy = len(self._queue)
+        if self.nonblocking and len(self._queue) > self.queue_depth:
+            # The send queue is full: the hardware would stall this cycle.
+            self.backpressure_events += 1
+
+    def send_all(self, transfers: List[Transfer]) -> None:
+        for transfer in transfers:
+            self.send(transfer)
+
+    # ------------------------------------------------------------------
+    def receive(self) -> Optional[Transfer]:
+        """Software side: dequeue the next transfer (None when empty)."""
+        if self._queue:
+            return self._queue.popleft()
+        return None
+
+    def drain(self) -> List[Transfer]:
+        out = list(self._queue)
+        self._queue.clear()
+        return out
+
+    def __len__(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,14 @@
+"""Fusion schemes: Squash (order-decoupled) and the order-coupled baseline."""
+
+from .differencing import DIFF_MIN_PAYLOAD, Completer, Differencer
+from .squash import DEFAULT_WINDOW, FusionStats, OrderCoupledFuser, SquashFuser
+
+__all__ = [
+    "DIFF_MIN_PAYLOAD",
+    "Completer",
+    "Differencer",
+    "DEFAULT_WINDOW",
+    "FusionStats",
+    "OrderCoupledFuser",
+    "SquashFuser",
+]

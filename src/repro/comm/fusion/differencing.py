@@ -1,0 +1,112 @@
+"""Differencing: exploit event repetitiveness (Section 4.3).
+
+Verification events exhibit strong temporal locality — most CSR entries,
+registers and vector lanes are unchanged between consecutive snapshots.
+The hardware differencer decomposes each event into fixed units (one
+field element each), XORs against the previously transmitted instance of
+the same (type, core), and transmits a changed-unit bitmap plus only the
+changed units.  The software completer keeps the latest record and fills
+unchanged fields from it.
+
+The chain is keyed by (type, core) and both sides process the stream in
+transmission order, so any transport that is FIFO per (type, core) —
+all our packers are — preserves reconstruction.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Tuple
+
+from ...events import VerificationEvent, event_class
+from ..packing.base import ENC_DIFF, ENC_FULL, WireItem
+
+#: Events smaller than this are never differenced (bitmap overhead would
+#: exceed the savings).
+DIFF_MIN_PAYLOAD = 32
+
+_UNIT_PACKERS = {1: "<B", 2: "<H", 4: "<I", 8: "<Q"}
+
+
+def _encode_units(units: List[int], sizes: List[int], indices: List[int]) -> bytes:
+    out = bytearray()
+    for index in indices:
+        out += struct.pack(_UNIT_PACKERS[sizes[index]], units[index])
+    return bytes(out)
+
+
+class Differencer:
+    """Hardware-side XOR differencing over the unit decomposition."""
+
+    def __init__(self, min_payload: int = DIFF_MIN_PAYLOAD) -> None:
+        self.min_payload = min_payload
+        self._last: Dict[Tuple[int, int], List[int]] = {}
+        self.full_sent = 0
+        self.diff_sent = 0
+        self.bytes_saved = 0
+
+    def encode(self, event: VerificationEvent) -> WireItem:
+        """Encode ``event`` as a diff against its predecessor if profitable."""
+        cls = type(event)
+        full_size = cls.payload_size()
+        key = (cls.DESCRIPTOR.event_id, event.core_id)
+        units = event.to_units()
+        last = self._last.get(key)
+        if full_size < self.min_payload or last is None:
+            self._last[key] = units
+            self.full_sent += 1
+            return WireItem.from_event(event)
+        changed = [i for i, (new, old) in enumerate(zip(units, last))
+                   if new != old]
+        sizes = cls.unit_sizes()
+        bitmap_len = (len(units) + 7) // 8
+        diff_size = bitmap_len + sum(sizes[i] for i in changed)
+        if diff_size >= full_size:
+            self._last[key] = units
+            self.full_sent += 1
+            return WireItem.from_event(event)
+        bitmap = bytearray(bitmap_len)
+        for index in changed:
+            bitmap[index // 8] |= 1 << (index % 8)
+        payload = bytes(bitmap) + _encode_units(units, sizes, changed)
+        self._last[key] = units
+        self.diff_sent += 1
+        self.bytes_saved += full_size - len(payload)
+        return WireItem(cls.DESCRIPTOR.event_id, event.core_id,
+                        event.order_tag, payload, ENC_DIFF)
+
+
+class Completer:
+    """Software-side reconstruction of differenced events."""
+
+    def __init__(self) -> None:
+        self._last: Dict[Tuple[int, int], List[int]] = {}
+
+    def complete(self, item: WireItem) -> VerificationEvent:
+        """Reconstruct the full event from a wire item (diffed or full)."""
+        cls = event_class(item.type_id)
+        key = (item.type_id, item.core_id)
+        if item.encoding == ENC_FULL:
+            event = item.to_event()
+            self._last[key] = event.to_units()
+            return event
+        last = self._last.get(key)
+        if last is None:
+            raise ValueError(
+                f"diffed {cls.__name__} received with no prior full event"
+            )
+        sizes = cls.unit_sizes()
+        bitmap_len = (len(last) + 7) // 8
+        bitmap = item.payload[:bitmap_len]
+        units = list(last)
+        offset = bitmap_len
+        for index in range(len(units)):
+            if bitmap[index // 8] & (1 << (index % 8)):
+                fmt = _UNIT_PACKERS[sizes[index]]
+                (units[index],) = struct.unpack_from(fmt, item.payload, offset)
+                offset += sizes[index]
+        if offset != len(item.payload):
+            raise ValueError("diff payload length mismatch")
+        self._last[key] = units
+        return cls.from_units(units, core_id=item.core_id,
+                              order_tag=item.order_tag)

@@ -1,0 +1,214 @@
+"""Squash: order-decoupled fusion of verification events (Section 4.3).
+
+Squash fuses deterministic events across instructions while transmitting
+non-deterministic events (NDEs) *ahead* with order tags, so NDEs never
+break fusion.  Per fusion rule:
+
+* ``COLLAPSE`` — instruction commits fold into one fused commit carrying
+  the final PC and the commit count;
+* ``KEEP_LATEST`` — state snapshots are idempotent; only the last one in
+  the window is transmitted;
+* ``ACCUMULATE`` — writebacks keep the last write per destination;
+* ``PASS_THROUGH`` — every instance is delivered, but may be delayed to
+  the window flush (they are deterministic, so checking order is restored
+  from tags).
+
+The window flush emits buffered events *before* the fused commit, so by
+the time the software sees a fused commit ending at tag ``b`` it already
+holds every event with tag <= ``b`` — the reordering invariant the
+checker relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...events import (
+    ArchException,
+    FusionRule,
+    InstrCommit,
+    TrapFinish,
+    VerificationEvent,
+)
+from ..packing.base import WireItem
+from .differencing import Differencer
+
+#: Default fusion window: maximum commits folded into one fused commit.
+DEFAULT_WINDOW = 32
+
+
+class FusionStats:
+    """Hardware performance counters of the fusion unit."""
+
+    def __init__(self) -> None:
+        self.events_in = 0
+        self.events_out = 0
+        self.commits_in = 0
+        self.fused_commits_out = 0
+        self.nde_sent_ahead = 0
+        self.fusion_breaks = 0
+
+    @property
+    def fusion_ratio(self) -> float:
+        """Input events per transmitted event (higher is better)."""
+        if not self.events_out:
+            return 1.0
+        return self.events_in / self.events_out
+
+
+class SquashFuser:
+    """The order-decoupled fusion unit."""
+
+    name = "squash"
+
+    def __init__(self, window: int = DEFAULT_WINDOW,
+                 differencing: bool = True) -> None:
+        self.window = window
+        self.differencer: Optional[Differencer] = (
+            Differencer() if differencing else None)
+        self.stats = FusionStats()
+        # Per-core fused-commit accumulators.
+        self._fused: Dict[int, Optional[InstrCommit]] = {}
+        self._fused_count: Dict[int, int] = {}
+        self._flush_pending = False
+        # Buffered deterministic events, in arrival order.
+        self._passthrough: List[VerificationEvent] = []
+        self._latest: Dict[Tuple[int, int], VerificationEvent] = {}
+        self._accumulated: Dict[Tuple[int, int, int], VerificationEvent] = {}
+
+    # ------------------------------------------------------------------
+    def on_cycle(self, events: List[VerificationEvent]) -> List[WireItem]:
+        """Consume one cycle's events; return items ready to transmit."""
+        out: List[WireItem] = []
+        for event in events:
+            self.stats.events_in += 1
+            if event.is_nde():
+                # Order semantics: transmit ahead, tagged; fusion continues.
+                self.stats.nde_sent_ahead += 1
+                self._emit(event, out)
+                if isinstance(event, InstrCommit):
+                    # An MMIO commit consumes its slot outside any fused run.
+                    self._note_gap(event.core_id, out)
+                continue
+            rule = event.DESCRIPTOR.fusion_rule
+            if rule is FusionRule.COLLAPSE and isinstance(event, InstrCommit):
+                self.stats.commits_in += 1
+                self._fuse_commit(event, out)
+            elif rule is FusionRule.KEEP_LATEST:
+                self._latest[(event.DESCRIPTOR.event_id, event.core_id)] = event
+            elif rule is FusionRule.ACCUMULATE:
+                key = (event.DESCRIPTOR.event_id, event.core_id, event.addr)
+                self._accumulated[key] = event
+            else:  # PASS_THROUGH
+                if isinstance(event, TrapFinish):
+                    # End of simulation: drain the window, then the trap.
+                    out.extend(self.flush())
+                    self._emit(event, out)
+                else:
+                    self._passthrough.append(event)
+        if self._flush_pending:
+            # A window filled during this cycle.  Flushing at the cycle
+            # boundary (not mid-cycle) keeps every event of a check slot
+            # inside the same flush as its commit — the ordering invariant
+            # the software reorderer relies on.
+            out.extend(self.flush())
+        return out
+
+    # ------------------------------------------------------------------
+    def _fuse_commit(self, commit: InstrCommit, out: List[WireItem]) -> None:
+        core = commit.core_id
+        fused = self._fused.get(core)
+        if fused is None:
+            # Copy: the original event stays untouched in the Replay buffer.
+            self._fused[core] = InstrCommit(
+                core_id=commit.core_id, order_tag=commit.order_tag,
+                pc=commit.pc, instr=commit.instr, wdata=commit.wdata,
+                rd=commit.rd, flags=commit.flags, fused_count=1)
+            self._fused_count[core] = 1
+        else:
+            # Fold: keep the final pc/instr/write, bump the count.
+            fused.pc = commit.pc
+            fused.instr = commit.instr
+            fused.wdata = commit.wdata
+            fused.rd = commit.rd
+            fused.flags = commit.flags
+            fused.order_tag = commit.order_tag
+            self._fused_count[core] += 1
+        if self._fused_count[core] >= self.window:
+            self._flush_pending = True
+
+    def _note_gap(self, core: int, out: List[WireItem]) -> None:
+        """A slot-consuming NDE occurred; fusion continues across the gap
+        (this is precisely what order decoupling buys — no flush here)."""
+
+    # ------------------------------------------------------------------
+    def _emit(self, event: VerificationEvent, out: List[WireItem]) -> None:
+        self.stats.events_out += 1
+        if self.differencer is not None:
+            out.append(self.differencer.encode(event))
+        else:
+            out.append(WireItem.from_event(event))
+
+    def flush(self) -> List[WireItem]:
+        """Close the fusion window: emit buffered events, fused commit last."""
+        self._flush_pending = False
+        out: List[WireItem] = []
+        for event in self._passthrough:
+            self._emit(event, out)
+        self._passthrough = []
+        for key in sorted(self._accumulated):
+            self._emit(self._accumulated[key], out)
+        self._accumulated = {}
+        for key in sorted(self._latest):
+            self._emit(self._latest[key], out)
+        self._latest = {}
+        for core in sorted(self._fused):
+            fused = self._fused[core]
+            if fused is None:
+                continue
+            fused.fused_count = self._fused_count[core]
+            self.stats.fused_commits_out += 1
+            self._emit(fused, out)
+        self._fused = {}
+        self._fused_count = {}
+        return out
+
+
+class OrderCoupledFuser(SquashFuser):
+    """The existing fusion scheme (Figure 8, top): fusion is coupled to
+    checking order, so every NDE terminates the ongoing fusion and forces
+    the fused events to be transmitted *before* it."""
+
+    name = "order_coupled"
+
+    def on_cycle(self, events: List[VerificationEvent]) -> List[WireItem]:
+        out: List[WireItem] = []
+        for event in events:
+            self.stats.events_in += 1
+            if event.is_nde():
+                # Fusion break: drain everything fused so far, then send
+                # the NDE, preserving checking order by transmission order.
+                self.stats.fusion_breaks += 1
+                out.extend(self.flush())
+                self._emit(event, out)
+                continue
+            rule = event.DESCRIPTOR.fusion_rule
+            if rule is FusionRule.COLLAPSE and isinstance(event, InstrCommit):
+                self.stats.commits_in += 1
+                self._fuse_commit(event, out)
+            elif rule is FusionRule.KEEP_LATEST:
+                self._latest[(event.DESCRIPTOR.event_id, event.core_id)] = event
+            elif rule is FusionRule.ACCUMULATE:
+                key = (event.DESCRIPTOR.event_id, event.core_id, event.addr)
+                self._accumulated[key] = event
+            else:
+                if isinstance(event, (ArchException, TrapFinish)):
+                    # Exceptions also force ordered checking here.
+                    self.stats.fusion_breaks += 1
+                    out.extend(self.flush())
+                    self._emit(event, out)
+                else:
+                    self._passthrough.append(event)
+        if self._flush_pending:
+            out.extend(self.flush())
+        return out

@@ -1,0 +1,38 @@
+"""Packing schemes: per-event DPI-C, fixed-offset, and Batch."""
+
+from .base import (
+    ENC_DIFF,
+    ENC_FULL,
+    Packer,
+    PackingStats,
+    Transfer,
+    Unpacker,
+    WireItem,
+)
+from .batch import (
+    DEFAULT_FRAME_SIZE,
+    BatchPacker,
+    BatchUnpacker,
+    mux_tree_pack,
+)
+from .dpic import DpicPacker, DpicUnpacker
+from .fixed import FixedLayout, FixedPacker, FixedUnpacker
+
+__all__ = [
+    "ENC_DIFF",
+    "ENC_FULL",
+    "Packer",
+    "PackingStats",
+    "Transfer",
+    "Unpacker",
+    "WireItem",
+    "DEFAULT_FRAME_SIZE",
+    "BatchPacker",
+    "BatchUnpacker",
+    "mux_tree_pack",
+    "DpicPacker",
+    "DpicUnpacker",
+    "FixedLayout",
+    "FixedPacker",
+    "FixedUnpacker",
+]

@@ -1,0 +1,110 @@
+"""Wire-level primitives shared by all packing schemes.
+
+A :class:`WireItem` is one verification event ready for transmission: its
+type/core/order-tag plus an encoded payload (full, or differenced by
+Squash).  A :class:`Transfer` is one hardware->software communication — a
+DPI-C call on the emulator, a DMA descriptor on the FPGA — whose count and
+size drive the LogGP model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ...events import VerificationEvent, event_class
+
+#: Payload-encoding kinds.
+ENC_FULL = 0
+ENC_DIFF = 1
+
+
+@dataclass
+class WireItem:
+    """One event as it crosses the hardware/software interface."""
+
+    type_id: int
+    core_id: int
+    order_tag: int
+    payload: bytes
+    encoding: int = ENC_FULL
+
+    @classmethod
+    def from_event(cls, event: VerificationEvent) -> "WireItem":
+        return cls(
+            type_id=event.DESCRIPTOR.event_id,
+            core_id=event.core_id,
+            order_tag=event.order_tag,
+            payload=event.encode_payload(),
+        )
+
+    def to_event(self) -> VerificationEvent:
+        """Decode a full-encoded item back into an event object."""
+        if self.encoding != ENC_FULL:
+            raise ValueError("diffed item must be completed first")
+        klass = event_class(self.type_id)
+        return klass.decode_payload(
+            self.payload, core_id=self.core_id, order_tag=self.order_tag
+        )
+
+
+@dataclass
+class Transfer:
+    """One hardware->software communication."""
+
+    data: bytes
+    items: int = 0  # events carried (0 for pure control transfers)
+    bubbles: int = 0  # padding bytes carried (fixed-offset schemes)
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class PackingStats:
+    """Instrumentation shared by all packers (Batch packet utilisation,
+    bubble counts, ... — the paper's hardware performance counters)."""
+
+    transfers: int = 0
+    bytes_sent: int = 0
+    payload_bytes: int = 0
+    bubble_bytes: int = 0
+    meta_bytes: int = 0
+    events: int = 0
+
+    def on_transfer(self, transfer: Transfer) -> None:
+        self.transfers += 1
+        self.bytes_sent += transfer.size
+        self.bubble_bytes += transfer.bubbles
+        self.events += transfer.items
+
+    @property
+    def utilization(self) -> float:
+        if not self.bytes_sent:
+            return 0.0
+        return 1.0 - self.bubble_bytes / self.bytes_sent
+
+
+class Packer:
+    """Interface: turn per-cycle wire items into transfers."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.stats = PackingStats()
+
+    def pack_cycle(self, items: List[WireItem]) -> List[Transfer]:
+        """Accept one cycle's items; return any transfers now ready."""
+        raise NotImplementedError
+
+    def flush(self) -> List[Transfer]:
+        """Emit any buffered partial transfer (end of run / drain)."""
+        return []
+
+
+class Unpacker:
+    """Interface: reconstruct wire items from received transfers."""
+
+    def unpack(self, transfer: Transfer) -> List[WireItem]:
+        raise NotImplementedError

@@ -1,0 +1,126 @@
+"""Verification platform models (Table 2): emulator, FPGA, RTL simulator.
+
+Each :class:`PlatformSpec` bundles the LogGP constants of Equation 1 plus
+a design-size-dependent DUT clock model.  The constants are calibrated
+once against published reference points (documented per field below); all
+experiment results are then *predictions* driven by measured event/byte
+counts — see DESIGN.md ("Time model & calibration").
+
+Calibration anchors (Table 5 / Table 7 of the paper):
+
+* Palladium runs XiangShan (Default, 57.6 M gates) DUT-only at ~480 KHz
+  and NutShell near ~1.2 MHz; baseline co-simulation lands at ~6 KHz /
+  ~14 KHz, and the full optimisation ladder at ~478 KHz / ~1 MHz.
+* The VU19P runs XiangShan near 50 MHz DUT-only, with the baseline at
+  ~0.1 MHz and the full ladder at ~7.8 MHz.
+* 16-thread Verilator simulates XiangShan (Default) at ~4 KHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """One deployment platform for the DUT."""
+
+    name: str
+    kind: str  # "emulator" | "fpga" | "rtl_sim"
+    #: Per-invocation hardware/software synchronisation latency (us) for a
+    #: data-carrying transfer (a DPI-C call with payload, a DMA descriptor).
+    t_sync_us: float
+    #: Residual per-invocation cost factor when non-blocking
+    #: (fire-and-forget enqueue instead of a round-trip handshake).
+    nb_factor: float
+    #: Step-and-compare clock gating: extra emulation cycles consumed per
+    #: DUT cycle in *blocking* mode, when the platform clock is gated on
+    #: the per-cycle testbench handshake.  Zero for free-running links.
+    gate_cycles: float
+    #: Link bandwidth in bytes per microsecond (== MB/s).
+    bw_bytes_per_us: float
+    #: Software cost to receive + dispatch one transfer (us).
+    dispatch_us: float
+    #: Software cost to step the REF one instruction (us).
+    ref_step_us: float
+    #: Software cost to process one verification event (us).
+    check_event_us: float
+    #: Software cost per payload byte compared (us).
+    check_byte_us: float
+    #: Clock model: peak speed for a tiny design (KHz) and the design size
+    #: (millions of gates) at which speed halves.
+    clock_peak_khz: float
+    clock_half_gates: float
+    #: Debuggability / cost labels (Table 2).
+    debuggability: str = ""
+    cost: str = ""
+
+    def dut_clock_khz(self, gates_millions: float) -> float:
+        """DUT-only simulation speed for a design of the given size."""
+        return self.clock_peak_khz / (1.0 + gates_millions / self.clock_half_gates)
+
+
+#: Cadence Palladium.  DPI-C data calls cost tens of microseconds; the
+#: per-cycle step-and-compare gate costs ~10 emulation cycles; the
+#: internal link sustains ~100 MB/s.  Software runs inside the emulator
+#: testbench runtime, so per-event dispatch/compare costs are high.
+PALLADIUM = PlatformSpec(
+    name="Cadence Palladium",
+    kind="emulator",
+    t_sync_us=53.0,
+    nb_factor=0.2,
+    gate_cycles=10.6,
+    bw_bytes_per_us=100.0,
+    dispatch_us=4.0,
+    ref_step_us=1.2,
+    check_event_us=2.0,
+    check_byte_us=0.03,
+    clock_peak_khz=1240.0,
+    clock_half_gates=36.0,
+    debuggability="Waveform",
+    cost="Expensive",
+)
+
+#: Xilinx VU19P FPGA.  PCIe/XDMA blocking round trips cost ~4 us but the
+#: link is free-running (no per-cycle gate) and sustains ~3 GB/s; the
+#: host is a native x86 process, so software costs are ~10-20x cheaper
+#: than inside the Palladium runtime.
+FPGA_VU19P = PlatformSpec(
+    name="Xilinx VU19P FPGA",
+    kind="fpga",
+    t_sync_us=4.2,
+    nb_factor=0.15,
+    gate_cycles=0.0,
+    bw_bytes_per_us=3000.0,
+    dispatch_us=0.10,
+    ref_step_us=0.17,
+    check_event_us=0.02,
+    check_byte_us=0.0012,
+    clock_peak_khz=60000.0,
+    clock_half_gates=250.0,
+    debuggability="Limited",
+    cost="Affordable",
+)
+
+#: 16-thread Verilator.  RTL simulation speed scales inversely with design
+#: size: XiangShan Default simulates at ~4 KHz, NutShell at a few hundred
+#: KHz.  Communication is in-process (DPI call ~0.1 us), so co-simulation
+#: overhead is negligible by construction.
+VERILATOR_16T = PlatformSpec(
+    name="Verilator (16 threads)",
+    kind="rtl_sim",
+    t_sync_us=0.08,
+    nb_factor=1.0,
+    gate_cycles=0.0,
+    bw_bytes_per_us=8000.0,
+    dispatch_us=0.05,
+    ref_step_us=0.17,
+    check_event_us=0.02,
+    check_byte_us=0.0012,
+    clock_peak_khz=260.0,
+    clock_half_gates=0.95,
+    debuggability="Full visibility",
+    cost="Free",
+)
+
+ALL_PLATFORMS = (PALLADIUM, FPGA_VU19P, VERILATOR_16T)

@@ -1,0 +1,250 @@
+"""The DiffTest-H co-simulation framework (Figure 3 / Figure 12).
+
+:class:`CoSimulation` wires the full pipeline for a DUT design and a
+:class:`~repro.core.config.DiffConfig`:
+
+    DUT cores -> monitors -> [replay buffers] -> acceleration unit
+    (Squash fusion -> Batch packing) -> channel -> unpack -> complete
+    (differencing) -> per-core checkers -> [Replay on mismatch]
+
+and measures every communication quantity the LogGP model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..comm.channel import Channel
+from ..comm.fusion.differencing import Completer
+from ..comm.fusion.squash import OrderCoupledFuser, SquashFuser
+from ..comm.loggp import OverheadBreakdown
+from ..comm.packing import (
+    BatchPacker,
+    BatchUnpacker,
+    DpicPacker,
+    DpicUnpacker,
+    FixedLayout,
+    FixedPacker,
+    FixedUnpacker,
+    Transfer,
+    WireItem,
+)
+from ..dut.config import DutConfig
+from ..dut.core import DutSystem
+from ..events import all_event_classes
+from ..isa.const import DRAM_BASE
+from ..isa.devices import CLINT_BASE, CLINT_SIZE, PLIC_BASE, PLIC_SIZE, \
+    UART_BASE, UART_SIZE
+from ..ref.model import RefModel
+from .checker import Checker
+from .config import DiffConfig
+from .replay import ReplayBuffer, ReplayUnit
+from .report import DebugReport, Mismatch
+from .stats import RunStats
+
+#: MMIO ranges stubbed into every REF bus (must mirror the DUT's devices).
+REF_MMIO_RANGES = (
+    (UART_BASE, UART_SIZE),
+    (CLINT_BASE, CLINT_SIZE),
+    (PLIC_BASE, PLIC_SIZE),
+)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one co-simulation run."""
+
+    exit_code: Optional[int]
+    stats: RunStats
+    mismatch: Optional[Mismatch]
+    debug_report: Optional[DebugReport]
+    uart_output: str
+    cycles: int
+    instructions: int
+
+    @property
+    def passed(self) -> bool:
+        return self.mismatch is None and self.exit_code == 0
+
+    def breakdown(self, platform, gates_millions: float,
+                  nonblocking: bool) -> OverheadBreakdown:
+        return self.stats.breakdown(platform, gates_millions, nonblocking)
+
+
+class CoSimulation:
+    """One complete DUT-vs-REF co-simulation."""
+
+    def __init__(
+        self,
+        dut_config: DutConfig,
+        diff_config: DiffConfig,
+        image: bytes,
+        seed: int = 2025,
+        uart_input: bytes = b"",
+        base: int = DRAM_BASE,
+    ) -> None:
+        self.dut_config = dut_config
+        self.diff_config = diff_config
+        self.dut = DutSystem(dut_config, seed=seed, uart_input=uart_input)
+        self.dut.load_image(image, base)
+
+        self.refs: List[RefModel] = []
+        self.checkers: List[Checker] = []
+        self.replay_buffers: List[ReplayBuffer] = []
+        self.replay_units: List[ReplayUnit] = []
+        self.stats = RunStats()
+        for core_id in range(dut_config.num_cores):
+            ref = RefModel(core_id, mmio_ranges=REF_MMIO_RANGES)
+            ref.load_image(image, base)
+            self.refs.append(ref)
+            self.checkers.append(Checker(ref, core_id, self.stats.counters))
+            buffer = ReplayBuffer(diff_config.replay_buffer_slots)
+            self.replay_buffers.append(buffer)
+            self.replay_units.append(ReplayUnit(ref, buffer, core_id))
+
+        if diff_config.squash:
+            fuser_cls = (OrderCoupledFuser if diff_config.order_coupled
+                         else SquashFuser)
+            self.fuser = fuser_cls(window=diff_config.fusion_window,
+                                   differencing=diff_config.differencing)
+        else:
+            self.fuser = None
+
+        enabled = [cls for cls in all_event_classes()
+                   if dut_config.event_enabled(cls.__name__)]
+        if diff_config.packing == "batch":
+            self.packer = BatchPacker(diff_config.frame_size)
+            self.unpacker = BatchUnpacker()
+        elif diff_config.packing == "fixed":
+            layout = FixedLayout(enabled, dut_config.num_cores)
+            self.packer = FixedPacker(layout)
+            self.unpacker = FixedUnpacker(layout)
+        else:
+            self.packer = DpicPacker()
+            self.unpacker = DpicUnpacker()
+
+        self.channel = Channel(nonblocking=diff_config.nonblocking)
+        self.completer = Completer()
+        self.mismatch: Optional[Mismatch] = None
+        self.debug_report: Optional[DebugReport] = None
+        self._cycle = 0
+
+    # ------------------------------------------------------------------
+    # Hardware side of one cycle
+    # ------------------------------------------------------------------
+    def _hardware_cycle(self) -> None:
+        bundles = self.dut.cycle()
+        for bundle in bundles:
+            if not bundle.events:
+                continue
+            self.stats.events_captured += len(bundle.events)
+            for event in bundle.events:
+                self.stats.profile.record(event)
+            if self.diff_config.replay:
+                buffer = self.replay_buffers[bundle.core_id]
+                buffer.push(bundle.events)
+                if len(buffer) > self.stats.replay_buffer_peak:
+                    self.stats.replay_buffer_peak = len(buffer)
+            if self.fuser is not None:
+                items = self.fuser.on_cycle(bundle.events)
+            else:
+                items = [WireItem.from_event(event) for event in bundle.events]
+            if items:
+                self.channel.send_all(self.packer.pack_cycle(items))
+
+    def _flush_hardware(self) -> None:
+        if self.fuser is not None:
+            items = self.fuser.flush()
+            if items:
+                self.channel.send_all(self.packer.pack_cycle(items))
+        self.channel.send_all(self.packer.flush())
+
+    # ------------------------------------------------------------------
+    # Software side
+    # ------------------------------------------------------------------
+    def _software_drain(self) -> None:
+        while self.mismatch is None:
+            transfer = self.channel.receive()
+            if transfer is None:
+                return
+            self.stats.counters.sw_dispatches += 1
+            for item in self.unpacker.unpack(transfer):
+                event = self.completer.complete(item)
+                self.stats.events_transmitted += 1
+                checker = self.checkers[event.core_id]
+                mismatch = checker.process(event)
+                if mismatch is not None:
+                    self._on_mismatch(mismatch)
+                    return
+                self._maybe_checkpoint(event.core_id)
+
+    def _maybe_checkpoint(self, core_id: int) -> None:
+        """Checkpoint the REF when a checking window closed cleanly.
+
+        Safe only when the checker holds no pending checks, slot consumers
+        or synchronisations: everything up to ``ref_slot`` is verified.
+        """
+        checker = self.checkers[core_id]
+        unit = self.replay_units[core_id]
+        if (checker.ref_slot - unit.checkpoint_slot
+                >= self.diff_config.checkpoint_interval
+                and not checker._checks and not checker._consumers
+                and not checker._syncs):
+            unit.checkpoint(checker.ref_slot)
+            self.stats.checkpoints += 1
+
+    def _on_mismatch(self, mismatch: Mismatch) -> None:
+        mismatch.cycle = self._cycle
+        self.mismatch = mismatch
+        if self.diff_config.replay:
+            unit = self.replay_units[mismatch.core_id]
+            self.debug_report = unit.replay(mismatch)
+
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int = 1_000_000) -> RunResult:
+        """Run until every core traps, a mismatch fires, or the budget ends."""
+        while (not self.dut.finished() and self._cycle < max_cycles
+               and self.mismatch is None):
+            self._cycle += 1
+            self._hardware_cycle()
+            self._software_drain()
+        self._flush_hardware()
+        self._software_drain()
+        return self._finish()
+
+    def _finish(self) -> RunResult:
+        counters = self.stats.counters
+        counters.cycles = self._cycle
+        counters.instructions = sum(core.retired for core in self.dut.cores)
+        counters.invokes = self.channel.invokes
+        counters.bytes_sent = self.channel.bytes_sent
+        self.stats.max_queue_occupancy = self.channel.max_occupancy
+        self.stats.backpressure_events = self.channel.backpressure_events
+        self.stats.packet_utilization = self.packer.stats.utilization
+        self.stats.bubble_bytes = self.packer.stats.bubble_bytes
+        self.stats.meta_bytes = self.packer.stats.meta_bytes
+        if self.fuser is not None:
+            self.stats.fusion_ratio = self.fuser.stats.fusion_ratio
+            self.stats.fusion_breaks = self.fuser.stats.fusion_breaks
+            self.stats.nde_sent_ahead = self.fuser.stats.nde_sent_ahead
+            if self.fuser.differencer is not None:
+                self.stats.diff_bytes_saved = self.fuser.differencer.bytes_saved
+        return RunResult(
+            exit_code=self.dut.exit_code(),
+            stats=self.stats,
+            mismatch=self.mismatch,
+            debug_report=self.debug_report,
+            uart_output=self.dut.uart.text() if self.dut.uart else "",
+            cycles=self._cycle,
+            instructions=counters.instructions,
+        )
+
+
+def run_cosim(dut_config: DutConfig, diff_config: DiffConfig, image: bytes,
+              max_cycles: int = 1_000_000, seed: int = 2025,
+              uart_input: bytes = b"") -> RunResult:
+    """Convenience wrapper: build and run one co-simulation."""
+    cosim = CoSimulation(dut_config, diff_config, image, seed=seed,
+                         uart_input=uart_input)
+    return cosim.run(max_cycles)

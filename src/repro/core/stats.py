@@ -1,0 +1,88 @@
+"""Run statistics: the performance counters of the tuning toolkit.
+
+Aggregates hardware-side counters (packing utilisation, fusion ratio,
+per-type event profiles) and software-side counters (events checked, REF
+steps) into one :class:`RunStats`, which the LogGP model converts into
+modeled time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..comm.loggp import CommCounters, OverheadBreakdown, model_overhead
+from ..events import VerificationEvent, all_event_classes
+
+
+@dataclass
+class EventProfile:
+    """Per-type invocation counts and byte volume (Figure 4)."""
+
+    counts: Dict[int, int] = field(default_factory=dict)
+    payload_bytes: Dict[int, int] = field(default_factory=dict)
+
+    def record(self, event: VerificationEvent) -> None:
+        type_id = event.DESCRIPTOR.event_id
+        self.counts[type_id] = self.counts.get(type_id, 0) + 1
+        self.payload_bytes[type_id] = (
+            self.payload_bytes.get(type_id, 0) + event.payload_size())
+
+    def rows(self, cycles: int):
+        """(name, payload size, invocations/cycle) rows ordered by size."""
+        out = []
+        for cls in sorted(all_event_classes(), key=lambda c: c.payload_size()):
+            type_id = cls.DESCRIPTOR.event_id
+            count = self.counts.get(type_id, 0)
+            out.append((cls.__name__, cls.payload_size(),
+                        count / max(cycles, 1)))
+        return out
+
+
+@dataclass
+class RunStats:
+    """Everything measured in one co-simulation run."""
+
+    counters: CommCounters = field(default_factory=CommCounters)
+    profile: EventProfile = field(default_factory=EventProfile)
+    events_captured: int = 0
+    events_transmitted: int = 0
+    fusion_ratio: float = 1.0
+    fusion_breaks: int = 0
+    nde_sent_ahead: int = 0
+    packet_utilization: float = 1.0
+    bubble_bytes: int = 0
+    meta_bytes: int = 0
+    diff_bytes_saved: int = 0
+    max_queue_occupancy: int = 0
+    backpressure_events: int = 0
+    replay_buffer_peak: int = 0
+    checkpoints: int = 0
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        return self.counters.bytes_sent / max(self.counters.cycles, 1)
+
+    @property
+    def bytes_per_instruction(self) -> float:
+        return self.counters.bytes_sent / max(self.counters.instructions, 1)
+
+    @property
+    def invokes_per_cycle(self) -> float:
+        return self.counters.invokes / max(self.counters.cycles, 1)
+
+    def breakdown(self, platform, gates_millions: float,
+                  nonblocking: bool) -> OverheadBreakdown:
+        """Modeled time under ``platform`` (Equation 1)."""
+        return model_overhead(platform, gates_millions, self.counters,
+                              nonblocking)
+
+    def summary(self) -> str:
+        c = self.counters
+        return (
+            f"cycles={c.cycles} instr={c.instructions} "
+            f"invokes={c.invokes} ({self.invokes_per_cycle:.2f}/cyc) "
+            f"bytes={c.bytes_sent} ({self.bytes_per_cycle:.1f}/cyc) "
+            f"fusion_ratio={self.fusion_ratio:.2f} "
+            f"utilization={self.packet_utilization:.2f}"
+        )

@@ -1,0 +1,59 @@
+"""DUT simulators: cycle-based core models that emit verification events."""
+
+from .caches import SetAssocCache, StoreBuffer
+from .config import (
+    ALL_CONFIGS,
+    NUTSHELL,
+    XIANGSHAN_DEFAULT,
+    XIANGSHAN_DUAL,
+    XIANGSHAN_MINIMAL,
+    CacheParams,
+    DutConfig,
+)
+from .core import CycleBundle, DutCore, DutSystem
+from .faults import (
+    CATEGORY_EXCEPTION,
+    CATEGORY_MEMORY,
+    CATEGORY_VECTOR,
+    FAULT_CATALOGUE,
+    FaultSpec,
+    fault_by_name,
+    faults_by_category,
+)
+from .monitor import Monitor
+from .snapshotting import (
+    CoreSnapshot,
+    SystemSnapshot,
+    restore_snapshot,
+    take_snapshot,
+)
+from .tlb import TlbHierarchy, TlbModel
+
+__all__ = [
+    "SetAssocCache",
+    "StoreBuffer",
+    "ALL_CONFIGS",
+    "NUTSHELL",
+    "XIANGSHAN_DEFAULT",
+    "XIANGSHAN_DUAL",
+    "XIANGSHAN_MINIMAL",
+    "CacheParams",
+    "DutConfig",
+    "CycleBundle",
+    "DutCore",
+    "DutSystem",
+    "CATEGORY_EXCEPTION",
+    "CATEGORY_MEMORY",
+    "CATEGORY_VECTOR",
+    "FAULT_CATALOGUE",
+    "FaultSpec",
+    "fault_by_name",
+    "faults_by_category",
+    "Monitor",
+    "CoreSnapshot",
+    "SystemSnapshot",
+    "restore_snapshot",
+    "take_snapshot",
+    "TlbHierarchy",
+    "TlbModel",
+]

@@ -1,0 +1,91 @@
+"""Cache and store-buffer models.
+
+These are *event-fidelity* models, not timing-accurate RTL: their job is to
+(1) produce realistic refill/flush verification events whose data can be
+checked against the REF's memory image, and (2) contribute stall cycles to
+the commit model so the event stream is bursty like a real machine's.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+
+class SetAssocCache:
+    """A set-associative cache with LRU replacement.
+
+    ``access`` returns ``(hit, refill_line_addr)`` — the caller reads the
+    refill data from memory and emits the refill verification event.
+    """
+
+    def __init__(self, sets: int, ways: int, line_bytes: int = 64) -> None:
+        self.sets = sets
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _index(self, addr: int) -> Tuple[int, int]:
+        line = addr // self.line_bytes
+        return line % self.sets, line
+
+    def access(self, addr: int) -> Tuple[bool, Optional[int]]:
+        index, line = self._index(addr)
+        entries = self._sets[index]
+        if line in entries:
+            entries.move_to_end(line)
+            self.hits += 1
+            return True, None
+        self.misses += 1
+        if len(entries) >= self.ways:
+            entries.popitem(last=False)
+        entries[line] = True
+        return False, line * self.line_bytes
+
+    def invalidate(self) -> None:
+        for entries in self._sets:
+            entries.clear()
+
+
+class StoreBuffer:
+    """A coalescing store buffer.
+
+    Stores merge into per-line entries; when the buffer is full (or on an
+    explicit drain) the oldest line flushes, producing an ``SbufferFlush``
+    verification event with the line data *as currently in memory* (stores
+    were already applied architecturally by the functional core — the
+    buffer models event generation, not data forwarding).
+    """
+
+    def __init__(self, entries: int, line_bytes: int = 64) -> None:
+        self.capacity = entries
+        self.line_bytes = line_bytes
+        self._lines: "OrderedDict[int, int]" = OrderedDict()  # line addr -> mask
+        self.flushes = 0
+
+    def store(self, addr: int, size: int) -> List[Tuple[int, int]]:
+        """Record a store; returns a list of (line_addr, mask) flushes."""
+        line = addr - (addr % self.line_bytes)
+        offset = addr % self.line_bytes
+        mask = ((1 << size) - 1) << offset if offset + size <= 64 else (1 << 64) - 1
+        if line in self._lines:
+            self._lines[line] |= mask & ((1 << 64) - 1)
+            self._lines.move_to_end(line)
+            return []
+        self._lines[line] = mask & ((1 << 64) - 1)
+        if len(self._lines) > self.capacity:
+            return [self._pop_oldest()]
+        return []
+
+    def _pop_oldest(self) -> Tuple[int, int]:
+        self.flushes += 1
+        return self._lines.popitem(last=False)
+
+    def drain(self) -> List[Tuple[int, int]]:
+        """Flush everything (fences, atomics, simulation end)."""
+        out = []
+        while self._lines:
+            out.append(self._pop_oldest())
+        return out

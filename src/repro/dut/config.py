@@ -1,0 +1,99 @@
+"""DUT configurations: the four designs of Table 3/Table 4.
+
+Each configuration describes a design's scale (gates), commit width,
+enabled verification-event coverage and microarchitectural parameters for
+the cache/TLB models.  The numbers mirror Table 4 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Geometry + behaviour of one cache level."""
+
+    sets: int
+    ways: int
+    line_bytes: int = 64
+    miss_penalty: int = 4  # cycles of commit stall charged on a miss
+
+
+@dataclass(frozen=True)
+class DutConfig:
+    """One evaluated DUT design point."""
+
+    name: str
+    commit_width: int
+    gates_millions: float
+    num_cores: int = 1
+    #: Names of enabled verification-event classes (None = all 32).
+    event_set: Optional[Tuple[str, ...]] = None
+    #: Average sustained IPC of the commit model (used by the stall model).
+    target_ipc: float = 1.0
+    icache: CacheParams = field(default_factory=lambda: CacheParams(64, 4))
+    dcache: CacheParams = field(default_factory=lambda: CacheParams(64, 8))
+    l2cache: CacheParams = field(default_factory=lambda: CacheParams(512, 8, 64, 12))
+    itlb_entries: int = 32
+    dtlb_entries: int = 32
+    l2tlb_entries: int = 256
+    sbuffer_entries: int = 16
+
+    @property
+    def event_type_count(self) -> int:
+        from ..events import all_event_classes
+
+        if self.event_set is None:
+            return len(all_event_classes())
+        return len(self.event_set)
+
+    def event_enabled(self, name: str) -> bool:
+        return self.event_set is None or name in self.event_set
+
+
+#: NutShell: scalar, in-order, 0.6 M gates, 6 event types (Table 4).
+NUTSHELL = DutConfig(
+    name="NutShell",
+    commit_width=1,
+    gates_millions=0.6,
+    target_ipc=0.5,
+    event_set=(
+        "InstrCommit",
+        "IntRegState",  # NutShell's DiffTest compares full int state
+        "IntWriteback",
+        "ArchException",
+        "ArchInterrupt",
+        "TrapFinish",
+    ),
+    icache=CacheParams(32, 4),
+    dcache=CacheParams(32, 4),
+)
+
+#: XiangShan Minimal: 2-wide out-of-order, 39.4 M gates, full coverage.
+XIANGSHAN_MINIMAL = DutConfig(
+    name="XiangShan (Minimal)",
+    commit_width=2,
+    gates_millions=39.4,
+    target_ipc=0.8,
+)
+
+#: XiangShan Default: 6-wide out-of-order, 57.6 M gates, full coverage.
+XIANGSHAN_DEFAULT = DutConfig(
+    name="XiangShan (Default)",
+    commit_width=6,
+    gates_millions=57.6,
+    target_ipc=1.4,
+)
+
+#: XiangShan Default dual-core: 111.8 M gates.
+XIANGSHAN_DUAL = DutConfig(
+    name="XiangShan (Default, 2C)",
+    commit_width=6,
+    gates_millions=111.8,
+    num_cores=2,
+    target_ipc=1.4,
+)
+
+ALL_CONFIGS = (NUTSHELL, XIANGSHAN_MINIMAL, XIANGSHAN_DEFAULT, XIANGSHAN_DUAL)

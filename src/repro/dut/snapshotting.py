@@ -1,0 +1,142 @@
+"""Full DUT snapshot/restore: the substrate of snapshot-based debugging.
+
+Replay's whole point (Section 4.4) is to *avoid* this machinery — but the
+baseline it replaces must exist to be compared against.  A
+:class:`SystemSnapshot` captures everything needed to re-execute a
+:class:`~repro.dut.core.DutSystem` deterministically: architectural state,
+physical memory, cache/TLB/store-buffer contents, device state, monitor
+bookkeeping and the stall-model RNG.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .core import DutCore, DutSystem
+
+
+@dataclass
+class CoreSnapshot:
+    """Everything mutable inside one DutCore except shared memory."""
+
+    arch_state: object
+    instret: int
+    cycle_count: int
+    retired: int
+    stall: int
+    finished: Optional[int]
+    rng_state: object
+    icache_sets: List
+    dcache_sets: List
+    l2cache_sets: List
+    cache_stats: Tuple[int, ...]
+    itlb: object
+    dtlb: object
+    l2tlb: object
+    sbuffer_lines: object
+    monitor_slot: int
+    monitor_flags: Tuple
+    decode_cache: Dict
+
+
+@dataclass
+class SystemSnapshot:
+    """A restorable image of a whole DutSystem."""
+
+    cycle_taken: int
+    memory: object
+    cores: List[CoreSnapshot]
+    uart_output: bytes
+    uart_input: List[int]
+    clint_state: Tuple
+    plic_pending: List[int]
+
+    def size_bytes(self) -> int:
+        """Approximate resident size (the cost the paper criticises)."""
+        total = self.memory.allocated_bytes()
+        # Architectural state + microarchitectural arrays per core.
+        total += len(self.cores) * (32 * 8 * 2 + 32 * 32 + 128 * 8 + 4096)
+        return total
+
+
+def _snapshot_core(core: DutCore) -> CoreSnapshot:
+    return CoreSnapshot(
+        arch_state=core.state.clone(),
+        instret=core.hart.instret,
+        cycle_count=core.cycle_count,
+        retired=core.retired,
+        stall=core._stall,
+        finished=core.finished,
+        rng_state=core._rng.getstate(),
+        icache_sets=[copy.copy(s) for s in core.icache._sets],
+        dcache_sets=[copy.copy(s) for s in core.dcache._sets],
+        l2cache_sets=[copy.copy(s) for s in core.l2cache._sets],
+        cache_stats=(core.icache.hits, core.icache.misses,
+                     core.dcache.hits, core.dcache.misses,
+                     core.l2cache.hits, core.l2cache.misses),
+        itlb=copy.copy(core.tlbs.itlb._entries),
+        dtlb=copy.copy(core.tlbs.dtlb._entries),
+        l2tlb=copy.copy(core.tlbs.l2._entries),
+        sbuffer_lines=copy.copy(core.sbuffer._lines),
+        monitor_slot=core.monitor.slot,
+        monitor_flags=(core.monitor._fp_dirty, core.monitor._vec_dirty,
+                       core.monitor._last_hyper, core.monitor._last_trigger,
+                       core.monitor._last_debug),
+        decode_cache=dict(core.hart._decode_cache),
+    )
+
+
+def _restore_core(core: DutCore, snap: CoreSnapshot) -> None:
+    core.state.copy_from(snap.arch_state)
+    core.hart.instret = snap.instret
+    core.cycle_count = snap.cycle_count
+    core.retired = snap.retired
+    core._stall = snap.stall
+    core.finished = snap.finished
+    core._rng.setstate(snap.rng_state)
+    core.icache._sets = [copy.copy(s) for s in snap.icache_sets]
+    core.dcache._sets = [copy.copy(s) for s in snap.dcache_sets]
+    core.l2cache._sets = [copy.copy(s) for s in snap.l2cache_sets]
+    (core.icache.hits, core.icache.misses, core.dcache.hits,
+     core.dcache.misses, core.l2cache.hits, core.l2cache.misses) = \
+        snap.cache_stats
+    core.tlbs.itlb._entries = copy.copy(snap.itlb)
+    core.tlbs.dtlb._entries = copy.copy(snap.dtlb)
+    core.tlbs.l2._entries = copy.copy(snap.l2tlb)
+    core.sbuffer._lines = copy.copy(snap.sbuffer_lines)
+    core.monitor.slot = snap.monitor_slot
+    (core.monitor._fp_dirty, core.monitor._vec_dirty,
+     core.monitor._last_hyper, core.monitor._last_trigger,
+     core.monitor._last_debug) = snap.monitor_flags
+    core.hart._decode_cache = dict(snap.decode_cache)
+
+
+def take_snapshot(system: DutSystem) -> SystemSnapshot:
+    """Capture a restorable image of the whole system."""
+    return SystemSnapshot(
+        cycle_taken=system.cores[0].cycle_count,
+        memory=system.memory.clone(),
+        cores=[_snapshot_core(core) for core in system.cores],
+        uart_output=bytes(system.uart.output),
+        uart_input=list(system.uart._input),
+        clint_state=(system.clint.mtime, list(system.clint.mtimecmp),
+                     list(system.clint.msip), system.clint._subticks),
+        plic_pending=list(system.plic.pending),
+    )
+
+
+def restore_snapshot(system: DutSystem, snapshot: SystemSnapshot) -> None:
+    """Rewind the system to a previously captured image."""
+    restored = snapshot.memory.clone()
+    system.bus.memory._pages = restored._pages
+    for core, snap in zip(system.cores, snapshot.cores):
+        _restore_core(core, snap)
+    system.uart.output = bytearray(snapshot.uart_output)
+    system.uart._input = list(snapshot.uart_input)
+    (system.clint.mtime, mtimecmp, msip, system.clint._subticks) = \
+        snapshot.clint_state
+    system.clint.mtimecmp = list(mtimecmp)
+    system.clint.msip = list(msip)
+    system.plic.pending = list(snapshot.plic_pending)

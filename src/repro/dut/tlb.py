@@ -1,0 +1,75 @@
+"""TLB models producing L1/L2 TLB-fill verification events.
+
+The DUT translates through the same Sv39 walker as the REF; the TLB model
+only decides *when* a walk (and hence a fill event) happens.  Fill events
+carry the translation result so the checker can re-walk the REF's page
+tables and compare.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from ..isa.mmu import Translation
+
+
+class TlbModel:
+    """A fully-associative LRU TLB."""
+
+    def __init__(self, entries: int) -> None:
+        self.capacity = entries
+        self._entries: "OrderedDict[int, Translation]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, vpn: int) -> Optional[Translation]:
+        hit = self._entries.get(vpn)
+        if hit is not None:
+            self._entries.move_to_end(vpn)
+            self.hits += 1
+        else:
+            self.misses += 1
+        return hit
+
+    def fill(self, translation: Translation) -> None:
+        vpn = translation.vpn
+        if vpn in self._entries:
+            self._entries.move_to_end(vpn)
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[vpn] = translation
+
+    def flush(self) -> None:
+        """sfence.vma / satp write."""
+        self._entries.clear()
+
+
+class TlbHierarchy:
+    """L1 I/D TLBs backed by a shared L2 TLB.
+
+    ``access`` returns ``(l1_fill, l2_fill)`` translations for event
+    generation (``None`` when the corresponding level hit).
+    """
+
+    def __init__(self, itlb_entries: int, dtlb_entries: int, l2_entries: int):
+        self.itlb = TlbModel(itlb_entries)
+        self.dtlb = TlbModel(dtlb_entries)
+        self.l2 = TlbModel(l2_entries)
+
+    def access(self, translation: Translation, is_fetch: bool):
+        l1 = self.itlb if is_fetch else self.dtlb
+        l1_fill = None
+        l2_fill = None
+        if l1.lookup(translation.vpn) is None:
+            l1.fill(translation)
+            l1_fill = translation
+            if self.l2.lookup(translation.vpn) is None:
+                self.l2.fill(translation)
+                l2_fill = translation
+        return l1_fill, l2_fill
+
+    def flush(self) -> None:
+        self.itlb.flush()
+        self.dtlb.flush()
+        self.l2.flush()

@@ -1,0 +1,126 @@
+"""Verification events: the 32 event types of Table 1.
+
+Importing this package registers all event classes; use
+:func:`all_event_classes` / :func:`event_class` to enumerate or look them up.
+"""
+
+from .base import (
+    HEADER_SIZE,
+    EventCategory,
+    EventDescriptor,
+    FieldSpec,
+    FusionRule,
+    VerificationEvent,
+    aggregate_interface_size,
+    all_event_classes,
+    event_class,
+    iter_descriptors,
+    register_event,
+)
+from .control_flow import (
+    FLAG_FP_WEN,
+    FLAG_IS_RVC,
+    FLAG_RF_WEN,
+    FLAG_SKIP,
+    FLAG_SPECIAL,
+    FLAG_VEC_WEN,
+    ArchException,
+    ArchInterrupt,
+    DebugModeEvent,
+    InstrCommit,
+    TrapFinish,
+)
+from .extensions import (
+    VLEN,
+    VLEN_WORDS,
+    FpCsrState,
+    GuestTlbFill,
+    HypervisorCsrState,
+    LrScEvent,
+    VConfigEvent,
+    VecCsrState,
+    VecRegState,
+    VecWriteback,
+    VirtualInterrupt,
+)
+from .hierarchy import (
+    DCacheRefill,
+    ICacheRefill,
+    L1TlbFill,
+    L2Refill,
+    L2TlbFill,
+    SbufferFlush,
+)
+from .memory_access import AtomicEvent, LoadEvent, StoreEvent
+from .registers import (
+    CSR_STATE_ENTRIES,
+    CsrState,
+    DebugCsrState,
+    DelayedFpUpdate,
+    DelayedIntUpdate,
+    FpRegState,
+    FpWriteback,
+    IntRegState,
+    IntWriteback,
+    TriggerCsrState,
+)
+
+__all__ = [
+    "HEADER_SIZE",
+    "EventCategory",
+    "EventDescriptor",
+    "FieldSpec",
+    "FusionRule",
+    "VerificationEvent",
+    "aggregate_interface_size",
+    "all_event_classes",
+    "event_class",
+    "iter_descriptors",
+    "register_event",
+    # control flow
+    "InstrCommit",
+    "ArchException",
+    "ArchInterrupt",
+    "TrapFinish",
+    "DebugModeEvent",
+    "FLAG_RF_WEN",
+    "FLAG_FP_WEN",
+    "FLAG_VEC_WEN",
+    "FLAG_SKIP",
+    "FLAG_IS_RVC",
+    "FLAG_SPECIAL",
+    # register updates
+    "IntRegState",
+    "FpRegState",
+    "CsrState",
+    "IntWriteback",
+    "FpWriteback",
+    "TriggerCsrState",
+    "DebugCsrState",
+    "DelayedIntUpdate",
+    "DelayedFpUpdate",
+    "CSR_STATE_ENTRIES",
+    # memory access
+    "LoadEvent",
+    "StoreEvent",
+    "AtomicEvent",
+    # memory hierarchy
+    "ICacheRefill",
+    "DCacheRefill",
+    "L2Refill",
+    "L1TlbFill",
+    "L2TlbFill",
+    "SbufferFlush",
+    # extensions
+    "VecRegState",
+    "VecCsrState",
+    "VecWriteback",
+    "VConfigEvent",
+    "HypervisorCsrState",
+    "GuestTlbFill",
+    "VirtualInterrupt",
+    "FpCsrState",
+    "LrScEvent",
+    "VLEN",
+    "VLEN_WORDS",
+]

@@ -1,0 +1,324 @@
+"""Core definitions for verification events.
+
+A *verification event* is a unit of architectural information extracted from
+the design under test (DUT) and shipped to the software checker.  The paper
+(Table 1) organises 32 event types into five categories; each type has a
+fixed binary layout ("structural semantics"), a checking-order requirement
+("order semantics"), and a mapping to microarchitectural components
+("behavioral semantics").
+
+This module provides:
+
+* :class:`EventCategory` — the five categories of Table 1.
+* :class:`FieldSpec` — one field of an event's binary layout.
+* :class:`EventDescriptor` — static metadata for an event type.
+* :class:`VerificationEvent` — the base class all 32 event types extend.
+* A registry mapping event ids to classes (:func:`register_event`,
+  :func:`event_class`, :func:`all_event_classes`).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import ClassVar, Dict, Iterator, List, NamedTuple, Tuple, Type
+
+
+class EventCategory(enum.Enum):
+    """The five verification-event categories of Table 1."""
+
+    CONTROL_FLOW = "control_flow"
+    REGISTER_UPDATE = "register_update"
+    MEMORY_ACCESS = "memory_access"
+    MEMORY_HIERARCHY = "memory_hierarchy"
+    EXTENSION = "extension"
+
+
+class FusionRule(enum.Enum):
+    """How Squash fuses instances of an event type across instructions.
+
+    * ``COLLAPSE`` — a run of events folds into one carrying a count and the
+      collective effect (instruction commits).
+    * ``KEEP_LATEST`` — the event is an idempotent state snapshot; only the
+      most recent instance within a fusion window needs to be transmitted
+      (architectural register/CSR state dumps).
+    * ``ACCUMULATE`` — per-destination updates where the last write per
+      destination wins (register writebacks).
+    * ``PASS_THROUGH`` — every instance must reach the checker, but the
+      event is deterministic and may be delayed inside the fusion window
+      (cache refills, TLB fills).
+    """
+
+    COLLAPSE = "collapse"
+    KEEP_LATEST = "keep_latest"
+    ACCUMULATE = "accumulate"
+    PASS_THROUGH = "pass_through"
+
+
+class FieldSpec(NamedTuple):
+    """One field in an event's binary layout.
+
+    ``code`` is a ``struct`` format character (``B``, ``H``, ``I``, ``Q``);
+    ``count`` > 1 denotes a fixed-size array stored as a tuple of ints.
+    """
+
+    name: str
+    code: str
+    count: int = 1
+
+    @property
+    def byte_size(self) -> int:
+        return struct.calcsize("<" + self.code) * self.count
+
+
+@dataclass(frozen=True)
+class EventDescriptor:
+    """Static metadata describing one of the 32 event types.
+
+    ``instances`` is the number of hardware probe slots per core (e.g. an
+    8-slot commit stage produces up to 8 `InstrCommit` instances per cycle);
+    the aggregate interface size of Section 2.2 is ``payload_size *
+    instances`` summed over all types.
+    """
+
+    event_id: int
+    name: str
+    category: EventCategory
+    fusion_rule: FusionRule
+    instances: int = 1
+    is_nde: bool = False
+    component: str = "core"
+
+
+#: Size of the per-event wire header: type id (u8), core id (u8) and a
+#: 32-bit order tag (the event's position in the global check order).
+HEADER_SIZE = 6
+_HEADER = struct.Struct("<BBI")
+
+
+class VerificationEvent:
+    """Base class for all verification events.
+
+    Subclasses define ``DESCRIPTOR`` and ``FIELDS``; this base class derives
+    the ``struct`` codec, a keyword constructor, equality, and the
+    unit-decomposition used by Squash differencing.
+
+    Every event instance carries two pieces of order semantics:
+
+    * ``core_id`` — originating DUT core.
+    * ``order_tag`` — position in the global architectural check order
+      (monotonically increasing per core; NDEs transmitted ahead of fused
+      events carry their tag so the software can reorder them back).
+    """
+
+    DESCRIPTOR: ClassVar[EventDescriptor]
+    FIELDS: ClassVar[Tuple[FieldSpec, ...]] = ()
+    _STRUCT: ClassVar[struct.Struct]
+    _FLAT_NAMES: ClassVar[Tuple[Tuple[str, int], ...]]
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        super().__init_subclass__(**kwargs)
+        if not cls.FIELDS:
+            return
+        fmt = "<" + "".join(f.code * f.count for f in cls.FIELDS)
+        cls._STRUCT = struct.Struct(fmt)
+        cls._FLAT_NAMES = tuple((f.name, f.count) for f in cls.FIELDS)
+
+    def __init__(self, core_id: int = 0, order_tag: int = 0, **fields: object) -> None:
+        self.core_id = core_id
+        self.order_tag = order_tag
+        for spec in self.FIELDS:
+            if spec.count == 1:
+                value = fields.pop(spec.name, 0)
+            else:
+                value = tuple(fields.pop(spec.name, (0,) * spec.count))
+                if len(value) != spec.count:
+                    raise ValueError(
+                        f"{type(self).__name__}.{spec.name} expects "
+                        f"{spec.count} elements, got {len(value)}"
+                    )
+            setattr(self, spec.name, value)
+        if fields:
+            unknown = ", ".join(sorted(fields))
+            raise TypeError(f"unknown fields for {type(self).__name__}: {unknown}")
+
+    # ------------------------------------------------------------------
+    # Structural semantics: binary layout
+    # ------------------------------------------------------------------
+    @classmethod
+    def payload_size(cls) -> int:
+        """Size in bytes of the event payload (excluding the wire header)."""
+        return cls._STRUCT.size
+
+    @classmethod
+    def wire_size(cls) -> int:
+        """Size of the event as individually transmitted (header + payload)."""
+        return HEADER_SIZE + cls._STRUCT.size
+
+    def _flatten(self) -> List[int]:
+        flat: List[int] = []
+        for name, count in self._FLAT_NAMES:
+            value = getattr(self, name)
+            if count == 1:
+                flat.append(value)
+            else:
+                flat.extend(value)
+        return flat
+
+    def encode_payload(self) -> bytes:
+        """Serialise the payload fields into their fixed binary layout."""
+        return self._STRUCT.pack(*self._flatten())
+
+    @classmethod
+    def decode_payload(
+        cls, data: bytes, offset: int = 0, core_id: int = 0, order_tag: int = 0
+    ) -> "VerificationEvent":
+        """Reconstruct an event from its binary payload at ``offset``."""
+        flat = cls._STRUCT.unpack_from(data, offset)
+        event = cls.__new__(cls)
+        event.core_id = core_id
+        event.order_tag = order_tag
+        index = 0
+        for name, count in cls._FLAT_NAMES:
+            if count == 1:
+                setattr(event, name, flat[index])
+                index += 1
+            else:
+                setattr(event, name, tuple(flat[index : index + count]))
+                index += count
+        return event
+
+    def encode(self) -> bytes:
+        """Serialise header + payload, as the unpacked DPI-C baseline sends."""
+        header = _HEADER.pack(self.DESCRIPTOR.event_id, self.core_id, self.order_tag)
+        return header + self.encode_payload()
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int = 0) -> "VerificationEvent":
+        """Inverse of :meth:`encode`; dispatches on the type id header."""
+        event_id, core_id, order_tag = _HEADER.unpack_from(data, offset)
+        klass = event_class(event_id)
+        return klass.decode_payload(
+            data, offset + HEADER_SIZE, core_id=core_id, order_tag=order_tag
+        )
+
+    # ------------------------------------------------------------------
+    # Order semantics
+    # ------------------------------------------------------------------
+    def is_nde(self) -> bool:
+        """Whether this *instance* is non-deterministic (must be synchronised
+        to the REF rather than independently reproduced by it).
+
+        Most types are statically deterministic or non-deterministic;
+        types where it depends on the instance (e.g. a load that may or may
+        not target MMIO space) override this method.
+        """
+        return self.DESCRIPTOR.is_nde
+
+    # ------------------------------------------------------------------
+    # Differencing units (Squash)
+    # ------------------------------------------------------------------
+    def to_units(self) -> List[int]:
+        """Decompose the payload into fixed-order integer units.
+
+        Squash differencing XORs consecutive instances of the same type and
+        transmits only the changed units; the unit granularity is one field
+        element (one CSR entry, one register, one scalar field).
+        """
+        return self._flatten()
+
+    @classmethod
+    def from_units(
+        cls, units: List[int], core_id: int = 0, order_tag: int = 0
+    ) -> "VerificationEvent":
+        """Rebuild an event from its unit decomposition."""
+        event = cls.__new__(cls)
+        event.core_id = core_id
+        event.order_tag = order_tag
+        index = 0
+        for name, count in cls._FLAT_NAMES:
+            if count == 1:
+                setattr(event, name, units[index])
+                index += 1
+            else:
+                setattr(event, name, tuple(units[index : index + count]))
+                index += count
+        return event
+
+    @classmethod
+    def unit_count(cls) -> int:
+        return sum(count for _, count in cls._FLAT_NAMES)
+
+    @classmethod
+    def unit_sizes(cls) -> List[int]:
+        """Byte size of each unit, in unit order."""
+        sizes: List[int] = []
+        for spec in cls.FIELDS:
+            sizes.extend([struct.calcsize("<" + spec.code)] * spec.count)
+        return sizes
+
+    # ------------------------------------------------------------------
+    # Value semantics
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return (
+            self.core_id == other.core_id
+            and self.order_tag == other.order_tag
+            and self._flatten() == other._flatten()
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.core_id, self.order_tag, tuple(self._flatten())))
+
+    def __repr__(self) -> str:
+        parts = [f"core={self.core_id}", f"tag={self.order_tag}"]
+        for spec in self.FIELDS:
+            value = getattr(self, spec.name)
+            if spec.count == 1:
+                parts.append(f"{spec.name}={value:#x}" if value else f"{spec.name}=0")
+            else:
+                parts.append(f"{spec.name}=<{spec.count} elems>")
+        return f"{type(self).__name__}({', '.join(parts)})"
+
+
+_REGISTRY: Dict[int, Type[VerificationEvent]] = {}
+
+
+def register_event(cls: Type[VerificationEvent]) -> Type[VerificationEvent]:
+    """Class decorator adding an event type to the global registry."""
+    event_id = cls.DESCRIPTOR.event_id
+    if event_id in _REGISTRY:
+        raise ValueError(
+            f"duplicate event id {event_id}: {cls.__name__} vs "
+            f"{_REGISTRY[event_id].__name__}"
+        )
+    _REGISTRY[event_id] = cls
+    return cls
+
+
+def event_class(event_id: int) -> Type[VerificationEvent]:
+    """Look up the event class for a type id (raises ``KeyError`` if unknown)."""
+    return _REGISTRY[event_id]
+
+
+def all_event_classes() -> List[Type[VerificationEvent]]:
+    """All registered event classes, ordered by event id."""
+    return [_REGISTRY[i] for i in sorted(_REGISTRY)]
+
+
+def iter_descriptors() -> Iterator[EventDescriptor]:
+    for cls in all_event_classes():
+        yield cls.DESCRIPTOR
+
+
+def aggregate_interface_size() -> int:
+    """Aggregate per-cycle interface size (Section 2.2, ~11.5 KB in DiffTest).
+
+    Sum over all event types of payload size times probe instances.
+    """
+    return sum(
+        cls.payload_size() * cls.DESCRIPTOR.instances for cls in all_event_classes()
+    )

@@ -1,0 +1,145 @@
+"""Control-flow verification events (Table 1, 5 types).
+
+These events drive the checker's notion of *where the program is*: committed
+instructions, architectural exceptions and interrupts, simulation-ending
+traps, and debug-mode entry.  ``InstrCommit`` is the backbone of
+co-simulation — each commit makes the REF step one instruction — and is the
+primary target of Squash fusion (a run of N commits folds into one event
+with ``fused_count = N``).
+"""
+
+from __future__ import annotations
+
+from .base import (
+    EventCategory,
+    EventDescriptor,
+    FieldSpec,
+    FusionRule,
+    VerificationEvent,
+    register_event,
+)
+
+# Bit positions of InstrCommit.flags.
+FLAG_RF_WEN = 1 << 0  # integer register write enable
+FLAG_FP_WEN = 1 << 1  # floating-point register write enable
+FLAG_VEC_WEN = 1 << 2  # vector register write enable
+FLAG_SKIP = 1 << 3  # MMIO access: REF must skip/sync this instruction
+FLAG_IS_RVC = 1 << 4  # compressed instruction
+FLAG_SPECIAL = 1 << 5  # special handling (fence.i, sfence.vma, ...)
+
+
+@register_event
+class InstrCommit(VerificationEvent):
+    """One committed instruction (or, when fused, a run of them).
+
+    ``fused_count`` is 1 for raw commits; Squash COLLAPSE fusion emits a
+    single commit with ``fused_count = N``, ``pc`` = PC of the *last*
+    instruction in the run and the last destination/write data.
+    """
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=0,
+        name="InstrCommit",
+        category=EventCategory.CONTROL_FLOW,
+        fusion_rule=FusionRule.COLLAPSE,
+        instances=8,
+        component="rob",
+    )
+    FIELDS = (
+        FieldSpec("pc", "Q"),
+        FieldSpec("instr", "I"),
+        FieldSpec("wdata", "Q"),
+        FieldSpec("rd", "B"),
+        FieldSpec("flags", "B"),
+        FieldSpec("fused_count", "H"),
+    )
+
+    def is_nde(self) -> bool:
+        """Commits of MMIO instructions are NDEs: the loaded device value
+        must be synchronised to the REF at exactly this instruction."""
+        return bool(self.flags & FLAG_SKIP)
+
+
+@register_event
+class ArchException(VerificationEvent):
+    """An architectural exception taken by the DUT (deterministic: the REF
+    raises the same exception when executing the same instruction)."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=1,
+        name="ArchException",
+        category=EventCategory.CONTROL_FLOW,
+        fusion_rule=FusionRule.PASS_THROUGH,
+        instances=1,
+        component="exception_unit",
+    )
+    FIELDS = (
+        FieldSpec("pc", "Q"),
+        FieldSpec("cause", "Q"),
+        FieldSpec("tval", "Q"),
+        FieldSpec("instr", "I"),
+    )
+
+
+@register_event
+class ArchInterrupt(VerificationEvent):
+    """An asynchronous interrupt taken by the DUT.
+
+    This is the canonical NDE: interrupt timing depends on the DUT's
+    microarchitecture, so the REF cannot reproduce it and must be forced to
+    take the same interrupt at the same instruction boundary (order tag).
+    """
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=2,
+        name="ArchInterrupt",
+        category=EventCategory.CONTROL_FLOW,
+        fusion_rule=FusionRule.PASS_THROUGH,
+        instances=1,
+        is_nde=True,
+        component="interrupt_controller",
+    )
+    FIELDS = (
+        FieldSpec("pc", "Q"),
+        FieldSpec("cause", "Q"),
+    )
+
+
+@register_event
+class TrapFinish(VerificationEvent):
+    """Simulation-terminating trap (HIT_GOOD_TRAP / HIT_BAD_TRAP)."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=3,
+        name="TrapFinish",
+        category=EventCategory.CONTROL_FLOW,
+        fusion_rule=FusionRule.PASS_THROUGH,
+        instances=1,
+        component="core",
+    )
+    FIELDS = (
+        FieldSpec("pc", "Q"),
+        FieldSpec("code", "B"),
+        FieldSpec("has_trap", "B"),
+        FieldSpec("cycles", "Q"),
+        FieldSpec("instr_count", "Q"),
+    )
+
+
+@register_event
+class DebugModeEvent(VerificationEvent):
+    """Entry/exit of RISC-V debug mode."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=4,
+        name="DebugModeEvent",
+        category=EventCategory.CONTROL_FLOW,
+        fusion_rule=FusionRule.PASS_THROUGH,
+        instances=1,
+        component="debug_module",
+    )
+    FIELDS = (
+        FieldSpec("dpc", "Q"),
+        FieldSpec("dcsr", "I"),
+        FieldSpec("cause", "B"),
+    )

@@ -1,0 +1,185 @@
+"""RISC-V extension verification events (Table 1, 9 types).
+
+Vector (RVV) and hypervisor (H) extension state.  ``VecRegState`` is the
+largest event in the framework (32 registers x VLEN=256 bits = 1 KiB), and
+``FpCsrState`` the smallest (6 bytes) — a ~170x size range matching the
+structural diversity the paper reports (Section 4.2, Figure 4).
+"""
+
+from __future__ import annotations
+
+from .base import (
+    EventCategory,
+    EventDescriptor,
+    FieldSpec,
+    FusionRule,
+    VerificationEvent,
+    register_event,
+)
+
+#: Vector register length in bits for the modeled vector unit.
+VLEN = 256
+#: 64-bit elements per vector register.
+VLEN_WORDS = VLEN // 64
+
+
+@register_event
+class VecRegState(VerificationEvent):
+    """Snapshot of the 32 vector registers (the largest event, 1 KiB)."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=23,
+        name="VecRegState",
+        category=EventCategory.EXTENSION,
+        fusion_rule=FusionRule.KEEP_LATEST,
+        instances=1,
+        component="vec_regfile",
+    )
+    FIELDS = (FieldSpec("regs", "Q", 32 * VLEN_WORDS),)
+
+
+@register_event
+class VecCsrState(VerificationEvent):
+    """Snapshot of the vector CSRs (vstart, vxsat, vxrm, vcsr, vl, vtype,
+    vlenb)."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=24,
+        name="VecCsrState",
+        category=EventCategory.EXTENSION,
+        fusion_rule=FusionRule.KEEP_LATEST,
+        instances=1,
+        component="vec_csr",
+    )
+    FIELDS = (FieldSpec("csrs", "Q", 7),)
+
+
+@register_event
+class VecWriteback(VerificationEvent):
+    """One vector register-file write."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=25,
+        name="VecWriteback",
+        category=EventCategory.EXTENSION,
+        fusion_rule=FusionRule.ACCUMULATE,
+        instances=8,
+        component="vec_regfile",
+    )
+    FIELDS = (
+        FieldSpec("addr", "B"),
+        FieldSpec("data", "Q", VLEN_WORDS),
+    )
+
+
+@register_event
+class VConfigEvent(VerificationEvent):
+    """A vsetvli/vsetvl configuration change (new vl and vtype)."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=26,
+        name="VConfigEvent",
+        category=EventCategory.EXTENSION,
+        fusion_rule=FusionRule.PASS_THROUGH,
+        instances=1,
+        component="vec_csr",
+    )
+    FIELDS = (
+        FieldSpec("vl", "Q"),
+        FieldSpec("vtype", "Q"),
+    )
+
+
+@register_event
+class HypervisorCsrState(VerificationEvent):
+    """Snapshot of the hypervisor-extension CSRs (hstatus, vsstatus, ...)."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=27,
+        name="HypervisorCsrState",
+        category=EventCategory.EXTENSION,
+        fusion_rule=FusionRule.KEEP_LATEST,
+        instances=1,
+        component="hypervisor_csr",
+    )
+    FIELDS = (FieldSpec("csrs", "Q", 30),)
+
+
+@register_event
+class GuestTlbFill(VerificationEvent):
+    """A two-stage (guest) translation TLB fill under virtualisation."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=28,
+        name="GuestTlbFill",
+        category=EventCategory.EXTENSION,
+        fusion_rule=FusionRule.PASS_THROUGH,
+        instances=2,
+        component="l2tlb",
+    )
+    FIELDS = (
+        FieldSpec("gvpn", "Q"),
+        FieldSpec("hppn", "Q"),
+        FieldSpec("perm", "H"),
+        FieldSpec("stage", "B"),
+    )
+
+
+@register_event
+class VirtualInterrupt(VerificationEvent):
+    """A virtual interrupt injected to a guest context (NDE, like
+    ArchInterrupt)."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=29,
+        name="VirtualInterrupt",
+        category=EventCategory.EXTENSION,
+        fusion_rule=FusionRule.PASS_THROUGH,
+        instances=1,
+        is_nde=True,
+        component="interrupt_controller",
+    )
+    FIELDS = (
+        FieldSpec("cause", "Q"),
+        FieldSpec("pc", "Q"),
+    )
+
+
+@register_event
+class FpCsrState(VerificationEvent):
+    """Snapshot of fcsr (the smallest event, 6 bytes)."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=30,
+        name="FpCsrState",
+        category=EventCategory.EXTENSION,
+        fusion_rule=FusionRule.KEEP_LATEST,
+        instances=1,
+        component="fp_csr",
+    )
+    FIELDS = (
+        FieldSpec("fcsr", "I"),
+        FieldSpec("frm", "B"),
+        FieldSpec("fflags", "B"),
+    )
+
+
+@register_event
+class LrScEvent(VerificationEvent):
+    """Outcome of an LR/SC pair (success bit is microarchitecture-dependent,
+    so the REF must adopt the DUT's outcome — an NDE)."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=31,
+        name="LrScEvent",
+        category=EventCategory.EXTENSION,
+        fusion_rule=FusionRule.PASS_THROUGH,
+        instances=1,
+        is_nde=True,
+        component="atomic_unit",
+    )
+    FIELDS = (
+        FieldSpec("paddr", "Q"),
+        FieldSpec("success", "B"),
+        FieldSpec("valid", "B"),
+    )

@@ -1,0 +1,133 @@
+"""Memory-hierarchy verification events (Table 1, 6 types).
+
+Cache refills are checked against the REF's memory image (a refill must
+return the bytes the REF believes are in memory); TLB fills are checked
+against the REF's page tables via a software page-table walk.  All of these
+are deterministic PASS_THROUGH events: every instance reaches the checker
+but none forces a fusion break.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    EventCategory,
+    EventDescriptor,
+    FieldSpec,
+    FusionRule,
+    VerificationEvent,
+    register_event,
+)
+
+
+@register_event
+class ICacheRefill(VerificationEvent):
+    """An instruction-cache line refill (64-byte line)."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=17,
+        name="ICacheRefill",
+        category=EventCategory.MEMORY_HIERARCHY,
+        fusion_rule=FusionRule.PASS_THROUGH,
+        instances=2,
+        component="icache",
+    )
+    FIELDS = (
+        FieldSpec("addr", "Q"),
+        FieldSpec("data", "Q", 8),
+    )
+
+
+@register_event
+class DCacheRefill(VerificationEvent):
+    """A data-cache line refill (64-byte line)."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=18,
+        name="DCacheRefill",
+        category=EventCategory.MEMORY_HIERARCHY,
+        fusion_rule=FusionRule.PASS_THROUGH,
+        instances=2,
+        component="dcache",
+    )
+    FIELDS = (
+        FieldSpec("addr", "Q"),
+        FieldSpec("data", "Q", 8),
+    )
+
+
+@register_event
+class L2Refill(VerificationEvent):
+    """An L2 refill from memory (128-byte superline)."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=19,
+        name="L2Refill",
+        category=EventCategory.MEMORY_HIERARCHY,
+        fusion_rule=FusionRule.PASS_THROUGH,
+        instances=1,
+        component="l2cache",
+    )
+    FIELDS = (
+        FieldSpec("addr", "Q"),
+        FieldSpec("data", "Q", 16),
+    )
+
+
+@register_event
+class L1TlbFill(VerificationEvent):
+    """An L1 TLB fill: translated (vpn -> ppn, permissions, page level)."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=20,
+        name="L1TlbFill",
+        category=EventCategory.MEMORY_HIERARCHY,
+        fusion_rule=FusionRule.PASS_THROUGH,
+        instances=4,
+        component="l1tlb",
+    )
+    FIELDS = (
+        FieldSpec("vpn", "Q"),
+        FieldSpec("ppn", "Q"),
+        FieldSpec("perm", "H"),
+        FieldSpec("level", "B"),
+        FieldSpec("satp", "Q"),
+    )
+
+
+@register_event
+class L2TlbFill(VerificationEvent):
+    """An L2 TLB (page-table-walker cache) fill of a contiguous PTE group."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=21,
+        name="L2TlbFill",
+        category=EventCategory.MEMORY_HIERARCHY,
+        fusion_rule=FusionRule.PASS_THROUGH,
+        instances=2,
+        component="l2tlb",
+    )
+    FIELDS = (
+        FieldSpec("vpn", "Q"),
+        FieldSpec("ppns", "Q", 8),
+        FieldSpec("perms", "B", 8),
+        FieldSpec("vmid", "H"),
+    )
+
+
+@register_event
+class SbufferFlush(VerificationEvent):
+    """A store-buffer line flush into the data cache."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=22,
+        name="SbufferFlush",
+        category=EventCategory.MEMORY_HIERARCHY,
+        fusion_rule=FusionRule.PASS_THROUGH,
+        instances=2,
+        component="sbuffer",
+    )
+    FIELDS = (
+        FieldSpec("addr", "Q"),
+        FieldSpec("mask", "Q"),
+        FieldSpec("data", "Q", 8),
+    )

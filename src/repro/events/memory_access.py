@@ -1,0 +1,84 @@
+"""Memory-access verification events (Table 1, 3 types).
+
+Loads, stores and atomics are checked against the REF's memory image.  A
+load that targets MMIO space is a non-deterministic event: the device value
+observed by the DUT cannot be reproduced by the REF and must be
+synchronised (the corresponding commit carries FLAG_SKIP, and the load
+event supplies the value to forward into the REF's destination register).
+"""
+
+from __future__ import annotations
+
+from .base import (
+    EventCategory,
+    EventDescriptor,
+    FieldSpec,
+    FusionRule,
+    VerificationEvent,
+    register_event,
+)
+
+
+@register_event
+class LoadEvent(VerificationEvent):
+    """One retired load (physical address, loaded data, access kind)."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=14,
+        name="LoadEvent",
+        category=EventCategory.MEMORY_ACCESS,
+        fusion_rule=FusionRule.PASS_THROUGH,
+        instances=8,
+        component="load_queue",
+    )
+    FIELDS = (
+        FieldSpec("paddr", "Q"),
+        FieldSpec("data", "Q"),
+        FieldSpec("op_type", "B"),
+        FieldSpec("fu_type", "B"),
+        FieldSpec("mmio", "B"),
+    )
+
+    def is_nde(self) -> bool:
+        """MMIO loads are non-deterministic; ordinary loads are checkable."""
+        return bool(self.mmio)
+
+
+@register_event
+class StoreEvent(VerificationEvent):
+    """One retired store (checked against the REF's memory write)."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=15,
+        name="StoreEvent",
+        category=EventCategory.MEMORY_ACCESS,
+        fusion_rule=FusionRule.PASS_THROUGH,
+        instances=4,
+        component="store_queue",
+    )
+    FIELDS = (
+        FieldSpec("paddr", "Q"),
+        FieldSpec("data", "Q"),
+        FieldSpec("mask", "B"),
+    )
+
+
+@register_event
+class AtomicEvent(VerificationEvent):
+    """One atomic memory operation (AMO*/LR/SC data path)."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=16,
+        name="AtomicEvent",
+        category=EventCategory.MEMORY_ACCESS,
+        fusion_rule=FusionRule.PASS_THROUGH,
+        instances=1,
+        component="atomic_unit",
+    )
+    FIELDS = (
+        FieldSpec("paddr", "Q"),
+        FieldSpec("data", "Q"),
+        FieldSpec("out", "Q"),
+        FieldSpec("mask", "B"),
+        FieldSpec("fuop", "B"),
+    )

@@ -1,0 +1,175 @@
+"""Register-update verification events (Table 1, 9 types).
+
+Two kinds live here:
+
+* Full architectural *state snapshots* (``IntRegState``, ``FpRegState``,
+  ``CsrState``, ...) — large, idempotent dumps the checker compares against
+  the REF's state.  Squash fuses them with KEEP_LATEST (only the last
+  snapshot in a fusion window matters) and differencing removes unchanged
+  entries (most CSRs are stable over long instruction runs).
+* Per-write *writeback* events — small, frequent, fused with ACCUMULATE
+  (last write per destination register wins within a window).
+"""
+
+from __future__ import annotations
+
+from .base import (
+    EventCategory,
+    EventDescriptor,
+    FieldSpec,
+    FusionRule,
+    VerificationEvent,
+    register_event,
+)
+
+#: Number of CSR entries carried by a CsrState snapshot.  The entry order is
+#: defined by :data:`repro.isa.csr.CHECKED_CSRS`.
+CSR_STATE_ENTRIES = 64
+
+
+@register_event
+class IntRegState(VerificationEvent):
+    """Snapshot of the 32 architectural integer registers."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=5,
+        name="IntRegState",
+        category=EventCategory.REGISTER_UPDATE,
+        fusion_rule=FusionRule.KEEP_LATEST,
+        instances=1,
+        component="int_regfile",
+    )
+    FIELDS = (FieldSpec("regs", "Q", 32),)
+
+
+@register_event
+class FpRegState(VerificationEvent):
+    """Snapshot of the 32 floating-point registers (raw bit patterns)."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=6,
+        name="FpRegState",
+        category=EventCategory.REGISTER_UPDATE,
+        fusion_rule=FusionRule.KEEP_LATEST,
+        instances=1,
+        component="fp_regfile",
+    )
+    FIELDS = (FieldSpec("regs", "Q", 32),)
+
+
+@register_event
+class CsrState(VerificationEvent):
+    """Snapshot of the checked control-and-status registers."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=7,
+        name="CsrState",
+        category=EventCategory.REGISTER_UPDATE,
+        fusion_rule=FusionRule.KEEP_LATEST,
+        instances=1,
+        component="csr_unit",
+    )
+    FIELDS = (FieldSpec("csrs", "Q", CSR_STATE_ENTRIES),)
+
+
+@register_event
+class IntWriteback(VerificationEvent):
+    """One integer register-file write (rename/writeback port probe)."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=8,
+        name="IntWriteback",
+        category=EventCategory.REGISTER_UPDATE,
+        fusion_rule=FusionRule.ACCUMULATE,
+        instances=12,
+        component="int_regfile",
+    )
+    FIELDS = (
+        FieldSpec("data", "Q"),
+        FieldSpec("addr", "B"),
+    )
+
+
+@register_event
+class FpWriteback(VerificationEvent):
+    """One floating-point register-file write."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=9,
+        name="FpWriteback",
+        category=EventCategory.REGISTER_UPDATE,
+        fusion_rule=FusionRule.ACCUMULATE,
+        instances=8,
+        component="fp_regfile",
+    )
+    FIELDS = (
+        FieldSpec("data", "Q"),
+        FieldSpec("addr", "B"),
+    )
+
+
+@register_event
+class TriggerCsrState(VerificationEvent):
+    """Snapshot of the hardware-trigger (Sdtrig) CSRs."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=10,
+        name="TriggerCsrState",
+        category=EventCategory.REGISTER_UPDATE,
+        fusion_rule=FusionRule.KEEP_LATEST,
+        instances=1,
+        component="trigger_unit",
+    )
+    FIELDS = (FieldSpec("csrs", "Q", 8),)
+
+
+@register_event
+class DebugCsrState(VerificationEvent):
+    """Snapshot of the debug-mode CSRs (dcsr, dpc, dscratch0/1)."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=11,
+        name="DebugCsrState",
+        category=EventCategory.REGISTER_UPDATE,
+        fusion_rule=FusionRule.KEEP_LATEST,
+        instances=1,
+        component="debug_module",
+    )
+    FIELDS = (FieldSpec("csrs", "Q", 4),)
+
+
+@register_event
+class DelayedIntUpdate(VerificationEvent):
+    """Late integer register update (e.g. a long-latency divide that writes
+    back after the commit event was already emitted)."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=12,
+        name="DelayedIntUpdate",
+        category=EventCategory.REGISTER_UPDATE,
+        fusion_rule=FusionRule.ACCUMULATE,
+        instances=6,
+        component="int_regfile",
+    )
+    FIELDS = (
+        FieldSpec("data", "Q"),
+        FieldSpec("addr", "B"),
+    )
+
+
+@register_event
+class DelayedFpUpdate(VerificationEvent):
+    """Late floating-point register update."""
+
+    DESCRIPTOR = EventDescriptor(
+        event_id=13,
+        name="DelayedFpUpdate",
+        category=EventCategory.REGISTER_UPDATE,
+        fusion_rule=FusionRule.ACCUMULATE,
+        instances=6,
+        component="fp_regfile",
+    )
+    FIELDS = (
+        FieldSpec("data", "Q"),
+        FieldSpec("addr", "B"),
+    )

@@ -1,0 +1,74 @@
+"""RISC-V ISA substrate: decoder, executor, memory, devices, MMU, assembler.
+
+This package is shared by the reference model (:mod:`repro.ref`) and the
+DUT simulators (:mod:`repro.dut`): both execute instructions through
+:class:`~repro.isa.execute.Hart`, which guarantees they agree functionally
+unless a fault is deliberately injected.
+"""
+
+from . import const, csr
+from .assembler import Assembler, AssemblerError, assemble
+from .decode import DecodedInstr, IllegalInstruction, decode
+from .devices import (
+    CLINT_BASE,
+    PLIC_BASE,
+    UART_BASE,
+    Clint,
+    PlicLite,
+    Uart,
+    attach_standard_devices,
+)
+from .execute import (
+    FaultHooks,
+    Hart,
+    MemOp,
+    StepResult,
+    Trap,
+    UnsynchronizedNde,
+)
+from .memory import Bus, Device, MemoryError64, PhysicalMemory
+from .mmu import (
+    PageFault,
+    Translation,
+    make_pte,
+    make_satp,
+    translate,
+    translation_active,
+)
+from .state import VREG_WORDS, ArchState
+
+__all__ = [
+    "const",
+    "csr",
+    "Assembler",
+    "AssemblerError",
+    "assemble",
+    "DecodedInstr",
+    "IllegalInstruction",
+    "decode",
+    "Clint",
+    "PlicLite",
+    "Uart",
+    "attach_standard_devices",
+    "CLINT_BASE",
+    "PLIC_BASE",
+    "UART_BASE",
+    "FaultHooks",
+    "Hart",
+    "MemOp",
+    "StepResult",
+    "Trap",
+    "UnsynchronizedNde",
+    "Bus",
+    "Device",
+    "MemoryError64",
+    "PhysicalMemory",
+    "PageFault",
+    "Translation",
+    "make_pte",
+    "make_satp",
+    "translate",
+    "translation_active",
+    "ArchState",
+    "VREG_WORDS",
+]

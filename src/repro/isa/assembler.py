@@ -1,0 +1,692 @@
+"""A small two-pass RISC-V assembler.
+
+Supports the instruction subset implemented by the decoder, labels,
+``.word``/``.dword``/``.byte``/``.ascii``/``.zero``/``.align`` directives
+and the common pseudo-instructions (``li``, ``la``, ``mv``, ``j``,
+``call``, ``ret``, ``nop``, ``beqz``/``bnez``, ``csrr``/``csrw``, ...).
+Workloads and tests use it to author real programs the DUT and REF run.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .const import DRAM_BASE
+
+_ABI_REGS = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7, "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15,
+    "a6": 16, "a7": 17,
+    "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+    "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+_CSR_NAMES = {
+    "mstatus": 0x300, "misa": 0x301, "medeleg": 0x302, "mideleg": 0x303,
+    "mie": 0x304, "mtvec": 0x305, "mcounteren": 0x306, "mscratch": 0x340,
+    "mepc": 0x341, "mcause": 0x342, "mtval": 0x343, "mip": 0x344,
+    "mcycle": 0xB00, "minstret": 0xB02, "mhartid": 0xF14,
+    "sstatus": 0x100, "sie": 0x104, "stvec": 0x105, "sscratch": 0x140,
+    "sepc": 0x141, "scause": 0x142, "stval": 0x143, "sip": 0x144,
+    "satp": 0x180, "fflags": 0x001, "frm": 0x002, "fcsr": 0x003,
+    "vstart": 0x008, "vl": 0xC20, "vtype": 0xC21, "vlenb": 0xC22,
+    "cycle": 0xC00, "time": 0xC01, "instret": 0xC02,
+    # Hypervisor extension (storage-modeled).
+    "hstatus": 0x600, "hedeleg": 0x602, "hideleg": 0x603,
+    "hcounteren": 0x606, "hgatp": 0x680,
+    "vsstatus": 0x200, "vsie": 0x204, "vstvec": 0x205, "vsscratch": 0x240,
+    "vsepc": 0x241, "vscause": 0x242, "vstval": 0x243, "vsip": 0x244,
+    "vsatp": 0x280,
+    # Trigger / debug.
+    "tselect": 0x7A0, "tdata1": 0x7A1, "tdata2": 0x7A2, "tdata3": 0x7A3,
+    "dcsr": 0x7B0, "dpc": 0x7B1, "dscratch0": 0x7B2, "dscratch1": 0x7B3,
+}
+
+
+class AssemblerError(Exception):
+    """Raised on malformed assembly with file/line context."""
+
+
+def _reg(token: str) -> int:
+    token = token.strip().lower()
+    if token.startswith("x") and token[1:].isdigit():
+        index = int(token[1:])
+        if 0 <= index < 32:
+            return index
+    if token in _ABI_REGS:
+        return _ABI_REGS[token]
+    raise AssemblerError(f"unknown register {token!r}")
+
+
+def _freg(token: str) -> int:
+    token = token.strip().lower()
+    if token.startswith("f") and token[1:].isdigit():
+        index = int(token[1:])
+        if 0 <= index < 32:
+            return index
+    named = {"ft0": 0, "ft1": 1, "fa0": 10, "fa1": 11, "fs0": 8, "fs1": 9}
+    if token in named:
+        return named[token]
+    raise AssemblerError(f"unknown fp register {token!r}")
+
+
+def _vreg(token: str) -> int:
+    token = token.strip().lower()
+    if token.startswith("v") and token[1:].isdigit():
+        index = int(token[1:])
+        if 0 <= index < 32:
+            return index
+    raise AssemblerError(f"unknown vector register {token!r}")
+
+
+def _csr(token: str) -> int:
+    token = token.strip().lower()
+    if token in _CSR_NAMES:
+        return _CSR_NAMES[token]
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"unknown CSR {token!r}") from None
+
+
+# ----------------------------------------------------------------------
+# Encoders
+# ----------------------------------------------------------------------
+def _enc_r(opcode, rd, f3, rs1, rs2, f7):
+    return (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | opcode
+
+
+def _enc_i(opcode, rd, f3, rs1, imm):
+    return ((imm & 0xFFF) << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | opcode
+
+
+def _enc_s(opcode, f3, rs1, rs2, imm):
+    return (
+        ((imm >> 5 & 0x7F) << 25) | (rs2 << 20) | (rs1 << 15)
+        | (f3 << 12) | ((imm & 0x1F) << 7) | opcode
+    )
+
+
+def _enc_b(opcode, f3, rs1, rs2, imm):
+    return (
+        ((imm >> 12 & 1) << 31) | ((imm >> 5 & 0x3F) << 25) | (rs2 << 20)
+        | (rs1 << 15) | (f3 << 12) | ((imm >> 1 & 0xF) << 8)
+        | ((imm >> 11 & 1) << 7) | opcode
+    )
+
+
+def _enc_u(opcode, rd, imm):
+    return (imm & 0xFFFFF000) | (rd << 7) | opcode
+
+
+def _enc_j(opcode, rd, imm):
+    return (
+        ((imm >> 20 & 1) << 31) | ((imm >> 1 & 0x3FF) << 21)
+        | ((imm >> 11 & 1) << 20) | ((imm >> 12 & 0xFF) << 12)
+        | (rd << 7) | opcode
+    )
+
+
+_I_ALU = {"addi": 0, "slti": 2, "sltiu": 3, "xori": 4, "ori": 6, "andi": 7}
+_R_ALU = {
+    "add": (0, 0x00), "sub": (0, 0x20), "sll": (1, 0x00), "slt": (2, 0x00),
+    "sltu": (3, 0x00), "xor": (4, 0x00), "srl": (5, 0x00), "sra": (5, 0x20),
+    "or": (6, 0x00), "and": (7, 0x00),
+    "mul": (0, 0x01), "mulh": (1, 0x01), "mulhsu": (2, 0x01), "mulhu": (3, 0x01),
+    "div": (4, 0x01), "divu": (5, 0x01), "rem": (6, 0x01), "remu": (7, 0x01),
+}
+_R32_ALU = {
+    "addw": (0, 0x00), "subw": (0, 0x20), "sllw": (1, 0x00), "srlw": (5, 0x00),
+    "sraw": (5, 0x20), "mulw": (0, 0x01), "divw": (4, 0x01), "divuw": (5, 0x01),
+    "remw": (6, 0x01), "remuw": (7, 0x01),
+}
+_LOADS = {"lb": 0, "lh": 1, "lw": 2, "ld": 3, "lbu": 4, "lhu": 5, "lwu": 6}
+_STORES = {"sb": 0, "sh": 1, "sw": 2, "sd": 3}
+_BRANCHES = {"beq": 0, "bne": 1, "blt": 4, "bge": 5, "bltu": 6, "bgeu": 7}
+_CSR_OPS = {"csrrw": 1, "csrrs": 2, "csrrc": 3, "csrrwi": 5, "csrrsi": 6,
+            "csrrci": 7}
+_AMO_F7 = {
+    "lr": 0x02, "sc": 0x03, "amoswap": 0x01, "amoadd": 0x00, "amoxor": 0x04,
+    "amoand": 0x0C, "amoor": 0x08, "amomin": 0x10, "amomax": 0x14,
+    "amominu": 0x18, "amomaxu": 0x1C,
+}
+
+_MEM_RE = re.compile(r"^(-?\w+)\s*\(\s*(\w+)\s*\)$")
+
+#: Vector .vv encodings: mnemonic -> (funct6, funct3).
+_VEC_VV_FUNCT6 = {
+    "vadd.vv": (0x00, 0), "vsub.vv": (0x02, 0), "vminu.vv": (0x04, 0),
+    "vmin.vv": (0x05, 0), "vmaxu.vv": (0x06, 0), "vmax.vv": (0x07, 0),
+    "vand.vv": (0x09, 0), "vor.vv": (0x0A, 0), "vxor.vv": (0x0B, 0),
+    "vsll.vv": (0x25, 0), "vsrl.vv": (0x28, 0), "vmul.vv": (0x25, 2),
+}
+
+
+class Assembler:
+    """Two-pass assembler producing a flat binary image."""
+
+    def __init__(self, base: int = DRAM_BASE) -> None:
+        self.base = base
+        self.labels: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def assemble(self, source: str) -> bytes:
+        """Assemble ``source`` into a binary image based at ``self.base``."""
+        lines = self._clean(source)
+        self._collect_labels(lines)
+        return self._emit(lines)
+
+    def _clean(self, source: str) -> List[Tuple[int, str]]:
+        out = []
+        for number, raw in enumerate(source.splitlines(), start=1):
+            line = raw.split("#")[0].split("//")[0].strip()
+            if line:
+                out.append((number, line))
+        return out
+
+    def _parts(self, line: str) -> Tuple[str, List[str]]:
+        fields = line.split(None, 1)
+        mnemonic = fields[0].lower()
+        operands = []
+        if len(fields) > 1:
+            operands = [op.strip() for op in fields[1].split(",")]
+        return mnemonic, operands
+
+    def _size_of(self, line: str) -> int:
+        mnemonic, ops = self._parts(line)
+        if mnemonic.startswith("c."):
+            return 2
+        if mnemonic == ".word":
+            return 4 * len(ops)
+        if mnemonic == ".dword":
+            return 8 * len(ops)
+        if mnemonic == ".byte":
+            return len(ops)
+        if mnemonic == ".zero":
+            return int(ops[0], 0)
+        if mnemonic == ".ascii":
+            return len(self._string_of(ops))
+        if mnemonic == ".align":
+            return -int(ops[0], 0)  # sentinel: resolved during layout
+        if mnemonic == "li":
+            try:
+                value = int(ops[1], 0)
+            except ValueError:
+                raise AssemblerError(
+                    f"li with symbol {ops[1]!r}: use `la` for addresses"
+                ) from None
+            return 4 * self._li_length(value)
+        if mnemonic == "la":
+            return 8
+        if mnemonic == "call":
+            return 4
+        return 4
+
+    def _string_of(self, ops: List[str]) -> bytes:
+        text = ",".join(ops)
+        if not (text.startswith('"') and text.endswith('"')):
+            raise AssemblerError(f"bad string literal {text!r}")
+        return text[1:-1].encode("ascii").decode("unicode_escape").encode("latin1")
+
+    def _collect_labels(self, lines: List[Tuple[int, str]]) -> None:
+        pc = self.base
+        for _, line in lines:
+            while ":" in line:
+                label, _, rest = line.partition(":")
+                if not re.fullmatch(r"[A-Za-z_.][\w.$]*", label.strip()):
+                    break
+                self.labels[label.strip()] = pc
+                line = rest.strip()
+            if not line:
+                continue
+            size = self._size_of(line)
+            if size < 0:  # .align
+                align = 1 << -size
+                pc = (pc + align - 1) & ~(align - 1)
+            else:
+                pc += size
+        # Second pass may need label-dependent li lengths to be stable: li of
+        # a label always assembles to the 6-instruction worst case via `la`.
+
+    def _int_or_label(self, token: str, pc: int) -> int:
+        token = token.strip()
+        try:
+            return int(token, 0)
+        except ValueError:
+            pass
+        if token in self.labels:
+            return self.labels[token]
+        if token.startswith("%lo(") and token.endswith(")"):
+            return self._int_or_label(token[4:-1], pc) & 0xFFF
+        raise AssemblerError(f"unknown symbol {token!r}")
+
+    # ------------------------------------------------------------------
+    def _li_length(self, value: int) -> int:
+        """Number of instructions `li` expands to (stable across passes)."""
+        value &= (1 << 64) - 1
+        signed = value - (1 << 64) if value >> 63 else value
+        if -2048 <= signed < 2048:
+            return 1
+        if -(1 << 31) <= signed < (1 << 31):
+            return 2
+        return 8  # worst-case 64-bit constant expansion
+
+    def _expand_li(self, rd: int, value: int) -> List[int]:
+        value &= (1 << 64) - 1
+        signed = value - (1 << 64) if value >> 63 else value
+        if -2048 <= signed < 2048:
+            return [_enc_i(0x13, rd, 0, 0, signed)]
+        if -(1 << 31) <= signed < (1 << 31):
+            upper = (signed + 0x800) >> 12
+            lower = signed - (upper << 12)
+            return [
+                _enc_u(0x37, rd, (upper << 12) & 0xFFFFFFFF),
+                _enc_i(0x1B, rd, 0, rd, lower),  # addiw keeps 32-bit sext
+            ]
+        # 64-bit: lui/addiw for the top 32 bits, then shift+or in 11-bit chunks.
+        words: List[int] = []
+        top = signed >> 32
+        upper = ((top + 0x800) >> 12) & 0xFFFFF
+        lower = top - ((top + 0x800) >> 12 << 12)
+        words.append(_enc_u(0x37, rd, (upper << 12) & 0xFFFFFFFF))
+        words.append(_enc_i(0x1B, rd, 0, rd, lower))
+        for shift, chunk in ((21, (value >> 21) & 0x7FF), (10, (value >> 10) & 0x7FF),
+                             (0, value & 0x3FF)):
+            amount = 11 if shift else 10
+            words.append(_enc_i(0x13, rd, 1, rd, amount))  # slli
+            if chunk:
+                words.append(_enc_i(0x13, rd, 6, rd, chunk))  # ori
+            else:
+                words.append(_enc_i(0x13, rd, 0, rd, 0))  # addi rd, rd, 0 (pad)
+        return words
+
+    # ------------------------------------------------------------------
+    def _emit(self, lines: List[Tuple[int, str]]) -> bytes:
+        image = bytearray()
+        pc = self.base
+        for number, line in lines:
+            while ":" in line:
+                label, _, rest = line.partition(":")
+                if not re.fullmatch(r"[A-Za-z_.][\w.$]*", label.strip()):
+                    break
+                line = rest.strip()
+            if not line:
+                continue
+            try:
+                chunk = self._emit_one(line, pc)
+            except AssemblerError as exc:
+                raise AssemblerError(f"line {number}: {line!r}: {exc}") from None
+            if isinstance(chunk, int):  # .align padding
+                while pc % chunk:
+                    image.append(0)
+                    pc += 1
+                continue
+            image += chunk
+            pc += len(chunk)
+        return bytes(image)
+
+    def _emit_one(self, line: str, pc: int):
+        mnemonic, ops = self._parts(line)
+        words: Optional[List[int]] = None
+
+        if mnemonic.startswith("."):
+            return self._directive(mnemonic, ops)
+        if mnemonic.startswith("c."):
+            return self._compressed(mnemonic, ops, pc)
+
+        handler = _PSEUDO.get(mnemonic)
+        if handler is not None:
+            expanded = handler(self, ops, pc)
+            if isinstance(expanded, list):
+                words = expanded
+            else:
+                return self._emit_one(expanded, pc)
+        elif mnemonic in _I_ALU:
+            words = [_enc_i(0x13, _reg(ops[0]), _I_ALU[mnemonic], _reg(ops[1]),
+                            self._int_or_label(ops[2], pc))]
+        elif mnemonic in ("slli", "srli", "srai"):
+            f3 = 1 if mnemonic == "slli" else 5
+            top = 0x10 if mnemonic == "srai" else 0
+            shamt = self._int_or_label(ops[2], pc) & 0x3F
+            words = [_enc_i(0x13, _reg(ops[0]), f3, _reg(ops[1]),
+                            (top << 6) | shamt)]
+        elif mnemonic in ("slliw", "srliw", "sraiw"):
+            f3 = 1 if mnemonic == "slliw" else 5
+            f7 = 0x20 if mnemonic == "sraiw" else 0
+            words = [_enc_r(0x1B, _reg(ops[0]), f3, _reg(ops[1]),
+                            self._int_or_label(ops[2], pc) & 0x1F, f7)]
+        elif mnemonic == "addiw":
+            words = [_enc_i(0x1B, _reg(ops[0]), 0, _reg(ops[1]),
+                            self._int_or_label(ops[2], pc))]
+        elif mnemonic in _R_ALU:
+            f3, f7 = _R_ALU[mnemonic]
+            words = [_enc_r(0x33, _reg(ops[0]), f3, _reg(ops[1]), _reg(ops[2]), f7)]
+        elif mnemonic in _R32_ALU:
+            f3, f7 = _R32_ALU[mnemonic]
+            words = [_enc_r(0x3B, _reg(ops[0]), f3, _reg(ops[1]), _reg(ops[2]), f7)]
+        elif mnemonic in _LOADS:
+            imm, rs1 = self._mem_operand(ops[1], pc)
+            words = [_enc_i(0x03, _reg(ops[0]), _LOADS[mnemonic], rs1, imm)]
+        elif mnemonic in _STORES:
+            imm, rs1 = self._mem_operand(ops[1], pc)
+            words = [_enc_s(0x23, _STORES[mnemonic], rs1, _reg(ops[0]), imm)]
+        elif mnemonic in _BRANCHES:
+            offset = self._int_or_label(ops[2], pc) - pc
+            words = [_enc_b(0x63, _BRANCHES[mnemonic], _reg(ops[0]),
+                            _reg(ops[1]), offset)]
+        elif mnemonic == "lui":
+            words = [_enc_u(0x37, _reg(ops[0]),
+                            self._int_or_label(ops[1], pc) << 12)]
+        elif mnemonic == "auipc":
+            words = [_enc_u(0x17, _reg(ops[0]),
+                            self._int_or_label(ops[1], pc) << 12)]
+        elif mnemonic == "jal":
+            if len(ops) == 1:
+                ops = ["ra", ops[0]]
+            offset = self._int_or_label(ops[1], pc) - pc
+            words = [_enc_j(0x6F, _reg(ops[0]), offset)]
+        elif mnemonic == "jalr":
+            if len(ops) == 1:
+                ops = ["ra", ops[0] if "(" in ops[0] else f"0({ops[0]})"]
+            imm, rs1 = self._mem_operand(ops[1], pc)
+            words = [_enc_i(0x67, _reg(ops[0]), 0, rs1, imm)]
+        elif mnemonic in _CSR_OPS:
+            f3 = _CSR_OPS[mnemonic]
+            src = (self._int_or_label(ops[2], pc) & 0x1F) if f3 >= 5 else _reg(ops[2])
+            words = [_enc_i(0x73, _reg(ops[0]), f3, src, _csr(ops[1]))]
+        elif mnemonic in ("ecall", "ebreak", "mret", "sret", "wfi", "fence",
+                          "fence.i"):
+            fixed = {
+                "ecall": 0x0000_0073, "ebreak": 0x0010_0073,
+                "mret": 0x3020_0073, "sret": 0x1020_0073, "wfi": 0x1050_0073,
+                "fence": 0x0FF0_000F, "fence.i": 0x0000_100F,
+            }
+            words = [fixed[mnemonic]]
+        elif mnemonic == "sfence.vma":
+            rs1 = _reg(ops[0]) if ops else 0
+            rs2 = _reg(ops[1]) if len(ops) > 1 else 0
+            words = [_enc_r(0x73, 0, 0, rs1, rs2, 0x09)]
+        elif "." in mnemonic and mnemonic.split(".")[0] in _AMO_F7:
+            base_name, width = mnemonic.rsplit(".", 1)
+            f3 = {"w": 2, "d": 3}[width]
+            f7 = _AMO_F7[base_name] << 2
+            if base_name == "lr":
+                target = ops[1]
+                rs1 = _reg(_MEM_RE.match(target).group(2)) if _MEM_RE.match(target) else _reg(target.strip("()"))
+                words = [_enc_r(0x2F, _reg(ops[0]), f3, rs1, 0, f7)]
+            else:
+                target = ops[2]
+                match = _MEM_RE.match(target)
+                rs1 = _reg(match.group(2)) if match else _reg(target.strip("()"))
+                words = [_enc_r(0x2F, _reg(ops[0]), f3, rs1, _reg(ops[1]), f7)]
+        elif mnemonic == "fld":
+            imm, rs1 = self._mem_operand(ops[1], pc)
+            words = [_enc_i(0x07, _freg(ops[0]), 3, rs1, imm)]
+        elif mnemonic == "fsd":
+            imm, rs1 = self._mem_operand(ops[1], pc)
+            words = [_enc_s(0x27, 3, rs1, _freg(ops[0]), imm)]
+        elif mnemonic in ("fadd.d", "fsub.d", "fmul.d", "fdiv.d"):
+            f7 = {"fadd.d": 0x01, "fsub.d": 0x05, "fmul.d": 0x09,
+                  "fdiv.d": 0x0D}[mnemonic]
+            words = [_enc_r(0x53, _freg(ops[0]), 0, _freg(ops[1]),
+                            _freg(ops[2]), f7)]
+        elif mnemonic == "fmv.d.x":
+            words = [_enc_r(0x53, _freg(ops[0]), 0, _reg(ops[1]), 0, 0x79)]
+        elif mnemonic == "fmv.x.d":
+            words = [_enc_r(0x53, _reg(ops[0]), 0, _freg(ops[1]), 0, 0x71)]
+        elif mnemonic == "fcvt.d.l":
+            words = [_enc_r(0x53, _freg(ops[0]), 0, _reg(ops[1]), 2, 0x69)]
+        elif mnemonic == "fcvt.l.d":
+            words = [_enc_r(0x53, _reg(ops[0]), 0, _freg(ops[1]), 2, 0x61)]
+        elif mnemonic == "vsetvli":
+            vtype = self._vtype(ops[2:])
+            words = [_enc_i(0x57, _reg(ops[0]), 7, _reg(ops[1]), vtype)]
+        elif mnemonic in ("vle64.v", "vse64.v"):
+            opcode = 0x07 if mnemonic.startswith("vl") else 0x27
+            match = _MEM_RE.match(ops[1])
+            rs1 = _reg(match.group(2)) if match else _reg(ops[1].strip("()"))
+            words = [(0 << 25) | (0 << 20) | (rs1 << 15) | (7 << 12)
+                     | (_vreg(ops[0]) << 7) | opcode]
+        elif mnemonic in _VEC_VV_FUNCT6:
+            funct6, funct3 = _VEC_VV_FUNCT6[mnemonic]
+            words = [(funct6 << 26) | (1 << 25) | (_vreg(ops[1]) << 20)
+                     | (_vreg(ops[2]) << 15) | (funct3 << 12)
+                     | (_vreg(ops[0]) << 7) | 0x57]
+        elif mnemonic == "vadd.vx":
+            words = [(0x00 << 26) | (1 << 25) | (_vreg(ops[1]) << 20)
+                     | (_reg(ops[2]) << 15) | (4 << 12)
+                     | (_vreg(ops[0]) << 7) | 0x57]
+        elif mnemonic == "vmv.v.x":
+            words = [(0x17 << 26) | (1 << 25) | (0 << 20)
+                     | (_reg(ops[1]) << 15) | (4 << 12)
+                     | (_vreg(ops[0]) << 7) | 0x57]
+        elif mnemonic == "vmv.v.v":
+            words = [(0x17 << 26) | (1 << 25) | (0 << 20)
+                     | (_vreg(ops[1]) << 15) | (0 << 12)
+                     | (_vreg(ops[0]) << 7) | 0x57]
+        if words is None:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}")
+        out = bytearray()
+        for word in words:
+            out += (word & 0xFFFFFFFF).to_bytes(4, "little")
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    # RV64C encoders
+    # ------------------------------------------------------------------
+    def _prime(self, token: str) -> int:
+        reg = _reg(token)
+        if not 8 <= reg <= 15:
+            raise AssemblerError(
+                f"{token!r}: compressed operand must be x8-x15 (s0/s1/a0-a5)")
+        return reg - 8
+
+    def _fprime(self, token: str) -> int:
+        reg = _freg(token)
+        if not 8 <= reg <= 15:
+            raise AssemblerError(f"{token!r}: must be f8-f15")
+        return reg - 8
+
+    def _compressed(self, mnemonic: str, ops: List[str], pc: int) -> bytes:
+        hw = self._encode_compressed(mnemonic, ops, pc)
+        return (hw & 0xFFFF).to_bytes(2, "little")
+
+    def _encode_compressed(self, mnemonic: str, ops: List[str], pc: int) -> int:
+        imm6 = lambda v: (((v >> 5) & 1) << 12) | ((v & 0x1F) << 2)  # noqa: E731
+        if mnemonic == "c.nop":
+            return 0x0001
+        if mnemonic == "c.ebreak":
+            return 0x9002
+        if mnemonic in ("c.addi", "c.addiw", "c.li"):
+            value = self._int_or_label(ops[1], pc)
+            if not -32 <= value < 32:
+                raise AssemblerError(f"{mnemonic} immediate out of range")
+            f3 = {"c.addi": 0, "c.addiw": 1, "c.li": 2}[mnemonic]
+            return (f3 << 13) | imm6(value) | (_reg(ops[0]) << 7) | 0x1
+        if mnemonic == "c.lui":
+            value = self._int_or_label(ops[1], pc)
+            return (0b011 << 13) | imm6(value) | (_reg(ops[0]) << 7) | 0x1
+        if mnemonic == "c.addi16sp":
+            value = self._int_or_label(ops[-1], pc)
+            if value % 16 or not -512 <= value < 512:
+                raise AssemblerError("c.addi16sp immediate out of range")
+            return (0b011 << 13) | (((value >> 9) & 1) << 12) | (2 << 7) \
+                | (((value >> 4) & 1) << 6) | (((value >> 6) & 1) << 5) \
+                | (((value >> 7) & 3) << 3) | (((value >> 5) & 1) << 2) | 0x1
+        if mnemonic == "c.mv":
+            return (0b100 << 13) | (_reg(ops[0]) << 7) | (_reg(ops[1]) << 2) | 0x2
+        if mnemonic == "c.add":
+            return (0b100 << 13) | (1 << 12) | (_reg(ops[0]) << 7) \
+                | (_reg(ops[1]) << 2) | 0x2
+        if mnemonic == "c.jr":
+            return (0b100 << 13) | (_reg(ops[0]) << 7) | 0x2
+        if mnemonic == "c.jalr":
+            return (0b100 << 13) | (1 << 12) | (_reg(ops[0]) << 7) | 0x2
+        if mnemonic == "c.slli":
+            value = self._int_or_label(ops[-1], pc)
+            return imm6(value) | (_reg(ops[0]) << 7) | 0x2
+        if mnemonic in ("c.srli", "c.srai", "c.andi"):
+            value = self._int_or_label(ops[-1], pc)
+            funct2 = {"c.srli": 0, "c.srai": 1, "c.andi": 2}[mnemonic]
+            return (0b100 << 13) | (((value >> 5) & 1) << 12) \
+                | (funct2 << 10) | (self._prime(ops[0]) << 7) \
+                | ((value & 0x1F) << 2) | 0x1
+        if mnemonic in ("c.sub", "c.xor", "c.or", "c.and", "c.subw", "c.addw"):
+            op2 = {"c.sub": 0, "c.xor": 1, "c.or": 2, "c.and": 3,
+                   "c.subw": 0, "c.addw": 1}[mnemonic]
+            hi = 1 if mnemonic.endswith("w") else 0
+            return (0b100 << 13) | (hi << 12) | (0b11 << 10) \
+                | (self._prime(ops[0]) << 7) | (op2 << 5) \
+                | (self._prime(ops[1]) << 2) | 0x1
+        if mnemonic == "c.j":
+            offset = self._int_or_label(ops[0], pc) - pc
+            if not -2048 <= offset < 2048:
+                raise AssemblerError("c.j offset out of range")
+            return (0b101 << 13) | (((offset >> 11) & 1) << 12) \
+                | (((offset >> 4) & 1) << 11) | (((offset >> 8) & 3) << 9) \
+                | (((offset >> 10) & 1) << 8) | (((offset >> 6) & 1) << 7) \
+                | (((offset >> 7) & 1) << 6) | (((offset >> 1) & 7) << 3) \
+                | (((offset >> 5) & 1) << 2) | 0x1
+        if mnemonic in ("c.beqz", "c.bnez"):
+            offset = self._int_or_label(ops[1], pc) - pc
+            if not -256 <= offset < 256:
+                raise AssemblerError(f"{mnemonic} offset out of range")
+            f3 = 0b110 if mnemonic == "c.beqz" else 0b111
+            return (f3 << 13) | (((offset >> 8) & 1) << 12) \
+                | (((offset >> 3) & 3) << 10) | (self._prime(ops[0]) << 7) \
+                | (((offset >> 6) & 3) << 5) | (((offset >> 1) & 3) << 3) \
+                | (((offset >> 5) & 1) << 2) | 0x1
+        if mnemonic in ("c.lw", "c.ld", "c.sw", "c.sd", "c.fld", "c.fsd"):
+            imm, rs1 = self._mem_operand(ops[1], pc)
+            rs1_p = rs1 - 8
+            if not 0 <= rs1_p < 8:
+                raise AssemblerError("compressed base must be x8-x15")
+            is_fp = mnemonic in ("c.fld", "c.fsd")
+            other = (self._fprime(ops[0]) if is_fp else self._prime(ops[0]))
+            if mnemonic in ("c.lw", "c.sw"):
+                field = (((imm >> 3) & 7) << 10) | (((imm >> 2) & 1) << 6) \
+                    | (((imm >> 6) & 1) << 5)
+            else:
+                field = (((imm >> 3) & 7) << 10) | (((imm >> 6) & 3) << 5)
+            f3 = {"c.fld": 0b001, "c.lw": 0b010, "c.ld": 0b011,
+                  "c.fsd": 0b101, "c.sw": 0b110, "c.sd": 0b111}[mnemonic]
+            return (f3 << 13) | field | (rs1_p << 7) | (other << 2) | 0x0
+        if mnemonic in ("c.lwsp", "c.ldsp"):
+            imm, rs1 = self._mem_operand(ops[1], pc)
+            if rs1 != 2:
+                raise AssemblerError(f"{mnemonic} base must be sp")
+            if mnemonic == "c.lwsp":
+                field = (((imm >> 5) & 1) << 12) | (((imm >> 2) & 7) << 4) \
+                    | (((imm >> 6) & 3) << 2)
+                f3 = 0b010
+            else:
+                field = (((imm >> 5) & 1) << 12) | (((imm >> 3) & 3) << 5) \
+                    | (((imm >> 6) & 7) << 2)
+                f3 = 0b011
+            return (f3 << 13) | field | (_reg(ops[0]) << 7) | 0x2
+        if mnemonic in ("c.swsp", "c.sdsp"):
+            imm, rs1 = self._mem_operand(ops[1], pc)
+            if rs1 != 2:
+                raise AssemblerError(f"{mnemonic} base must be sp")
+            if mnemonic == "c.swsp":
+                field = (((imm >> 2) & 0xF) << 9) | (((imm >> 6) & 3) << 7)
+                f3 = 0b110
+            else:
+                field = (((imm >> 3) & 7) << 10) | (((imm >> 6) & 7) << 7)
+                f3 = 0b111
+            return (f3 << 13) | field | (_reg(ops[0]) << 2) | 0x2
+        raise AssemblerError(f"unknown compressed mnemonic {mnemonic!r}")
+
+    def _vtype(self, flags: List[str]) -> int:
+        sew = 64
+        for flag in flags:
+            flag = flag.strip().lower()
+            if flag.startswith("e"):
+                sew = int(flag[1:])
+        return {8: 0, 16: 1, 32: 2, 64: 3}[sew] << 3
+
+    def _mem_operand(self, token: str, pc: int) -> Tuple[int, int]:
+        match = _MEM_RE.match(token.strip())
+        if not match:
+            raise AssemblerError(f"bad memory operand {token!r}")
+        return self._int_or_label(match.group(1), pc), _reg(match.group(2))
+
+    def _directive(self, mnemonic: str, ops: List[str]):
+        if mnemonic == ".word":
+            out = bytearray()
+            for op in ops:
+                out += (self._int_or_label(op, 0) & 0xFFFFFFFF).to_bytes(4, "little")
+            return bytes(out)
+        if mnemonic == ".dword":
+            out = bytearray()
+            for op in ops:
+                out += (self._int_or_label(op, 0) & (1 << 64) - 1).to_bytes(8, "little")
+            return bytes(out)
+        if mnemonic == ".byte":
+            return bytes(self._int_or_label(op, 0) & 0xFF for op in ops)
+        if mnemonic == ".zero":
+            return bytes(int(ops[0], 0))
+        if mnemonic == ".ascii":
+            return self._string_of(ops)
+        if mnemonic == ".align":
+            return 1 << int(ops[0], 0)
+        raise AssemblerError(f"unknown directive {mnemonic!r}")
+
+
+# ----------------------------------------------------------------------
+# Pseudo-instructions
+# ----------------------------------------------------------------------
+def _pseudo_li(asm: Assembler, ops: List[str], pc: int) -> List[int]:
+    return asm._expand_li(_reg(ops[0]), asm._int_or_label(ops[1], pc))
+
+
+def _pseudo_la(asm: Assembler, ops: List[str], pc: int) -> List[int]:
+    # auipc + addi, always 8 bytes for stable layout.
+    target = asm._int_or_label(ops[1], pc)
+    rd = _reg(ops[0])
+    offset = target - pc
+    upper = (offset + 0x800) >> 12
+    lower = offset - (upper << 12)
+    return [_enc_u(0x17, rd, (upper << 12) & 0xFFFFFFFF),
+            _enc_i(0x13, rd, 0, rd, lower)]
+
+
+_PSEUDO: Dict[str, Callable] = {
+    "li": _pseudo_li,
+    "la": _pseudo_la,
+    "nop": lambda asm, ops, pc: "addi x0, x0, 0",
+    "mv": lambda asm, ops, pc: f"addi {ops[0]}, {ops[1]}, 0",
+    "not": lambda asm, ops, pc: f"xori {ops[0]}, {ops[1]}, -1",
+    "neg": lambda asm, ops, pc: f"sub {ops[0]}, zero, {ops[1]}",
+    "seqz": lambda asm, ops, pc: f"sltiu {ops[0]}, {ops[1]}, 1",
+    "snez": lambda asm, ops, pc: f"sltu {ops[0]}, zero, {ops[1]}",
+    "beqz": lambda asm, ops, pc: f"beq {ops[0]}, zero, {ops[1]}",
+    "bnez": lambda asm, ops, pc: f"bne {ops[0]}, zero, {ops[1]}",
+    "blez": lambda asm, ops, pc: f"bge zero, {ops[0]}, {ops[1]}",
+    "bgez": lambda asm, ops, pc: f"bge {ops[0]}, zero, {ops[1]}",
+    "bltz": lambda asm, ops, pc: f"blt {ops[0]}, zero, {ops[1]}",
+    "bgtz": lambda asm, ops, pc: f"blt zero, {ops[0]}, {ops[1]}",
+    "ble": lambda asm, ops, pc: f"bge {ops[1]}, {ops[0]}, {ops[2]}",
+    "bgt": lambda asm, ops, pc: f"blt {ops[1]}, {ops[0]}, {ops[2]}",
+    "bleu": lambda asm, ops, pc: f"bgeu {ops[1]}, {ops[0]}, {ops[2]}",
+    "bgtu": lambda asm, ops, pc: f"bltu {ops[1]}, {ops[0]}, {ops[2]}",
+    "j": lambda asm, ops, pc: f"jal zero, {ops[0]}",
+    "jr": lambda asm, ops, pc: f"jalr zero, 0({ops[0]})",
+    "call": lambda asm, ops, pc: f"jal ra, {ops[0]}",
+    "ret": lambda asm, ops, pc: "jalr zero, 0(ra)",
+    "csrr": lambda asm, ops, pc: f"csrrs {ops[0]}, {ops[1]}, zero",
+    "csrw": lambda asm, ops, pc: f"csrrw zero, {ops[0]}, {ops[1]}",
+    "csrs": lambda asm, ops, pc: f"csrrs zero, {ops[0]}, {ops[1]}",
+    "csrc": lambda asm, ops, pc: f"csrrc zero, {ops[0]}, {ops[1]}",
+    "csrwi": lambda asm, ops, pc: f"csrrwi zero, {ops[0]}, {ops[1]}",
+    "rdcycle": lambda asm, ops, pc: f"csrrs {ops[0]}, cycle, zero",
+    "sext.w": lambda asm, ops, pc: f"addiw {ops[0]}, {ops[1]}, 0",
+}
+
+
+def assemble(source: str, base: int = DRAM_BASE) -> bytes:
+    """Assemble ``source`` (convenience wrapper returning the image)."""
+    return Assembler(base).assemble(source)

@@ -1,0 +1,189 @@
+"""RV64C: the compressed instruction extension.
+
+Compressed instructions decode to their full-width equivalents (reusing
+the base executor), marked ``is_rvc`` so the commit path knows the
+instruction is 2 bytes (sequential PC advance, link-register values, and
+the ``FLAG_IS_RVC`` commit flag).
+"""
+
+from __future__ import annotations
+
+from .const import sext
+from .decode import DecodedInstr, IllegalInstruction
+
+
+def is_compressed(word: int) -> bool:
+    """True when the low half-word is a compressed encoding."""
+    return (word & 0x3) != 0x3
+
+
+def _rd_full(hw: int) -> int:
+    return (hw >> 7) & 0x1F
+
+
+def _rs2_full(hw: int) -> int:
+    return (hw >> 2) & 0x1F
+
+
+def _rd_prime(hw: int) -> int:
+    return 8 + ((hw >> 2) & 0x7)
+
+
+def _rs1_prime(hw: int) -> int:
+    return 8 + ((hw >> 7) & 0x7)
+
+
+def _c(name: str, **kw) -> DecodedInstr:
+    return DecodedInstr(name, is_rvc=True, **kw)
+
+
+def decode_compressed(hword: int) -> DecodedInstr:
+    """Decode a 16-bit compressed instruction into its expansion."""
+    hw = hword & 0xFFFF
+    if hw == 0:
+        raise IllegalInstruction(hw)  # defined illegal instruction
+    quadrant = hw & 0x3
+    funct3 = (hw >> 13) & 0x7
+    if quadrant == 0:
+        return _decode_q0(hw, funct3)
+    if quadrant == 1:
+        return _decode_q1(hw, funct3)
+    return _decode_q2(hw, funct3)
+
+
+# ----------------------------------------------------------------------
+def _decode_q0(hw: int, funct3: int) -> DecodedInstr:
+    if funct3 == 0b000:  # c.addi4spn
+        uimm = (((hw >> 11) & 0x3) << 4) | (((hw >> 7) & 0xF) << 6) \
+            | (((hw >> 6) & 0x1) << 2) | (((hw >> 5) & 0x1) << 3)
+        if uimm == 0:
+            raise IllegalInstruction(hw)
+        return _c("addi", rd=_rd_prime(hw), rs1=2, imm=uimm, raw=hw)
+    uimm53 = ((hw >> 10) & 0x7) << 3
+    uimm76 = ((hw >> 5) & 0x3) << 6
+    uimm_w = uimm53 | (((hw >> 6) & 0x1) << 2) | (((hw >> 5) & 0x1) << 6)
+    uimm_d = uimm53 | uimm76
+    rd = _rd_prime(hw)
+    rs1 = _rs1_prime(hw)
+    if funct3 == 0b001:  # c.fld
+        return _c("fld", rd=rd, rs1=rs1, imm=uimm_d, raw=hw)
+    if funct3 == 0b010:  # c.lw
+        return _c("lw", rd=rd, rs1=rs1, imm=uimm_w, raw=hw)
+    if funct3 == 0b011:  # c.ld (RV64)
+        return _c("ld", rd=rd, rs1=rs1, imm=uimm_d, raw=hw)
+    if funct3 == 0b101:  # c.fsd
+        return _c("fsd", rs1=rs1, rs2=rd, imm=uimm_d, raw=hw)
+    if funct3 == 0b110:  # c.sw
+        return _c("sw", rs1=rs1, rs2=rd, imm=uimm_w, raw=hw)
+    if funct3 == 0b111:  # c.sd
+        return _c("sd", rs1=rs1, rs2=rd, imm=uimm_d, raw=hw)
+    raise IllegalInstruction(hw)
+
+
+def _imm6(hw: int) -> int:
+    return sext((((hw >> 12) & 0x1) << 5) | ((hw >> 2) & 0x1F), 6)
+
+
+def _decode_q1(hw: int, funct3: int) -> DecodedInstr:
+    rd = _rd_full(hw)
+    if funct3 == 0b000:  # c.addi / c.nop
+        return _c("addi", rd=rd, rs1=rd, imm=_imm6(hw), raw=hw)
+    if funct3 == 0b001:  # c.addiw (RV64)
+        if rd == 0:
+            raise IllegalInstruction(hw)
+        return _c("addiw", rd=rd, rs1=rd, imm=_imm6(hw), raw=hw)
+    if funct3 == 0b010:  # c.li
+        return _c("addi", rd=rd, rs1=0, imm=_imm6(hw), raw=hw)
+    if funct3 == 0b011:
+        if rd == 2:  # c.addi16sp
+            imm = sext(
+                (((hw >> 12) & 0x1) << 9) | (((hw >> 6) & 0x1) << 4)
+                | (((hw >> 5) & 0x1) << 6) | (((hw >> 3) & 0x3) << 7)
+                | (((hw >> 2) & 0x1) << 5), 10)
+            if imm == 0:
+                raise IllegalInstruction(hw)
+            return _c("addi", rd=2, rs1=2, imm=imm, raw=hw)
+        if rd == 0 or _imm6(hw) == 0:
+            raise IllegalInstruction(hw)
+        return _c("lui", rd=rd, imm=_imm6(hw) << 12, raw=hw)
+    if funct3 == 0b100:
+        funct2 = (hw >> 10) & 0x3
+        rs1 = _rs1_prime(hw)
+        shamt = (((hw >> 12) & 0x1) << 5) | ((hw >> 2) & 0x1F)
+        if funct2 == 0b00:  # c.srli
+            return _c("srli", rd=rs1, rs1=rs1, imm=shamt, raw=hw)
+        if funct2 == 0b01:  # c.srai
+            return _c("srai", rd=rs1, rs1=rs1, imm=shamt, raw=hw)
+        if funct2 == 0b10:  # c.andi
+            return _c("andi", rd=rs1, rs1=rs1, imm=_imm6(hw), raw=hw)
+        rs2 = _rd_prime(hw)
+        op2 = (hw >> 5) & 0x3
+        if not (hw >> 12) & 0x1:
+            name = ("sub", "xor", "or", "and")[op2]
+        else:
+            if op2 == 0b00:
+                name = "subw"
+            elif op2 == 0b01:
+                name = "addw"
+            else:
+                raise IllegalInstruction(hw)
+        return _c(name, rd=rs1, rs1=rs1, rs2=rs2, raw=hw)
+    if funct3 == 0b101:  # c.j
+        imm = sext(
+            (((hw >> 12) & 0x1) << 11) | (((hw >> 11) & 0x1) << 4)
+            | (((hw >> 9) & 0x3) << 8) | (((hw >> 8) & 0x1) << 10)
+            | (((hw >> 7) & 0x1) << 6) | (((hw >> 6) & 0x1) << 7)
+            | (((hw >> 3) & 0x7) << 1) | (((hw >> 2) & 0x1) << 5), 12)
+        return _c("jal", rd=0, imm=imm, raw=hw)
+    # c.beqz / c.bnez
+    imm = sext(
+        (((hw >> 12) & 0x1) << 8) | (((hw >> 10) & 0x3) << 3)
+        | (((hw >> 5) & 0x3) << 6) | (((hw >> 3) & 0x3) << 1)
+        | (((hw >> 2) & 0x1) << 5), 9)
+    name = "beq" if funct3 == 0b110 else "bne"
+    return _c(name, rs1=_rs1_prime(hw), rs2=0, imm=imm, raw=hw)
+
+
+def _decode_q2(hw: int, funct3: int) -> DecodedInstr:
+    rd = _rd_full(hw)
+    rs2 = _rs2_full(hw)
+    if funct3 == 0b000:  # c.slli
+        shamt = (((hw >> 12) & 0x1) << 5) | ((hw >> 2) & 0x1F)
+        return _c("slli", rd=rd, rs1=rd, imm=shamt, raw=hw)
+    if funct3 == 0b001:  # c.fldsp
+        uimm = (((hw >> 12) & 0x1) << 5) | (((hw >> 5) & 0x3) << 3) \
+            | (((hw >> 2) & 0x7) << 6)
+        return _c("fld", rd=rd, rs1=2, imm=uimm, raw=hw)
+    if funct3 == 0b010:  # c.lwsp
+        if rd == 0:
+            raise IllegalInstruction(hw)
+        uimm = (((hw >> 12) & 0x1) << 5) | (((hw >> 4) & 0x7) << 2) \
+            | (((hw >> 2) & 0x3) << 6)
+        return _c("lw", rd=rd, rs1=2, imm=uimm, raw=hw)
+    if funct3 == 0b011:  # c.ldsp (RV64)
+        if rd == 0:
+            raise IllegalInstruction(hw)
+        uimm = (((hw >> 12) & 0x1) << 5) | (((hw >> 5) & 0x3) << 3) \
+            | (((hw >> 2) & 0x7) << 6)
+        return _c("ld", rd=rd, rs1=2, imm=uimm, raw=hw)
+    if funct3 == 0b100:
+        if not (hw >> 12) & 0x1:
+            if rs2 == 0:  # c.jr
+                if rd == 0:
+                    raise IllegalInstruction(hw)
+                return _c("jalr", rd=0, rs1=rd, imm=0, raw=hw)
+            return _c("add", rd=rd, rs1=0, rs2=rs2, raw=hw)  # c.mv
+        if rs2 == 0 and rd == 0:  # c.ebreak
+            return _c("ebreak", raw=hw)
+        if rs2 == 0:  # c.jalr
+            return _c("jalr", rd=1, rs1=rd, imm=0, raw=hw)
+        return _c("add", rd=rd, rs1=rd, rs2=rs2, raw=hw)  # c.add
+    if funct3 == 0b101:  # c.fsdsp
+        uimm = (((hw >> 10) & 0x7) << 3) | (((hw >> 7) & 0x7) << 6)
+        return _c("fsd", rs1=2, rs2=rs2, imm=uimm, raw=hw)
+    if funct3 == 0b110:  # c.swsp
+        uimm = (((hw >> 9) & 0xF) << 2) | (((hw >> 7) & 0x3) << 6)
+        return _c("sw", rs1=2, rs2=rs2, imm=uimm, raw=hw)
+    # c.sdsp
+    uimm = (((hw >> 10) & 0x7) << 3) | (((hw >> 7) & 0x7) << 6)
+    return _c("sd", rs1=2, rs2=rs2, imm=uimm, raw=hw)

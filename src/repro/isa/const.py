@@ -1,0 +1,89 @@
+"""Architectural constants: privilege levels, trap causes, interrupt bits.
+
+Values follow the RISC-V privileged specification; only the subset the
+modeled cores implement is listed.
+"""
+
+from __future__ import annotations
+
+MASK64 = (1 << 64) - 1
+MASK32 = (1 << 32) - 1
+
+# Privilege levels.
+PRIV_U = 0
+PRIV_S = 1
+PRIV_M = 3
+
+# Synchronous exception causes (mcause with interrupt bit clear).
+EXC_FETCH_MISALIGNED = 0
+EXC_FETCH_ACCESS = 1
+EXC_ILLEGAL = 2
+EXC_BREAKPOINT = 3
+EXC_LOAD_MISALIGNED = 4
+EXC_LOAD_ACCESS = 5
+EXC_STORE_MISALIGNED = 6
+EXC_STORE_ACCESS = 7
+EXC_ECALL_U = 8
+EXC_ECALL_S = 9
+EXC_ECALL_M = 11
+EXC_FETCH_PAGE_FAULT = 12
+EXC_LOAD_PAGE_FAULT = 13
+EXC_STORE_PAGE_FAULT = 15
+
+# Interrupt causes (mcause with interrupt bit set).
+IRQ_S_SOFT = 1
+IRQ_M_SOFT = 3
+IRQ_S_TIMER = 5
+IRQ_M_TIMER = 7
+IRQ_S_EXT = 9
+IRQ_M_EXT = 11
+
+INTERRUPT_BIT = 1 << 63
+
+# mstatus bit positions.
+MSTATUS_SIE = 1 << 1
+MSTATUS_MIE = 1 << 3
+MSTATUS_SPIE = 1 << 5
+MSTATUS_MPIE = 1 << 7
+MSTATUS_SPP = 1 << 8
+MSTATUS_VS_SHIFT = 9
+MSTATUS_MPP_SHIFT = 11
+MSTATUS_FS_SHIFT = 13
+MSTATUS_SUM = 1 << 18
+MSTATUS_MXR = 1 << 19
+MSTATUS_SD = 1 << 63
+
+# Page-table entry bits (Sv39).
+PTE_V = 1 << 0
+PTE_R = 1 << 1
+PTE_W = 1 << 2
+PTE_X = 1 << 3
+PTE_U = 1 << 4
+PTE_G = 1 << 5
+PTE_A = 1 << 6
+PTE_D = 1 << 7
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+
+# Memory-access kinds (used by the MMU and fault reporting).
+ACCESS_FETCH = 0
+ACCESS_LOAD = 1
+ACCESS_STORE = 2
+
+#: Reset / program-load address used by all workloads.
+DRAM_BASE = 0x8000_0000
+
+
+def sext(value: int, bits: int) -> int:
+    """Sign-extend ``value`` from ``bits`` to a Python int."""
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def to_u64(value: int) -> int:
+    return value & MASK64
+
+
+def to_s64(value: int) -> int:
+    return sext(value & MASK64, 64)

@@ -1,0 +1,279 @@
+"""Control-and-status register file.
+
+A dictionary-backed CSR file with write masks for the registers whose WARL
+behaviour matters to co-simulation (mstatus, mip, ...).  The checker
+compares the registers listed in :data:`CHECKED_CSRS`, whose order defines
+the entry layout of the ``CsrState`` verification event.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from .const import MASK64
+
+# Machine-level CSR addresses.
+MSTATUS = 0x300
+MISA = 0x301
+MEDELEG = 0x302
+MIDELEG = 0x303
+MIE = 0x304
+MTVEC = 0x305
+MCOUNTEREN = 0x306
+MSCRATCH = 0x340
+MEPC = 0x341
+MCAUSE = 0x342
+MTVAL = 0x343
+MIP = 0x344
+MCYCLE = 0xB00
+MINSTRET = 0xB02
+MVENDORID = 0xF11
+MARCHID = 0xF12
+MHARTID = 0xF14
+
+# Supervisor-level.
+SSTATUS = 0x100
+SIE = 0x104
+STVEC = 0x105
+SCOUNTEREN = 0x106
+SSCRATCH = 0x140
+SEPC = 0x141
+SCAUSE = 0x142
+STVAL = 0x143
+SIP = 0x144
+SATP = 0x180
+
+# Floating point.
+FFLAGS = 0x001
+FRM = 0x002
+FCSR = 0x003
+
+# Vector.
+VSTART = 0x008
+VXSAT = 0x009
+VXRM = 0x00A
+VCSR = 0x00F
+VL = 0xC20
+VTYPE = 0xC21
+VLENB = 0xC22
+
+# Hypervisor (storage only; exercised by the hypervisor event category).
+HSTATUS = 0x600
+HEDELEG = 0x602
+HIDELEG = 0x603
+HCOUNTEREN = 0x606
+HGATP = 0x680
+VSSTATUS = 0x200
+VSIE = 0x204
+VSTVEC = 0x205
+VSSCRATCH = 0x240
+VSEPC = 0x241
+VSCAUSE = 0x242
+VSTVAL = 0x243
+VSIP = 0x244
+VSATP = 0x280
+
+# Debug / trigger.
+TSELECT = 0x7A0
+TDATA1 = 0x7A1
+TDATA2 = 0x7A2
+TDATA3 = 0x7A3
+DCSR = 0x7B0
+DPC = 0x7B1
+DSCRATCH0 = 0x7B2
+DSCRATCH1 = 0x7B3
+
+# Counters (user views).
+CYCLE = 0xC00
+TIME = 0xC01
+INSTRET = 0xC02
+
+#: sstatus is a restricted view of mstatus: these bits are visible.
+SSTATUS_MASK = 0x8000_0003_000D_E762
+
+#: Only these interrupt bits are implemented in mip/mie.
+IP_MASK = 0x0AAA
+
+#: Supervisor-visible interrupt bits: sie/sip are views of mie/mip.
+SI_MASK = 0x0222
+
+#: The CSRs carried (in this order) by the CsrState verification event; the
+#: list is padded with zero entries to CSR_STATE_ENTRIES by the monitor.
+CHECKED_CSRS: Tuple[int, ...] = (
+    MSTATUS, MEDELEG, MIDELEG, MIE, MTVEC, MSCRATCH, MEPC, MCAUSE, MTVAL,
+    MIP, SSTATUS, SIE, STVEC, SSCRATCH, SEPC, SCAUSE, STVAL, SIP, SATP,
+    MCYCLE, MINSTRET, MCOUNTEREN, SCOUNTEREN, MISA, MHARTID,
+)
+
+#: Hypervisor CSRs carried by the HypervisorCsrState event (padded to 30).
+HYPERVISOR_CSRS: Tuple[int, ...] = (
+    HSTATUS, HEDELEG, HIDELEG, HCOUNTEREN, HGATP, VSSTATUS, VSIE, VSTVEC,
+    VSSCRATCH, VSEPC, VSCAUSE, VSTVAL, VSIP, VSATP,
+)
+
+#: Trigger CSRs carried by TriggerCsrState (padded to 8).
+TRIGGER_CSRS: Tuple[int, ...] = (TSELECT, TDATA1, TDATA2, TDATA3)
+
+#: Debug CSRs carried by DebugCsrState.
+DEBUG_CSRS: Tuple[int, ...] = (DCSR, DPC, DSCRATCH0, DSCRATCH1)
+
+#: RV64IMAFDV + S + U misa encoding.
+_MISA_RESET = (2 << 62) | (
+    (1 << 0)  # A
+    | (1 << 3)  # D
+    | (1 << 5)  # F
+    | (1 << 8)  # I
+    | (1 << 12)  # M
+    | (1 << 18)  # S
+    | (1 << 20)  # U
+    | (1 << 21)  # V
+)
+
+#: Write masks applied on CSR writes (address -> writable-bit mask).
+_WRITE_MASKS: Dict[int, int] = {
+    MSTATUS: 0x8000_003F_007F_FFEA,
+    MIP: IP_MASK,
+    MIE: IP_MASK,
+    SIP: 0x0222,
+    SIE: 0x0222,
+    MISA: 0,  # fixed
+    MVENDORID: 0,
+    MARCHID: 0,
+    MHARTID: 0,
+    VLENB: 0,
+    VL: 0,  # written via vset* only
+    VTYPE: 0,
+    FFLAGS: 0x1F,
+    FRM: 0x7,
+    FCSR: 0xFF,
+}
+
+
+class IllegalCsr(Exception):
+    """Raised on access to an unimplemented CSR (becomes EXC_ILLEGAL)."""
+
+
+class CsrFile:
+    """The CSR register file of one hart.
+
+    Reads/writes go through :meth:`read` / :meth:`write`, which implement
+    the view registers (sstatus, fflags/frm as slices of fcsr) and the
+    write masks.  An optional journal records old values for Replay's
+    compensation-based revert.
+    """
+
+    def __init__(self, hart_id: int = 0, vlen_bytes: int = 32) -> None:
+        self._values: Dict[int, int] = {}
+        self.journal = None
+        for addr in (
+            list(CHECKED_CSRS)
+            + list(HYPERVISOR_CSRS)
+            + list(TRIGGER_CSRS)
+            + list(DEBUG_CSRS)
+            + [FCSR, VSTART, VXSAT, VXRM, VCSR, VL, VTYPE, VLENB, MVENDORID,
+               MARCHID]
+        ):
+            self._values[addr] = 0
+        self._values[MISA] = _MISA_RESET
+        self._values[MHARTID] = hart_id
+        self._values[VLENB] = vlen_bytes
+
+    # ------------------------------------------------------------------
+    def _raw_read(self, addr: int) -> int:
+        try:
+            return self._values[addr]
+        except KeyError:
+            raise IllegalCsr(addr) from None
+
+    def _raw_write(self, addr: int, value: int) -> None:
+        if addr not in self._values:
+            raise IllegalCsr(addr)
+        old = self._values[addr]
+        if old == value:
+            return
+        if self.journal is not None:
+            self.journal.record_csr(addr, old)
+        self._values[addr] = value & MASK64
+
+    def read(self, addr: int) -> int:
+        """Read a CSR, resolving view registers."""
+        if addr == SSTATUS:
+            return self._raw_read(MSTATUS) & SSTATUS_MASK
+        if addr == SIE:
+            return self._raw_read(MIE) & SI_MASK
+        if addr == SIP:
+            return self._raw_read(MIP) & SI_MASK
+        if addr == FFLAGS:
+            return self._raw_read(FCSR) & 0x1F
+        if addr == FRM:
+            return (self._raw_read(FCSR) >> 5) & 0x7
+        if addr in (CYCLE, TIME):
+            return self._raw_read(MCYCLE)
+        if addr == INSTRET:
+            return self._raw_read(MINSTRET)
+        return self._raw_read(addr)
+
+    def write(self, addr: int, value: int) -> None:
+        """Write a CSR, applying write masks and view-register routing."""
+        value &= MASK64
+        if addr == SSTATUS:
+            mstatus = self._raw_read(MSTATUS)
+            merged = (mstatus & ~SSTATUS_MASK) | (value & SSTATUS_MASK)
+            self._raw_write(MSTATUS, merged)
+            return
+        if addr == SIE:
+            mie = self._raw_read(MIE)
+            self._raw_write(MIE, (mie & ~SI_MASK) | (value & SI_MASK))
+            return
+        if addr == SIP:
+            # Only SSIP is software-writable through sip.
+            mip = self._raw_read(MIP)
+            self._raw_write(MIP, (mip & ~0x2) | (value & 0x2))
+            return
+        if addr == FFLAGS:
+            fcsr = self._raw_read(FCSR)
+            self._raw_write(FCSR, (fcsr & ~0x1F) | (value & 0x1F))
+            return
+        if addr == FRM:
+            fcsr = self._raw_read(FCSR)
+            self._raw_write(FCSR, (fcsr & ~0xE0) | ((value & 0x7) << 5))
+            return
+        if addr in (CYCLE, TIME, INSTRET):
+            raise IllegalCsr(addr)
+        mask = _WRITE_MASKS.get(addr)
+        if mask is None:
+            self._raw_write(addr, value)
+        elif mask:
+            old = self._raw_read(addr)
+            self._raw_write(addr, (old & ~mask) | (value & mask))
+        # mask == 0: write silently ignored (read-only WARL field)
+
+    # ------------------------------------------------------------------
+    # Direct (unmasked) access for trap handling and state sync.
+    # ------------------------------------------------------------------
+    def force(self, addr: int, value: int) -> None:
+        """Unmasked write used by trap hardware and checkpoint restore."""
+        self._raw_write(addr, value & MASK64)
+
+    def peek(self, addr: int) -> int:
+        """Unmasked read (no view routing); 0 for unimplemented CSRs."""
+        return self._values.get(addr, 0)
+
+    # ------------------------------------------------------------------
+    #: View registers resolved through :meth:`read` when snapshotting.
+    _VIEW_CSRS = frozenset({SSTATUS, SIE, SIP, FFLAGS, FRM})
+
+    def snapshot(self, addrs: Iterable[int], pad_to: Optional[int] = None):
+        """Tuple of architectural values in ``addrs`` order (view registers
+        resolved), zero-padded to ``pad_to``."""
+        values = [self.read(a) if a in self._VIEW_CSRS
+                  else self._values.get(a, 0) for a in addrs]
+        if pad_to is not None:
+            values.extend([0] * (pad_to - len(values)))
+        return tuple(values)
+
+    def items(self):
+        return self._values.items()
+
+    def copy_from(self, other: "CsrFile") -> None:
+        self._values = dict(other._values)

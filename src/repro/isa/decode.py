@@ -1,0 +1,328 @@
+"""RV64 instruction decoder.
+
+Covers RV64I, M, A, Zicsr, F/D arithmetic subset, system instructions and
+a minimal vector subset (vsetvli, unit-stride vector load/store, a few
+OPIVV arithmetic ops).  The decoder returns a :class:`DecodedInstr`;
+execution semantics live in :mod:`repro.isa.execute`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .const import sext
+
+
+@dataclass(frozen=True)
+class DecodedInstr:
+    """One decoded instruction; ``name`` selects the executor handler."""
+
+    name: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    rs3: int = 0
+    imm: int = 0
+    csr: int = 0
+    funct3: int = 0
+    raw: int = 0
+    #: True for compressed encodings (2-byte instruction length).
+    is_rvc: bool = False
+
+    @property
+    def length(self) -> int:
+        return 2 if self.is_rvc else 4
+
+
+class IllegalInstruction(Exception):
+    """Raised for undecodable encodings (becomes EXC_ILLEGAL)."""
+
+    def __init__(self, word: int) -> None:
+        super().__init__(f"illegal instruction {word:#010x}")
+        self.word = word
+
+
+def _rd(w: int) -> int:
+    return (w >> 7) & 0x1F
+
+
+def _rs1(w: int) -> int:
+    return (w >> 15) & 0x1F
+
+
+def _rs2(w: int) -> int:
+    return (w >> 20) & 0x1F
+
+
+def _funct3(w: int) -> int:
+    return (w >> 12) & 0x7
+
+
+def _funct7(w: int) -> int:
+    return (w >> 25) & 0x7F
+
+
+def _imm_i(w: int) -> int:
+    return sext(w >> 20, 12)
+
+
+def _imm_s(w: int) -> int:
+    return sext(((w >> 25) << 5) | ((w >> 7) & 0x1F), 12)
+
+
+def _imm_b(w: int) -> int:
+    imm = (
+        (((w >> 31) & 1) << 12)
+        | (((w >> 7) & 1) << 11)
+        | (((w >> 25) & 0x3F) << 5)
+        | (((w >> 8) & 0xF) << 1)
+    )
+    return sext(imm, 13)
+
+
+def _imm_u(w: int) -> int:
+    return sext(w & 0xFFFFF000, 32)
+
+
+def _imm_j(w: int) -> int:
+    imm = (
+        (((w >> 31) & 1) << 20)
+        | (((w >> 12) & 0xFF) << 12)
+        | (((w >> 20) & 1) << 11)
+        | (((w >> 21) & 0x3FF) << 1)
+    )
+    return sext(imm, 21)
+
+
+_LOAD_NAMES = {0: "lb", 1: "lh", 2: "lw", 3: "ld", 4: "lbu", 5: "lhu", 6: "lwu"}
+_STORE_NAMES = {0: "sb", 1: "sh", 2: "sw", 3: "sd"}
+_BRANCH_NAMES = {0: "beq", 1: "bne", 4: "blt", 5: "bge", 6: "bltu", 7: "bgeu"}
+_OP_IMM_NAMES = {0: "addi", 2: "slti", 3: "sltiu", 4: "xori", 6: "ori", 7: "andi"}
+_OP_NAMES = {
+    (0x00, 0): "add", (0x20, 0): "sub", (0x00, 1): "sll", (0x00, 2): "slt",
+    (0x00, 3): "sltu", (0x00, 4): "xor", (0x00, 5): "srl", (0x20, 5): "sra",
+    (0x00, 6): "or", (0x00, 7): "and",
+    (0x01, 0): "mul", (0x01, 1): "mulh", (0x01, 2): "mulhsu", (0x01, 3): "mulhu",
+    (0x01, 4): "div", (0x01, 5): "divu", (0x01, 6): "rem", (0x01, 7): "remu",
+}
+_OP32_NAMES = {
+    (0x00, 0): "addw", (0x20, 0): "subw", (0x00, 1): "sllw",
+    (0x00, 5): "srlw", (0x20, 5): "sraw",
+    (0x01, 0): "mulw", (0x01, 4): "divw", (0x01, 5): "divuw",
+    (0x01, 6): "remw", (0x01, 7): "remuw",
+}
+_CSR_NAMES = {1: "csrrw", 2: "csrrs", 3: "csrrc", 5: "csrrwi", 6: "csrrsi", 7: "csrrci"}
+_AMO_NAMES = {
+    0x02: "lr", 0x03: "sc", 0x01: "amoswap", 0x00: "amoadd", 0x04: "amoxor",
+    0x0C: "amoand", 0x08: "amoor", 0x10: "amomin", 0x14: "amomax",
+    0x18: "amominu", 0x1C: "amomaxu",
+}
+_FP_NAMES = {
+    0x01: "fadd.d", 0x05: "fsub.d", 0x09: "fmul.d", 0x0D: "fdiv.d",
+    0x2D: "fsqrt.d",
+}
+_OPIVV_NAMES = {
+    0x00: "vadd.vv", 0x02: "vsub.vv", 0x04: "vminu.vv", 0x05: "vmin.vv",
+    0x06: "vmaxu.vv", 0x07: "vmax.vv", 0x09: "vand.vv", 0x0A: "vor.vv",
+    0x0B: "vxor.vv", 0x25: "vsll.vv", 0x28: "vsrl.vv",
+}
+
+
+def decode(word: int) -> DecodedInstr:
+    """Decode a 32-bit instruction word; raises IllegalInstruction."""
+    opcode = word & 0x7F
+    funct3 = _funct3(word)
+    funct7 = _funct7(word)
+
+    if opcode == 0x37:
+        return DecodedInstr("lui", rd=_rd(word), imm=_imm_u(word), raw=word)
+    if opcode == 0x17:
+        return DecodedInstr("auipc", rd=_rd(word), imm=_imm_u(word), raw=word)
+    if opcode == 0x6F:
+        return DecodedInstr("jal", rd=_rd(word), imm=_imm_j(word), raw=word)
+    if opcode == 0x67 and funct3 == 0:
+        return DecodedInstr(
+            "jalr", rd=_rd(word), rs1=_rs1(word), imm=_imm_i(word), raw=word
+        )
+    if opcode == 0x63:
+        name = _BRANCH_NAMES.get(funct3)
+        if name is None:
+            raise IllegalInstruction(word)
+        return DecodedInstr(
+            name, rs1=_rs1(word), rs2=_rs2(word), imm=_imm_b(word), raw=word
+        )
+    if opcode == 0x03:
+        name = _LOAD_NAMES.get(funct3)
+        if name is None:
+            raise IllegalInstruction(word)
+        return DecodedInstr(
+            name, rd=_rd(word), rs1=_rs1(word), imm=_imm_i(word), raw=word
+        )
+    if opcode == 0x23:
+        name = _STORE_NAMES.get(funct3)
+        if name is None:
+            raise IllegalInstruction(word)
+        return DecodedInstr(
+            name, rs1=_rs1(word), rs2=_rs2(word), imm=_imm_s(word), raw=word
+        )
+    if opcode == 0x13:
+        if funct3 == 1 and (word >> 26) == 0:
+            return DecodedInstr(
+                "slli", rd=_rd(word), rs1=_rs1(word), imm=(word >> 20) & 0x3F, raw=word
+            )
+        if funct3 == 5:
+            shamt = (word >> 20) & 0x3F
+            top = word >> 26
+            if top == 0x00:
+                return DecodedInstr("srli", rd=_rd(word), rs1=_rs1(word), imm=shamt, raw=word)
+            if top == 0x10:
+                return DecodedInstr("srai", rd=_rd(word), rs1=_rs1(word), imm=shamt, raw=word)
+            raise IllegalInstruction(word)
+        name = _OP_IMM_NAMES.get(funct3)
+        if name is None:
+            raise IllegalInstruction(word)
+        return DecodedInstr(
+            name, rd=_rd(word), rs1=_rs1(word), imm=_imm_i(word), raw=word
+        )
+    if opcode == 0x1B:
+        if funct3 == 0:
+            return DecodedInstr(
+                "addiw", rd=_rd(word), rs1=_rs1(word), imm=_imm_i(word), raw=word
+            )
+        shamt = (word >> 20) & 0x1F
+        if funct3 == 1 and funct7 == 0x00:
+            return DecodedInstr("slliw", rd=_rd(word), rs1=_rs1(word), imm=shamt, raw=word)
+        if funct3 == 5 and funct7 == 0x00:
+            return DecodedInstr("srliw", rd=_rd(word), rs1=_rs1(word), imm=shamt, raw=word)
+        if funct3 == 5 and funct7 == 0x20:
+            return DecodedInstr("sraiw", rd=_rd(word), rs1=_rs1(word), imm=shamt, raw=word)
+        raise IllegalInstruction(word)
+    if opcode == 0x33:
+        name = _OP_NAMES.get((funct7, funct3))
+        if name is None:
+            raise IllegalInstruction(word)
+        return DecodedInstr(name, rd=_rd(word), rs1=_rs1(word), rs2=_rs2(word), raw=word)
+    if opcode == 0x3B:
+        name = _OP32_NAMES.get((funct7, funct3))
+        if name is None:
+            raise IllegalInstruction(word)
+        return DecodedInstr(name, rd=_rd(word), rs1=_rs1(word), rs2=_rs2(word), raw=word)
+    if opcode == 0x0F:
+        if funct3 == 0:
+            return DecodedInstr("fence", raw=word)
+        if funct3 == 1:
+            return DecodedInstr("fence.i", raw=word)
+        raise IllegalInstruction(word)
+    if opcode == 0x73:
+        if funct3 == 0:
+            imm12 = word >> 20
+            if word == 0x0000_0073:
+                return DecodedInstr("ecall", raw=word)
+            if word == 0x0010_0073:
+                return DecodedInstr("ebreak", raw=word)
+            if word == 0x3020_0073:
+                return DecodedInstr("mret", raw=word)
+            if word == 0x1020_0073:
+                return DecodedInstr("sret", raw=word)
+            if word == 0x1050_0073:
+                return DecodedInstr("wfi", raw=word)
+            if (word >> 25) == 0x09:
+                return DecodedInstr(
+                    "sfence.vma", rs1=_rs1(word), rs2=_rs2(word), raw=word
+                )
+            raise IllegalInstruction(word)
+        name = _CSR_NAMES.get(funct3)
+        if name is None:
+            raise IllegalInstruction(word)
+        return DecodedInstr(
+            name, rd=_rd(word), rs1=_rs1(word), csr=word >> 20, raw=word
+        )
+    if opcode == 0x2F:
+        width = {2: "w", 3: "d"}.get(funct3)
+        base = _AMO_NAMES.get(funct7 >> 2)
+        if width is None or base is None:
+            raise IllegalInstruction(word)
+        return DecodedInstr(
+            f"{base}.{width}", rd=_rd(word), rs1=_rs1(word), rs2=_rs2(word),
+            funct3=funct3, raw=word,
+        )
+    if opcode == 0x07:
+        if funct3 == 3:
+            return DecodedInstr(
+                "fld", rd=_rd(word), rs1=_rs1(word), imm=_imm_i(word), raw=word
+            )
+        if funct3 == 7:  # unit-stride vle64.v
+            return DecodedInstr("vle64.v", rd=_rd(word), rs1=_rs1(word), raw=word)
+        raise IllegalInstruction(word)
+    if opcode == 0x27:
+        if funct3 == 3:
+            return DecodedInstr(
+                "fsd", rs1=_rs1(word), rs2=_rs2(word), imm=_imm_s(word), raw=word
+            )
+        if funct3 == 7:  # unit-stride vse64.v
+            return DecodedInstr("vse64.v", rd=_rd(word), rs1=_rs1(word), raw=word)
+        raise IllegalInstruction(word)
+    if opcode == 0x53:
+        return _decode_fp(word, funct3, funct7)
+    if opcode == 0x57:
+        return _decode_vector(word, funct3)
+    raise IllegalInstruction(word)
+
+
+def _decode_fp(word: int, funct3: int, funct7: int) -> DecodedInstr:
+    rd, rs1, rs2 = _rd(word), _rs1(word), _rs2(word)
+    name = _FP_NAMES.get(funct7)
+    if name is not None:
+        if name == "fsqrt.d" and rs2 != 0:
+            raise IllegalInstruction(word)
+        return DecodedInstr(name, rd=rd, rs1=rs1, rs2=rs2, raw=word)
+    if funct7 == 0x11:
+        names = {0: "fsgnj.d", 1: "fsgnjn.d", 2: "fsgnjx.d"}
+        name = names.get(funct3)
+    elif funct7 == 0x15:
+        name = {0: "fmin.d", 1: "fmax.d"}.get(funct3)
+    elif funct7 == 0x51:
+        name = {2: "feq.d", 1: "flt.d", 0: "fle.d"}.get(funct3)
+    elif funct7 == 0x61:
+        name = {0: "fcvt.w.d", 1: "fcvt.wu.d", 2: "fcvt.l.d", 3: "fcvt.lu.d"}.get(rs2)
+    elif funct7 == 0x69:
+        name = {0: "fcvt.d.w", 1: "fcvt.d.wu", 2: "fcvt.d.l", 3: "fcvt.d.lu"}.get(rs2)
+    elif funct7 == 0x71 and rs2 == 0 and funct3 == 0:
+        name = "fmv.x.d"
+    elif funct7 == 0x79 and rs2 == 0 and funct3 == 0:
+        name = "fmv.d.x"
+    else:
+        name = None
+    if name is None:
+        raise IllegalInstruction(word)
+    return DecodedInstr(name, rd=rd, rs1=rs1, rs2=rs2, raw=word)
+
+
+def _decode_vector(word: int, funct3: int) -> DecodedInstr:
+    rd, rs1, rs2 = _rd(word), _rs1(word), _rs2(word)
+    if funct3 == 7:  # vsetvli / vsetvl
+        if not word >> 31:
+            return DecodedInstr(
+                "vsetvli", rd=rd, rs1=rs1, imm=(word >> 20) & 0x7FF, raw=word
+            )
+        raise IllegalInstruction(word)
+    if funct3 == 0:  # OPIVV
+        funct6 = word >> 26
+        if funct6 == 0x17 and rs2 == 0:
+            return DecodedInstr("vmv.v.v", rd=rd, rs1=rs1, raw=word)
+        name = _OPIVV_NAMES.get(funct6)
+        if name is None:
+            raise IllegalInstruction(word)
+        return DecodedInstr(name, rd=rd, rs1=rs1, rs2=rs2, raw=word)
+    if funct3 == 2:  # OPMVV
+        if (word >> 26) == 0x25:
+            return DecodedInstr("vmul.vv", rd=rd, rs1=rs1, rs2=rs2, raw=word)
+        raise IllegalInstruction(word)
+    if funct3 == 4:  # OPIVX
+        funct6 = word >> 26
+        if funct6 == 0x00:
+            return DecodedInstr("vadd.vx", rd=rd, rs1=rs1, rs2=rs2, raw=word)
+        if funct6 == 0x17 and rs2 == 0:
+            return DecodedInstr("vmv.v.x", rd=rd, rs1=rs1, raw=word)
+        raise IllegalInstruction(word)
+    raise IllegalInstruction(word)

@@ -1,0 +1,172 @@
+"""Memory-mapped devices: UART, CLINT and a minimal PLIC.
+
+Device state lives only on the DUT side of a co-simulation — the REF never
+ticks or reads devices directly.  Every DUT read of a device register is a
+non-deterministic event whose observed value must be synchronised into the
+REF (the "skip" mechanism), and the CLINT/PLIC are the sources of timer and
+external interrupts, the canonical NDEs of Section 4.3.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .memory import Device
+
+UART_BASE = 0x1000_0000
+UART_SIZE = 0x100
+CLINT_BASE = 0x0200_0000
+CLINT_SIZE = 0x1_0000
+PLIC_BASE = 0x0C00_0000
+PLIC_SIZE = 0x400_0000
+
+# UART register offsets (16550-flavoured subset).
+UART_THR = 0x00  # transmit holding (write) / receive buffer (read)
+UART_LSR = 0x05  # line status
+LSR_TX_IDLE = 0x20
+LSR_RX_READY = 0x01
+
+# CLINT register offsets.
+CLINT_MSIP = 0x0000
+CLINT_MTIMECMP = 0x4000
+CLINT_MTIME = 0xBFF8
+
+
+class Uart(Device):
+    """A 16550-ish UART.
+
+    Writes to THR collect program output (`output` buffer, used by
+    workloads to report results).  Reads of RBR pop from a configurable
+    input script — a genuinely non-deterministic value from the REF's
+    perspective.
+    """
+
+    name = "uart"
+
+    def __init__(self, input_script: Optional[bytes] = None) -> None:
+        self.output = bytearray()
+        self._input: List[int] = list(input_script or b"")
+        self.reads = 0
+
+    def read(self, offset: int, size: int) -> int:
+        self.reads += 1
+        if offset == UART_LSR:
+            status = LSR_TX_IDLE
+            if self._input:
+                status |= LSR_RX_READY
+            return status
+        if offset == UART_THR:
+            if self._input:
+                return self._input.pop(0)
+            return 0
+        return 0
+
+    def write(self, offset: int, size: int, value: int) -> None:
+        if offset == UART_THR:
+            self.output.append(value & 0xFF)
+
+    def text(self) -> str:
+        return self.output.decode("ascii", errors="replace")
+
+
+class Clint(Device):
+    """Core-local interruptor: mtime, mtimecmp, msip.
+
+    ``tick()`` advances mtime; the DUT calls it once per cycle (divided by
+    ``divider``) and samples :meth:`mtip` to decide interrupt injection.
+    """
+
+    name = "clint"
+
+    def __init__(self, num_harts: int = 1, divider: int = 16) -> None:
+        self.mtime = 0
+        self.mtimecmp = [(1 << 64) - 1] * num_harts
+        self.msip = [0] * num_harts
+        self.divider = divider
+        self._subticks = 0
+
+    def tick(self, cycles: int = 1) -> None:
+        self._subticks += cycles
+        self.mtime += self._subticks // self.divider
+        self._subticks %= self.divider
+
+    def mtip(self, hart: int = 0) -> bool:
+        return self.mtime >= self.mtimecmp[hart]
+
+    def msip_pending(self, hart: int = 0) -> bool:
+        return bool(self.msip[hart] & 1)
+
+    def _hart_of(self, offset: int, stride: int, base: int) -> int:
+        return (offset - base) // stride
+
+    def read(self, offset: int, size: int) -> int:
+        if offset >= CLINT_MTIME:
+            return (self.mtime >> (8 * (offset - CLINT_MTIME))) & (
+                (1 << (8 * size)) - 1
+            )
+        if offset >= CLINT_MTIMECMP:
+            hart = self._hart_of(offset, 8, CLINT_MTIMECMP)
+            shift = 8 * ((offset - CLINT_MTIMECMP) % 8)
+            return (self.mtimecmp[hart] >> shift) & ((1 << (8 * size)) - 1)
+        hart = self._hart_of(offset, 4, CLINT_MSIP)
+        return self.msip[hart]
+
+    def write(self, offset: int, size: int, value: int) -> None:
+        if offset >= CLINT_MTIME:
+            self.mtime = value
+            return
+        if offset >= CLINT_MTIMECMP:
+            hart = self._hart_of(offset, 8, CLINT_MTIMECMP)
+            if size == 8:
+                self.mtimecmp[hart] = value
+            else:
+                shift = 8 * ((offset - CLINT_MTIMECMP) % 8)
+                mask = ((1 << (8 * size)) - 1) << shift
+                self.mtimecmp[hart] = (self.mtimecmp[hart] & ~mask) | (
+                    (value << shift) & mask
+                )
+            return
+        hart = self._hart_of(offset, 4, CLINT_MSIP)
+        self.msip[hart] = value & 1
+
+
+class PlicLite(Device):
+    """A minimal PLIC: external sources raise lines, a claim register pops
+    the lowest pending source."""
+
+    name = "plic"
+
+    def __init__(self) -> None:
+        self.pending: List[int] = []
+
+    def raise_irq(self, source: int) -> None:
+        if source not in self.pending:
+            self.pending.append(source)
+            self.pending.sort()
+
+    def eip(self) -> bool:
+        return bool(self.pending)
+
+    def read(self, offset: int, size: int) -> int:
+        # Any read acts as claim/complete of the lowest pending source.
+        if self.pending:
+            return self.pending.pop(0)
+        return 0
+
+    def write(self, offset: int, size: int, value: int) -> None:
+        # Completion is implicit in this simplified model.
+        return
+
+
+def attach_standard_devices(bus, num_harts: int = 1, uart_input: bytes = b""):
+    """Attach UART + CLINT + PLIC at their conventional bases.
+
+    Returns ``(uart, clint, plic)``.
+    """
+    uart = Uart(uart_input)
+    clint = Clint(num_harts)
+    plic = PlicLite()
+    bus.attach(UART_BASE, UART_SIZE, uart)
+    bus.attach(CLINT_BASE, CLINT_SIZE, clint)
+    bus.attach(PLIC_BASE, PLIC_SIZE, plic)
+    return uart, clint, plic

@@ -1,0 +1,148 @@
+"""Physical memory and the system bus.
+
+Memory is sparse (4 KiB pages allocated on first touch) so a 64-bit address
+space costs nothing.  The :class:`Bus` routes accesses either to memory or
+to memory-mapped devices; device accesses are the source of
+non-determinism in co-simulation (the REF never performs them — their
+results are synchronised from the DUT).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from .const import PAGE_SHIFT, PAGE_SIZE
+
+
+class MemoryError64(Exception):
+    """Raised on an access the bus cannot satisfy (becomes an access fault)."""
+
+    def __init__(self, addr: int, why: str) -> None:
+        super().__init__(f"{why} @ {addr:#x}")
+        self.addr = addr
+
+
+class PhysicalMemory:
+    """Sparse byte-addressable physical memory."""
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, bytearray] = {}
+        self.journal = None
+
+    def _page(self, addr: int) -> bytearray:
+        index = addr >> PAGE_SHIFT
+        page = self._pages.get(index)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[index] = page
+        return page
+
+    # ------------------------------------------------------------------
+    def load_bytes(self, addr: int, size: int) -> bytes:
+        out = bytearray()
+        while size > 0:
+            offset = addr & (PAGE_SIZE - 1)
+            chunk = min(size, PAGE_SIZE - offset)
+            out += self._page(addr)[offset : offset + chunk]
+            addr += chunk
+            size -= chunk
+        return bytes(out)
+
+    def store_bytes(self, addr: int, data: bytes) -> None:
+        if self.journal is not None:
+            self.journal.record_mem(addr, self.load_bytes(addr, len(data)))
+        offset = 0
+        while offset < len(data):
+            page_offset = (addr + offset) & (PAGE_SIZE - 1)
+            chunk = min(len(data) - offset, PAGE_SIZE - page_offset)
+            self._page(addr + offset)[page_offset : page_offset + chunk] = data[
+                offset : offset + chunk
+            ]
+            offset += chunk
+
+    def load(self, addr: int, size: int) -> int:
+        return int.from_bytes(self.load_bytes(addr, size), "little")
+
+    def store(self, addr: int, size: int, value: int) -> None:
+        self.store_bytes(addr, (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little"))
+
+    def load_words(self, addr: int, count: int) -> Tuple[int, ...]:
+        """Read ``count`` 64-bit little-endian words (cache-line captures)."""
+        data = self.load_bytes(addr, count * 8)
+        return struct.unpack("<" + "Q" * count, data)
+
+    # ------------------------------------------------------------------
+    def clone(self) -> "PhysicalMemory":
+        other = PhysicalMemory()
+        other._pages = {index: bytearray(page) for index, page in self._pages.items()}
+        return other
+
+    def allocated_bytes(self) -> int:
+        return len(self._pages) * PAGE_SIZE
+
+
+class Device:
+    """Interface for memory-mapped devices.
+
+    Device reads may be non-deterministic from the checker's perspective;
+    the bus flags them so monitors can mark the access as an NDE.
+    """
+
+    name = "device"
+
+    def read(self, offset: int, size: int) -> int:
+        raise NotImplementedError
+
+    def write(self, offset: int, size: int, value: int) -> None:
+        raise NotImplementedError
+
+
+class Bus:
+    """Routes physical accesses to memory or devices."""
+
+    def __init__(self, memory: Optional[PhysicalMemory] = None) -> None:
+        self.memory = memory if memory is not None else PhysicalMemory()
+        self._devices: List[Tuple[int, int, Device]] = []
+
+    def attach(self, base: int, size: int, device: Device) -> None:
+        for other_base, other_size, other in self._devices:
+            if base < other_base + other_size and other_base < base + size:
+                raise ValueError(
+                    f"device {device.name} overlaps {other.name} at {base:#x}"
+                )
+        self._devices.append((base, size, device))
+
+    def device_at(self, addr: int) -> Optional[Tuple[int, Device]]:
+        for base, size, device in self._devices:
+            if base <= addr < base + size:
+                return base, device
+        return None
+
+    def is_mmio(self, addr: int) -> bool:
+        return self.device_at(addr) is not None
+
+    # ------------------------------------------------------------------
+    def load(self, addr: int, size: int) -> Tuple[int, bool]:
+        """Read ``size`` bytes; returns ``(value, is_mmio)``."""
+        hit = self.device_at(addr)
+        if hit is not None:
+            base, device = hit
+            return device.read(addr - base, size) & ((1 << (8 * size)) - 1), True
+        return self.memory.load(addr, size), False
+
+    def store(self, addr: int, size: int, value: int) -> bool:
+        """Write ``size`` bytes; returns ``True`` if the target was MMIO."""
+        hit = self.device_at(addr)
+        if hit is not None:
+            base, device = hit
+            device.write(addr - base, size, value)
+            return True
+        self.memory.store(addr, size, value)
+        return False
+
+    def fetch(self, addr: int) -> int:
+        """Instruction fetch (always from memory; fetching MMIO faults)."""
+        if self.is_mmio(addr):
+            raise MemoryError64(addr, "instruction fetch from MMIO")
+        return self.memory.load(addr, 4)

@@ -1,0 +1,199 @@
+"""Sv39 virtual-memory translation.
+
+The same walker is used by the REF (for architectural execution) and by
+the DUT's TLB models (to produce L1/L2 TLB-fill verification events that
+the checker can re-walk and validate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .const import (
+    ACCESS_FETCH,
+    ACCESS_LOAD,
+    ACCESS_STORE,
+    EXC_FETCH_PAGE_FAULT,
+    EXC_LOAD_PAGE_FAULT,
+    EXC_STORE_PAGE_FAULT,
+    MSTATUS_MXR,
+    MSTATUS_SUM,
+    PAGE_SHIFT,
+    PRIV_M,
+    PRIV_S,
+    PRIV_U,
+    PTE_A,
+    PTE_D,
+    PTE_R,
+    PTE_U,
+    PTE_V,
+    PTE_W,
+    PTE_X,
+)
+
+SATP_MODE_BARE = 0
+SATP_MODE_SV39 = 8
+
+_PAGE_FAULT_CAUSE = {
+    ACCESS_FETCH: EXC_FETCH_PAGE_FAULT,
+    ACCESS_LOAD: EXC_LOAD_PAGE_FAULT,
+    ACCESS_STORE: EXC_STORE_PAGE_FAULT,
+}
+
+
+class PageFault(Exception):
+    """Raised when translation fails; carries the trap cause and tval."""
+
+    def __init__(self, access: int, vaddr: int) -> None:
+        super().__init__(f"page fault (access={access}) @ {vaddr:#x}")
+        self.cause = _PAGE_FAULT_CAUSE[access]
+        self.vaddr = vaddr
+
+
+@dataclass(frozen=True)
+class Translation:
+    """Result of a successful walk (consumed by TLB models and events)."""
+
+    paddr: int
+    vpn: int
+    ppn: int
+    level: int  # 0 = 4K leaf, 1 = 2M superpage, 2 = 1G superpage
+    perm: int  # leaf PTE flag bits
+    pte_addr: int
+
+
+def satp_mode(satp: int) -> int:
+    return (satp >> 60) & 0xF
+
+
+def satp_root(satp: int) -> int:
+    return (satp & ((1 << 44) - 1)) << PAGE_SHIFT
+
+
+def make_satp(root_paddr: int, asid: int = 0, mode: int = SATP_MODE_SV39) -> int:
+    return (mode << 60) | ((asid & 0xFFFF) << 44) | (root_paddr >> PAGE_SHIFT)
+
+
+def make_pte(ppn: int, flags: int) -> int:
+    """Build a PTE from a physical page number and flag bits."""
+    return (ppn << 10) | flags
+
+
+def translation_active(satp: int, priv: int) -> bool:
+    return satp_mode(satp) == SATP_MODE_SV39 and priv != PRIV_M
+
+
+def translate(
+    memory,
+    satp: int,
+    vaddr: int,
+    access: int,
+    priv: int,
+    mstatus: int = 0,
+    update_ad: bool = True,
+) -> Translation:
+    """Walk the Sv39 page tables for ``vaddr``.
+
+    ``memory`` is a :class:`~repro.isa.memory.PhysicalMemory` (page tables
+    never live in MMIO space).  Raises :class:`PageFault` per the
+    privileged spec; hardware A/D update is modeled (and journaled through
+    the memory's journal hook so Replay can revert it).
+    """
+    if not translation_active(satp, priv):
+        return Translation(vaddr, vaddr >> PAGE_SHIFT, vaddr >> PAGE_SHIFT, 0, 0xFF, 0)
+
+    # Sv39 requires bits 63:39 to equal bit 38.
+    if ((vaddr >> 38) & 1 and (vaddr >> 39) != (1 << 25) - 1) or (
+        not (vaddr >> 38) & 1 and (vaddr >> 39) != 0
+    ):
+        raise PageFault(access, vaddr)
+
+    table = satp_root(satp)
+    vpns = [(vaddr >> 12) & 0x1FF, (vaddr >> 21) & 0x1FF, (vaddr >> 30) & 0x1FF]
+    for level in (2, 1, 0):
+        pte_addr = table + vpns[level] * 8
+        pte = memory.load(pte_addr, 8)
+        if not pte & PTE_V or (not pte & PTE_R and pte & PTE_W):
+            raise PageFault(access, vaddr)
+        if not (pte & (PTE_R | PTE_X)):
+            # Pointer to next level.
+            table = ((pte >> 10) & ((1 << 44) - 1)) << PAGE_SHIFT
+            continue
+        # Leaf PTE: permission checks.
+        _check_leaf(pte, access, priv, mstatus, vaddr)
+        ppn = (pte >> 10) & ((1 << 44) - 1)
+        if level > 0 and ppn & ((1 << (9 * level)) - 1):
+            raise PageFault(access, vaddr)  # misaligned superpage
+        new_pte = pte | PTE_A | (PTE_D if access == ACCESS_STORE else 0)
+        if new_pte != pte:
+            if not update_ad:
+                # Svade behaviour: A/D not set and hardware update disabled.
+                raise PageFault(access, vaddr)
+            memory.store(pte_addr, 8, new_pte)
+            pte = new_pte
+        offset_bits = PAGE_SHIFT + 9 * level
+        paddr = ((ppn >> (9 * level)) << (9 * level + PAGE_SHIFT)) | (
+            vaddr & ((1 << offset_bits) - 1)
+        )
+        return Translation(
+            paddr=paddr,
+            vpn=vaddr >> PAGE_SHIFT,
+            ppn=paddr >> PAGE_SHIFT,
+            level=level,
+            perm=pte & 0xFF,
+            pte_addr=pte_addr,
+        )
+    raise PageFault(access, vaddr)
+
+
+def raw_walk(memory, satp: int, vaddr: int) -> Optional[Translation]:
+    """Permission-free page walk used by the checker to validate TLB-fill
+    events: returns the leaf translation or ``None`` if no valid mapping.
+
+    Never mutates A/D bits — this is a software re-walk, not an access.
+    """
+    if satp_mode(satp) != SATP_MODE_SV39:
+        return None
+    table = satp_root(satp)
+    vpns = [(vaddr >> 12) & 0x1FF, (vaddr >> 21) & 0x1FF, (vaddr >> 30) & 0x1FF]
+    for level in (2, 1, 0):
+        pte_addr = table + vpns[level] * 8
+        pte = memory.load(pte_addr, 8)
+        if not pte & PTE_V:
+            return None
+        if not pte & (PTE_R | PTE_X):
+            table = ((pte >> 10) & ((1 << 44) - 1)) << PAGE_SHIFT
+            continue
+        ppn = (pte >> 10) & ((1 << 44) - 1)
+        offset_bits = PAGE_SHIFT + 9 * level
+        paddr = ((ppn >> (9 * level)) << (9 * level + PAGE_SHIFT)) | (
+            vaddr & ((1 << offset_bits) - 1)
+        )
+        return Translation(paddr, vaddr >> PAGE_SHIFT, paddr >> PAGE_SHIFT,
+                           level, pte & 0xFF, pte_addr)
+    return None
+
+
+def _check_leaf(pte: int, access: int, priv: int, mstatus: int, vaddr: int) -> None:
+    if access == ACCESS_FETCH:
+        if not pte & PTE_X:
+            raise PageFault(access, vaddr)
+    elif access == ACCESS_LOAD:
+        readable = pte & PTE_R or (mstatus & MSTATUS_MXR and pte & PTE_X)
+        if not readable:
+            raise PageFault(access, vaddr)
+    else:
+        if not pte & PTE_W:
+            raise PageFault(access, vaddr)
+    if priv == PRIV_U and not pte & PTE_U:
+        raise PageFault(access, vaddr)
+    if (
+        priv == PRIV_S
+        and pte & PTE_U
+        and not mstatus & MSTATUS_SUM
+        and access != ACCESS_FETCH
+    ):
+        raise PageFault(access, vaddr)
+    if priv == PRIV_S and pte & PTE_U and access == ACCESS_FETCH:
+        raise PageFault(access, vaddr)

@@ -1,0 +1,122 @@
+"""Architectural state of one hart: PC, register files, CSRs, privilege.
+
+Both the reference model and the DUT's functional core hold an
+:class:`ArchState`.  All mutators route through methods so that a journal
+(compensation log) can record old values for Replay's lightweight revert.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .const import DRAM_BASE, MASK64, PRIV_M
+from .csr import CsrFile
+
+#: Number of 64-bit words per vector register (VLEN = 256).
+VREG_WORDS = 4
+
+
+class ArchState:
+    """PC, 32 integer / 32 FP / 32 vector registers, CSR file, privilege."""
+
+    def __init__(self, hart_id: int = 0, reset_pc: int = DRAM_BASE) -> None:
+        self.hart_id = hart_id
+        self.pc = reset_pc
+        self.priv = PRIV_M
+        self.xregs: List[int] = [0] * 32
+        self.fregs: List[int] = [0] * 32
+        self.vregs: List[List[int]] = [[0] * VREG_WORDS for _ in range(32)]
+        self.csr = CsrFile(hart_id)
+        self.lr_reservation: Optional[int] = None
+        self.journal = None
+
+    # ------------------------------------------------------------------
+    # Journal plumbing
+    # ------------------------------------------------------------------
+    def attach_journal(self, journal) -> None:
+        """Route all subsequent state mutations through ``journal``."""
+        self.journal = journal
+        self.csr.journal = journal
+
+    def detach_journal(self) -> None:
+        self.journal = None
+        self.csr.journal = None
+
+    # ------------------------------------------------------------------
+    # Register access
+    # ------------------------------------------------------------------
+    def read_x(self, index: int) -> int:
+        return self.xregs[index]
+
+    def write_x(self, index: int, value: int) -> None:
+        if index == 0:
+            return
+        if self.journal is not None:
+            self.journal.record_xreg(index, self.xregs[index])
+        self.xregs[index] = value & MASK64
+
+    def read_f(self, index: int) -> int:
+        return self.fregs[index]
+
+    def write_f(self, index: int, value: int) -> None:
+        if self.journal is not None:
+            self.journal.record_freg(index, self.fregs[index])
+        self.fregs[index] = value & MASK64
+
+    def read_v(self, index: int) -> List[int]:
+        return list(self.vregs[index])
+
+    def write_v(self, index: int, words: List[int]) -> None:
+        if self.journal is not None:
+            self.journal.record_vreg(index, tuple(self.vregs[index]))
+        self.vregs[index] = [w & MASK64 for w in words[:VREG_WORDS]]
+
+    def set_pc(self, value: int) -> None:
+        if self.journal is not None:
+            self.journal.record_pc(self.pc)
+        self.pc = value & MASK64
+
+    def set_priv(self, value: int) -> None:
+        if self.journal is not None:
+            self.journal.record_priv(self.priv)
+        self.priv = value
+
+    def set_reservation(self, addr: Optional[int]) -> None:
+        if self.journal is not None:
+            self.journal.record_reservation(self.lr_reservation)
+        self.lr_reservation = addr
+
+    # ------------------------------------------------------------------
+    # Snapshots used by verification events and the checker
+    # ------------------------------------------------------------------
+    def int_snapshot(self) -> Tuple[int, ...]:
+        return tuple(self.xregs)
+
+    def fp_snapshot(self) -> Tuple[int, ...]:
+        return tuple(self.fregs)
+
+    def vec_snapshot(self) -> Tuple[int, ...]:
+        flat: List[int] = []
+        for reg in self.vregs:
+            flat.extend(reg)
+        return tuple(flat)
+
+    def clone(self) -> "ArchState":
+        """Deep copy (used by the snapshot-debugging baseline, not Replay)."""
+        other = ArchState(self.hart_id, self.pc)
+        other.priv = self.priv
+        other.xregs = list(self.xregs)
+        other.fregs = list(self.fregs)
+        other.vregs = [list(v) for v in self.vregs]
+        other.csr.copy_from(self.csr)
+        other.lr_reservation = self.lr_reservation
+        return other
+
+    def copy_from(self, other: "ArchState") -> None:
+        self.pc = other.pc
+        self.priv = other.priv
+        self.xregs = list(other.xregs)
+        self.fregs = list(other.fregs)
+        self.vregs = [list(v) for v in other.vregs]
+        self.csr.copy_from(other.csr)
+        self.lr_reservation = other.lr_reservation

@@ -1,0 +1,6 @@
+"""Golden reference model (REF) and its compensation-log checkpointing."""
+
+from .journal import CompensationLog
+from .model import RefModel
+
+__all__ = ["CompensationLog", "RefModel"]

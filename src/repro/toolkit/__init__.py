@@ -1,0 +1,20 @@
+"""Tuning toolkit: performance counters, SQL analysis, trace dump/reload."""
+
+from .compare import compare_runs, load_stats_dict, stats_to_dict, stats_to_json
+from .perfcounters import render_event_profile, render_report
+from .sqltrace import TraceDb
+from .tracedump import TraceCheckResult, TraceReader, TraceWriter, replay_trace
+
+__all__ = [
+    "compare_runs",
+    "load_stats_dict",
+    "stats_to_dict",
+    "stats_to_json",
+    "render_event_profile",
+    "render_report",
+    "TraceDb",
+    "TraceCheckResult",
+    "TraceReader",
+    "TraceWriter",
+    "replay_trace",
+]

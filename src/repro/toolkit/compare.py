@@ -1,0 +1,78 @@
+"""Run-to-run comparison: serialise counters and diff two runs.
+
+The tuning workflow of Section 5 is iterative: change a knob, re-run,
+compare.  This module turns a :class:`~repro.core.stats.RunStats` into a
+flat JSON-able dict and renders a side-by-side diff of two runs with
+relative changes, so sweeps can be scripted and archived.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from ..core.stats import RunStats
+
+
+def stats_to_dict(stats: RunStats) -> Dict[str, float]:
+    """Flatten a run's counters into a JSON-able dict."""
+    counters = stats.counters
+    return {
+        "cycles": counters.cycles,
+        "instructions": counters.instructions,
+        "invokes": counters.invokes,
+        "bytes_sent": counters.bytes_sent,
+        "sw_dispatches": counters.sw_dispatches,
+        "sw_events_checked": counters.sw_events_checked,
+        "sw_bytes_checked": counters.sw_bytes_checked,
+        "sw_ref_steps": counters.sw_ref_steps,
+        "events_captured": stats.events_captured,
+        "events_transmitted": stats.events_transmitted,
+        "invokes_per_cycle": stats.invokes_per_cycle,
+        "bytes_per_cycle": stats.bytes_per_cycle,
+        "bytes_per_instruction": stats.bytes_per_instruction,
+        "fusion_ratio": stats.fusion_ratio,
+        "fusion_breaks": stats.fusion_breaks,
+        "nde_sent_ahead": stats.nde_sent_ahead,
+        "packet_utilization": stats.packet_utilization,
+        "bubble_bytes": stats.bubble_bytes,
+        "meta_bytes": stats.meta_bytes,
+        "diff_bytes_saved": stats.diff_bytes_saved,
+        "checkpoints": stats.checkpoints,
+        "replay_buffer_peak": stats.replay_buffer_peak,
+    }
+
+
+def stats_to_json(stats: RunStats, indent: int = 2) -> str:
+    return json.dumps(stats_to_dict(stats), indent=indent, sort_keys=True)
+
+
+def compare_runs(before: RunStats, after: RunStats,
+                 label_before: str = "before",
+                 label_after: str = "after") -> str:
+    """Side-by-side diff of two runs with relative change per counter."""
+    a = stats_to_dict(before)
+    b = stats_to_dict(after)
+    width = max(len(key) for key in a)
+    lines: List[str] = [
+        f"{'counter':{width}s} {label_before:>14s} {label_after:>14s} "
+        f"{'change':>9s}"
+    ]
+    for key in a:
+        old, new = a[key], b[key]
+        if old:
+            change = f"{(new - old) / old:+8.1%}"
+        elif new:
+            change = "     new"
+        else:
+            change = "       ="
+        lines.append(f"{key:{width}s} {old:14.2f} {new:14.2f} {change:>9s}")
+    return "\n".join(lines)
+
+
+def load_stats_dict(text: str) -> Dict[str, float]:
+    """Inverse of :func:`stats_to_json` (returns the flat dict)."""
+    data = json.loads(text)
+    if not isinstance(data, dict):
+        raise ValueError("not a counters document")
+    return data

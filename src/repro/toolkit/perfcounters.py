@@ -1,0 +1,53 @@
+"""Performance-counter reporting (tuning toolkit, Section 5).
+
+Renders the hardware- and software-side counters of a run — transmission
+times, data volume, Squash fusion ratios, Batch packet utilisation — as a
+human-readable report used to guide optimisation tuning.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.stats import RunStats
+
+
+def render_report(stats: RunStats, title: str = "DiffTest-H counters") -> str:
+    """Multi-line counter report for one run."""
+    c = stats.counters
+    lines: List[str] = [f"=== {title} ==="]
+    lines.append(f"cycles                : {c.cycles}")
+    lines.append(f"instructions          : {c.instructions}")
+    lines.append(f"events captured       : {stats.events_captured}")
+    lines.append(f"events transmitted    : {stats.events_transmitted}")
+    lines.append(f"transfers (invokes)   : {c.invokes}"
+                 f"  ({stats.invokes_per_cycle:.3f}/cycle)")
+    lines.append(f"bytes on the wire     : {c.bytes_sent}"
+                 f"  ({stats.bytes_per_cycle:.1f}/cycle,"
+                 f" {stats.bytes_per_instruction:.1f}/instr)")
+    lines.append(f"packet utilization    : {stats.packet_utilization:.1%}")
+    lines.append(f"bubble bytes          : {stats.bubble_bytes}")
+    lines.append(f"meta bytes            : {stats.meta_bytes}")
+    lines.append(f"fusion ratio          : {stats.fusion_ratio:.2f}")
+    lines.append(f"fusion breaks         : {stats.fusion_breaks}")
+    lines.append(f"NDEs sent ahead       : {stats.nde_sent_ahead}")
+    lines.append(f"diff bytes saved      : {stats.diff_bytes_saved}")
+    lines.append(f"REF steps             : {c.sw_ref_steps}")
+    lines.append(f"events checked        : {c.sw_events_checked}")
+    lines.append(f"bytes checked         : {c.sw_bytes_checked}")
+    lines.append(f"max queue occupancy   : {stats.max_queue_occupancy}")
+    lines.append(f"backpressure events   : {stats.backpressure_events}")
+    lines.append(f"replay buffer peak    : {stats.replay_buffer_peak}")
+    lines.append(f"checkpoints           : {stats.checkpoints}")
+    return "\n".join(lines)
+
+
+def render_event_profile(stats: RunStats, top: int = 0) -> str:
+    """Figure-4-style table: event size vs. invocations per cycle."""
+    rows = stats.profile.rows(stats.counters.cycles)
+    if top:
+        rows = sorted(rows, key=lambda r: -r[2])[:top]
+    lines = [f"{'event':22s} {'bytes':>6s} {'invocations/cycle':>18s}"]
+    for name, size, rate in rows:
+        lines.append(f"{name:22s} {size:6d} {rate:18.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Workloads: assembled RISC-V programs and synthetic event streams."""
+
+from .fuzz import (
+    FuzzProfile,
+    ProgramGenerator,
+    RandomProgram,
+    fuzz_workload,
+    generate,
+)
+from .programs import Workload, available, build
+from .synthetic import (
+    KVM_IO,
+    LINUX_BOOT,
+    PROFILES,
+    RVV_TEST,
+    SPEC_COMPUTE,
+    StreamProfile,
+    SyntheticStream,
+)
+
+__all__ = [
+    "FuzzProfile",
+    "ProgramGenerator",
+    "RandomProgram",
+    "fuzz_workload",
+    "generate",
+    "Workload",
+    "available",
+    "build",
+    "KVM_IO",
+    "LINUX_BOOT",
+    "PROFILES",
+    "RVV_TEST",
+    "SPEC_COMPUTE",
+    "StreamProfile",
+    "SyntheticStream",
+]

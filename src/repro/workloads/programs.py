@@ -1,0 +1,1263 @@
+"""Workload programs: real RISC-V assembly run by both DUT and REF.
+
+Each workload is a named assembly program built with the in-tree
+assembler.  Together they cover every verification-event category of
+Table 1: plain computation, memory churn (cache/TLB/store-buffer events),
+MMIO (skip NDEs), timer interrupts (interrupt NDEs), exceptions, atomics,
+floating point and vectors.
+
+``linux_boot_like`` is the headline composite used by the performance
+experiments: phased like an OS boot — early device I/O and exception
+churn, then memory-heavy setup, then steady compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..isa.assembler import assemble
+from ..isa.const import DRAM_BASE
+from ..isa.devices import CLINT_BASE, UART_BASE
+
+# Handy absolute addresses for `li`.
+_UART_THR = UART_BASE
+_UART_LSR = UART_BASE + 5
+_MTIMECMP = CLINT_BASE + 0x4000
+_MTIME = CLINT_BASE + 0xBFF8
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A runnable workload: image + metadata."""
+
+    name: str
+    image: bytes
+    max_cycles: int
+    description: str
+    uart_input: bytes = b""
+
+
+_REGISTRY: Dict[str, Callable[..., Workload]] = {}
+
+
+def workload(name: str):
+    def register(fn):
+        _REGISTRY[name] = fn
+        return fn
+
+    return register
+
+
+def build(name: str, **kwargs) -> Workload:
+    """Build a workload by name (see :func:`available`)."""
+    return _REGISTRY[name](**kwargs)
+
+
+def available():
+    return sorted(_REGISTRY)
+
+
+_EXIT_GOOD = """
+    li a0, 0
+    ebreak
+"""
+
+
+@workload("microbench")
+def microbench(iterations: int = 300) -> Workload:
+    """Mixed ALU/memory/branch kernel (the artifact's microbench)."""
+    source = f"""
+_start:
+    # Hart-aware layout: 1 MiB of private stack/heap per hart, so the
+    # workload runs race-free on multi-core DUT configurations.
+    csrr s10, mhartid
+    slli s10, s10, 20
+    li sp, 0x80100000
+    add sp, sp, s10
+    li t0, {iterations}
+    li t1, 0
+    li t2, 0x1234
+outer:
+    mul t3, t1, t2
+    xor t3, t3, t0
+    sd t3, -8(sp)
+    ld t4, -8(sp)
+    bne t3, t4, bad
+    div t5, t3, t2
+    add t1, t1, t5
+    andi t1, t1, 0xFF
+    addi t0, t0, -1
+    bnez t0, outer
+{_EXIT_GOOD}
+bad:
+    li a0, 1
+    ebreak
+"""
+    return Workload("microbench", assemble(source), iterations * 40 + 4000,
+                    "mixed ALU/memory/branch kernel")
+
+
+@workload("memory_churn")
+def memory_churn(array_kb: int = 64, passes: int = 2) -> Workload:
+    """Strided walk over a large array: cache refills + sbuffer flushes."""
+    source = f"""
+_start:
+    csrr s10, mhartid
+    slli s10, s10, 22          # 4 MiB of private array per hart
+    li sp, 0x80100000
+    add sp, sp, s10
+    li s0, 0x80800000          # array base
+    add s0, s0, s10
+    li s1, {array_kb * 1024}   # array bytes
+    li s2, {passes}
+pass_loop:
+    mv t0, zero
+fill:
+    add t1, s0, t0
+    sd t0, 0(t1)
+    addi t0, t0, 64            # one store per line
+    blt t0, s1, fill
+    mv t0, zero
+check:
+    add t1, s0, t0
+    ld t2, 0(t1)
+    bne t2, t0, bad
+    addi t0, t0, 64
+    blt t0, s1, check
+    addi s2, s2, -1
+    bnez s2, pass_loop
+{_EXIT_GOOD}
+bad:
+    li a0, 1
+    ebreak
+"""
+    cycles = array_kb * 1024 // 64 * passes * 250 + 20000
+    return Workload("memory_churn", assemble(source), cycles,
+                    "strided array walk producing cache-hierarchy events")
+
+
+@workload("sort")
+def sort(elements: int = 64) -> Workload:
+    """Bubble sort of a pseudo-random array (branch + memory heavy)."""
+    source = f"""
+_start:
+    li sp, 0x80100000
+    li s0, 0x80200000
+    li s1, {elements}
+    # fill with an LCG
+    li t0, 0
+    li t1, 12345
+fill:
+    slli t2, t0, 3
+    add t2, t2, s0
+    sd t1, 0(t2)
+    li t3, 1103515245
+    mul t1, t1, t3
+    addi t1, t1, 12345
+    li t3, 0x7FFFFFFF
+    and t1, t1, t3
+    addi t0, t0, 1
+    blt t0, s1, fill
+    # bubble sort
+    addi s2, s1, -1
+outer:
+    li t0, 0
+inner:
+    slli t2, t0, 3
+    add t2, t2, s0
+    ld t3, 0(t2)
+    ld t4, 8(t2)
+    ble t3, t4, noswap
+    sd t4, 0(t2)
+    sd t3, 8(t2)
+noswap:
+    addi t0, t0, 1
+    blt t0, s2, inner
+    addi s2, s2, -1
+    bnez s2, outer
+    # verify sorted
+    li t0, 0
+    addi s2, s1, -1
+verify:
+    slli t2, t0, 3
+    add t2, t2, s0
+    ld t3, 0(t2)
+    ld t4, 8(t2)
+    bgt t3, t4, bad
+    addi t0, t0, 1
+    blt t0, s2, verify
+{_EXIT_GOOD}
+bad:
+    li a0, 1
+    ebreak
+"""
+    return Workload("sort", assemble(source), elements * elements * 40 + 20000,
+                    "bubble sort with verification pass")
+
+
+@workload("fib_recursive")
+def fib_recursive(n: int = 12) -> Workload:
+    """Recursive Fibonacci: call/return, stack traffic."""
+    source = f"""
+_start:
+    li sp, 0x80100000
+    li a0, {n}
+    call fib
+    li t0, {_fib(n)}
+    bne a0, t0, bad
+{_EXIT_GOOD}
+bad:
+    li a0, 1
+    ebreak
+fib:
+    li t0, 2
+    blt a0, t0, fib_base
+    addi sp, sp, -24
+    sd ra, 0(sp)
+    sd a0, 8(sp)
+    addi a0, a0, -1
+    call fib
+    sd a0, 16(sp)
+    ld a0, 8(sp)
+    addi a0, a0, -2
+    call fib
+    ld t1, 16(sp)
+    add a0, a0, t1
+    ld ra, 0(sp)
+    addi sp, sp, 24
+    ret
+fib_base:
+    ret
+"""
+    return Workload("fib_recursive", assemble(source), _fib(n) * 120 + 20000,
+                    "recursive fibonacci (calls + stack)")
+
+
+def _fib(n: int) -> int:
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+@workload("mmio_echo")
+def mmio_echo(repeats: int = 20) -> Workload:
+    """UART-heavy driver loop: every LSR poll and THR write is an NDE."""
+    source = f"""
+_start:
+    li sp, 0x80100000
+    li s3, {repeats}
+again:
+    la s0, message
+print:
+    lbu t0, 0(s0)
+    beqz t0, done_line
+wait_tx:
+    li t1, {_UART_LSR}
+    lbu t2, 0(t1)
+    andi t2, t2, 0x20
+    beqz t2, wait_tx
+    li t1, {_UART_THR}
+    sb t0, 0(t1)
+    addi s0, s0, 1
+    j print
+done_line:
+    addi s3, s3, -1
+    bnez s3, again
+{_EXIT_GOOD}
+.align 3
+message:
+    .ascii "hello difftest-h\\n"
+    .byte 0
+"""
+    return Workload("mmio_echo", assemble(source), repeats * 2500 + 10000,
+                    "UART driver loop (MMIO NDEs)")
+
+
+@workload("timer_interrupt")
+def timer_interrupt(interrupts: int = 8) -> Workload:
+    """CLINT timer interrupts: the canonical asynchronous NDE."""
+    source = f"""
+_start:
+    li sp, 0x80100000
+    la t0, handler
+    csrw mtvec, t0
+    li s0, 0                   # interrupts taken
+    li s1, {interrupts}
+    # arm the timer: mtimecmp = mtime + 50
+    call rearm
+    li t0, 0x80               # MTIE
+    csrw mie, t0
+    csrrsi zero, mstatus, 8   # MIE
+work:
+    addi t1, t1, 1
+    andi t1, t1, 0x3FF
+    blt s0, s1, work
+    csrrci zero, mstatus, 8
+{_EXIT_GOOD}
+rearm:
+    li t2, {_MTIME}
+    ld t3, 0(t2)
+    addi t3, t3, 50
+    li t2, {_MTIMECMP}
+    sd t3, 0(t2)
+    ret
+.align 3
+handler:
+    addi sp, sp, -16
+    sd ra, 0(sp)
+    addi s0, s0, 1
+    call rearm
+    ld ra, 0(sp)
+    addi sp, sp, 16
+    mret
+"""
+    return Workload("timer_interrupt", assemble(source),
+                    interrupts * 3000 + 30000,
+                    "CLINT timer interrupt storm (interrupt NDEs)")
+
+
+@workload("exception_stress")
+def exception_stress(traps: int = 50) -> Workload:
+    """ecall storm: M-mode trap handler counts and returns."""
+    source = f"""
+_start:
+    li sp, 0x80100000
+    la t0, handler
+    csrw mtvec, t0
+    li s0, 0
+    li s1, {traps}
+loop:
+    ecall
+    blt s0, s1, loop
+{_EXIT_GOOD}
+.align 3
+handler:
+    addi s0, s0, 1
+    csrr t1, mepc
+    addi t1, t1, 4
+    csrw mepc, t1
+    mret
+"""
+    return Workload("exception_stress", assemble(source), traps * 120 + 10000,
+                    "ecall storm (exception events)")
+
+
+@workload("atomics")
+def atomics(iterations: int = 60) -> Workload:
+    """AMOs and LR/SC loops (atomic + LR/SC events)."""
+    source = f"""
+_start:
+    li sp, 0x80100000
+    li s0, 0x80200000
+    sd zero, 0(s0)
+    li s1, {iterations}
+loop:
+    li t0, 1
+    amoadd.d t1, t0, (s0)
+retry:
+    lr.d t2, (s0)
+    addi t2, t2, 1
+    sc.d t3, t2, (s0)
+    bnez t3, retry
+    amoxor.w t4, t0, (s0)
+    amomax.d t5, s1, (s0)
+    addi s1, s1, -1
+    bnez s1, loop
+{_EXIT_GOOD}
+"""
+    return Workload("atomics", assemble(source), iterations * 80 + 10000,
+                    "AMO and LR/SC loops")
+
+
+@workload("fp_kernel")
+def fp_kernel(iterations: int = 80) -> Workload:
+    """Floating-point dot-product-ish kernel (FP events)."""
+    source = f"""
+_start:
+    li sp, 0x80100000
+    li s0, 0x80200000
+    li t0, 3
+    fcvt.d.l f0, t0
+    li t0, 7
+    fcvt.d.l f1, t0
+    li s1, {iterations}
+loop:
+    fmul.d f2, f0, f1
+    fadd.d f3, f2, f0
+    fsd f3, 0(s0)
+    fld f4, 0(s0)
+    fadd.d f0, f0, f1
+    addi s1, s1, -1
+    bnez s1, loop
+    fmv.x.d t0, f3
+{_EXIT_GOOD}
+"""
+    return Workload("fp_kernel", assemble(source), iterations * 60 + 10000,
+                    "floating-point kernel")
+
+
+@workload("vector_saxpy")
+def vector_saxpy(iterations: int = 40) -> Workload:
+    """Vector add over arrays (vector register/CSR/config events)."""
+    source = f"""
+_start:
+    li sp, 0x80100000
+    li s0, 0x80200000           # x
+    li s1, 0x80210000           # y
+    li t0, 0
+    li t1, 16
+init:
+    slli t2, t0, 3
+    add t3, s0, t2
+    sd t0, 0(t3)
+    add t3, s1, t2
+    slli t4, t0, 1
+    sd t4, 0(t3)
+    addi t0, t0, 1
+    blt t0, t1, init
+    li s2, {iterations}
+loop:
+    li t0, 4
+    vsetvli t1, t0, e64
+    vle64.v v1, (s0)
+    vle64.v v2, (s1)
+    vadd.vv v3, v1, v2
+    vxor.vv v4, v3, v1
+    vse64.v v3, (s1)
+    addi s2, s2, -1
+    bnez s2, loop
+{_EXIT_GOOD}
+"""
+    return Workload("vector_saxpy", assemble(source), iterations * 80 + 15000,
+                    "vector add kernel (RVV subset)")
+
+
+@workload("virtual_memory")
+def virtual_memory(rounds: int = 6) -> Workload:
+    """Sv39 paging: build tables in M-mode, run in S-mode (TLB events).
+
+    Identity-maps the low 1 GiB and DRAM with 1 GiB superpages, enters
+    S-mode, touches pages, and ecalls back to M-mode to finish.
+    """
+    source = f"""
+_start:
+    li sp, 0x80100000
+    # Root page table at 0x80180000: two 1 GiB identity superpages.
+    li s0, 0x80180000
+    # VPN2 index 0 -> 0x00000000 (devices), perms RWX|A|D|V
+    li t0, 0xEF          # D A - - X W R V
+    sd t0, 0(s0)
+    # VPN2 index 2 -> 0x80000000 (DRAM): ppn = 0x80000 -> pte = ppn<<10 | flags
+    li t0, 0x20000000
+    ori t0, t0, 0xEF
+    sd t0, 16(s0)
+    # satp = sv39 | root ppn
+    li t0, 0x8000000000080180
+    # M-mode trap handler for the final ecall
+    la t1, mhandler
+    csrw mtvec, t1
+    csrw satp, t0
+    sfence.vma
+    # enter S-mode at svc_main
+    la t0, svc_main
+    csrw mepc, t0
+    li t0, 0x800         # MPP = S (bits 12:11 = 01)
+    csrw mstatus, t0
+    mret
+.align 3
+svc_main:
+    li s1, {rounds}
+    li s2, 0x80300000
+sloop:
+    sd s1, 0(s2)
+    ld t0, 0(s2)
+    bne t0, s1, sbad
+    addi s2, s2, 4096    # new page each round -> TLB fills
+    addi s1, s1, -1
+    bnez s1, sloop
+    ecall                # back to M-mode
+sbad:
+    li a0, 1
+    ecall
+.align 3
+mhandler:
+    csrr t0, mcause
+    li t1, 9             # ecall from S
+    bne t0, t1, mbad
+{_EXIT_GOOD}
+mbad:
+    li a0, 2
+    ebreak
+"""
+    return Workload("virtual_memory", assemble(source), rounds * 400 + 30000,
+                    "Sv39 paging with S-mode execution (TLB events)")
+
+
+@workload("linux_boot_like")
+def linux_boot_like(scale: int = 1) -> Workload:
+    """Composite full-system workload phased like an OS boot.
+
+    Phase 1: console output + device polling (MMIO NDEs).
+    Phase 2: timer interrupts while doing bookkeeping (interrupt NDEs).
+    Phase 3: memory subsystem init over a large array (hierarchy events).
+    Phase 4: steady user-like compute with occasional syscalls.
+    """
+    source = f"""
+_start:
+    csrr s10, mhartid
+    slli s10, s10, 20    # 1 MiB private region per hart
+    li sp, 0x80100000
+    add sp, sp, s10
+    la t0, trap_vec
+    csrw mtvec, t0
+    li s11, 0            # interrupt count
+
+# ---- phase 1: console ----
+    li s3, {8 * scale}
+p1_again:
+    la s0, banner
+p1_print:
+    lbu t0, 0(s0)
+    beqz t0, p1_next
+p1_wait:
+    li t1, {_UART_LSR}
+    lbu t2, 0(t1)
+    andi t2, t2, 0x20
+    beqz t2, p1_wait
+    li t1, {_UART_THR}
+    sb t0, 0(t1)
+    addi s0, s0, 1
+    j p1_print
+p1_next:
+    addi s3, s3, -1
+    bnez s3, p1_again
+
+# ---- phase 2: timers ----
+    call rearm
+    li t0, 0x80
+    csrw mie, t0
+    csrrsi zero, mstatus, 8
+    li s4, {6 * scale}
+p2_work:
+    addi t1, t1, 3
+    mul t2, t1, t1
+    blt s11, s4, p2_work
+    csrrci zero, mstatus, 8
+    csrw mie, zero
+
+# ---- phase 3: memory init ----
+    li s0, 0x80400000
+    add s0, s0, s10
+    li s1, {96 * 1024}
+    mv t0, zero
+p3_fill:
+    add t1, s0, t0
+    sd t0, 0(t1)
+    addi t0, t0, 64
+    blt t0, s1, p3_fill
+    mv t0, zero
+p3_check:
+    add t1, s0, t0
+    ld t2, 0(t1)
+    bne t2, t0, fail
+    addi t0, t0, 64
+    blt t0, s1, p3_check
+
+# ---- phase 4: compute + syscalls ----
+    li s5, {200 * scale}
+    li s6, 0
+p4_loop:
+    mul t0, s6, s5
+    div t1, t0, s5
+    bne t1, s6, fail
+    addi s6, s6, 1
+    andi t2, s6, 0x3F
+    bnez t2, p4_no_sc
+    ecall                 # periodic "syscall"
+p4_no_sc:
+    blt s6, s5, p4_loop
+{_EXIT_GOOD}
+fail:
+    li a0, 1
+    ebreak
+rearm:
+    li t2, {_MTIME}
+    ld t3, 0(t2)
+    addi t3, t3, 60
+    li t2, {_MTIMECMP}
+    csrr t4, mhartid
+    slli t4, t4, 3
+    add t2, t2, t4
+    sd t3, 0(t2)
+    ret
+.align 3
+trap_vec:
+    csrr t5, mcause
+    bgez t5, trap_sync
+    addi sp, sp, -16
+    sd ra, 0(sp)
+    addi s11, s11, 1
+    call rearm
+    ld ra, 0(sp)
+    addi sp, sp, 16
+    mret
+trap_sync:
+    csrr t6, mepc
+    addi t6, t6, 4
+    csrw mepc, t6
+    mret
+.align 3
+banner:
+    .ascii "[ boot ] difftest-h reproduction\\n"
+    .byte 0
+"""
+    return Workload("linux_boot_like", assemble(source),
+                    scale * 200_000 + 120_000,
+                    "OS-boot-like composite: MMIO, interrupts, memory, compute")
+
+
+@workload("spec_like")
+def spec_like(kernel: str = "crc", iterations: int = 40) -> Workload:
+    """SPEC-CPU-flavoured compute kernels (Table 3's SPEC CPU 2006 stand-in).
+
+    Kernels: ``crc`` (bit manipulation), ``matmul`` (integer GEMM),
+    ``pointer_chase`` (mcf-like linked-list traversal), ``strsearch``
+    (naive substring scan).
+    """
+    bodies = {
+        "crc": f"""
+    li s2, {iterations}
+    li t0, 0xFFFF
+crc_outer:
+    li t1, 0x1021
+    li t2, 8
+crc_bits:
+    andi t3, t0, 1
+    srli t0, t0, 1
+    beqz t3, crc_skip
+    xor t0, t0, t1
+crc_skip:
+    addi t2, t2, -1
+    bnez t2, crc_bits
+    addi s2, s2, -1
+    bnez s2, crc_outer
+""",
+        "matmul": f"""
+    li s2, {max(iterations // 10, 2)}
+    li s3, 0x80200000          # A
+    li s4, 0x80201000          # B
+    li s5, 0x80202000          # C
+    # init 8x8 matrices
+    li t0, 0
+mm_init:
+    slli t1, t0, 3
+    add t2, s3, t1
+    sd t0, 0(t2)
+    add t2, s4, t1
+    sd t0, 0(t2)
+    addi t0, t0, 1
+    li t3, 64
+    blt t0, t3, mm_init
+mm_repeat:
+    li t0, 0                   # i
+mm_i:
+    li t1, 0                   # j
+mm_j:
+    li t4, 0                   # acc
+    li t2, 0                   # k
+mm_k:
+    slli t5, t0, 6             # i*8*8
+    slli t6, t2, 3
+    add t5, t5, t6
+    add t5, t5, s3
+    ld a1, 0(t5)               # A[i][k]
+    slli t5, t2, 6
+    slli t6, t1, 3
+    add t5, t5, t6
+    add t5, t5, s4
+    ld a2, 0(t5)               # B[k][j]
+    mul a3, a1, a2
+    add t4, t4, a3
+    addi t2, t2, 1
+    li t5, 8
+    blt t2, t5, mm_k
+    slli t5, t0, 6
+    slli t6, t1, 3
+    add t5, t5, t6
+    add t5, t5, s5
+    sd t4, 0(t5)               # C[i][j]
+    addi t1, t1, 1
+    li t5, 8
+    blt t1, t5, mm_j
+    addi t0, t0, 1
+    li t5, 8
+    blt t0, t5, mm_i
+    addi s2, s2, -1
+    bnez s2, mm_repeat
+""",
+        "pointer_chase": f"""
+    li s2, {iterations}
+    li s3, 0x80200000
+    # build a strided linked list of 64 nodes (next pointer at offset 0)
+    li t0, 0
+pc_build:
+    slli t1, t0, 7             # node i at base + i*128
+    add t1, t1, s3
+    addi t2, t0, 1
+    andi t2, t2, 63
+    slli t2, t2, 7
+    add t2, t2, s3
+    sd t2, 0(t1)
+    sd t0, 8(t1)
+    addi t0, t0, 1
+    li t3, 64
+    blt t0, t3, pc_build
+pc_repeat:
+    mv t1, s3
+    li t2, 64
+pc_walk:
+    ld t3, 8(t1)
+    add t4, t4, t3
+    ld t1, 0(t1)
+    addi t2, t2, -1
+    bnez t2, pc_walk
+    addi s2, s2, -1
+    bnez s2, pc_repeat
+""",
+        "strsearch": f"""
+    li s2, {iterations}
+ss_repeat:
+    la t0, haystack
+    li t5, 0                   # matches
+ss_outer:
+    lbu t1, 0(t0)
+    beqz t1, ss_done
+    la t2, needle
+    mv t3, t0
+ss_inner:
+    lbu t4, 0(t2)
+    beqz t4, ss_hit
+    lbu t6, 0(t3)
+    bne t4, t6, ss_miss
+    addi t2, t2, 1
+    addi t3, t3, 1
+    j ss_inner
+ss_hit:
+    addi t5, t5, 1
+ss_miss:
+    addi t0, t0, 1
+    j ss_outer
+ss_done:
+    li t6, 2
+    bne t5, t6, ss_bad
+    addi s2, s2, -1
+    bnez s2, ss_repeat
+    j ss_exit
+ss_bad:
+    li a0, 1
+    ebreak
+ss_exit:
+""",
+    }
+    if kernel not in bodies:
+        raise KeyError(f"unknown kernel {kernel!r}; one of {sorted(bodies)}")
+    data = """
+.align 3
+haystack:
+    .ascii "the difftest semantic difftest framework"
+    .byte 0
+.align 3
+needle:
+    .ascii "difftest"
+    .byte 0
+""" if kernel == "strsearch" else ""
+    source = f"""
+_start:
+    li sp, 0x80100000
+{bodies[kernel]}
+{_EXIT_GOOD}
+{data}
+"""
+    budget = {"crc": iterations * 80, "matmul": iterations * 700,
+              "pointer_chase": iterations * 400,
+              "strsearch": iterations * 1200}[kernel] + 30_000
+    return Workload(f"spec_{kernel}", assemble(source), budget,
+                    f"SPEC-like {kernel} kernel")
+
+
+@workload("kvm_like")
+def kvm_like(world_switches: int = 12) -> Workload:
+    """KVM-flavoured hypervisor workload (Table 3's KVM stand-in).
+
+    Alternates "host" and "guest" phases: each world switch rewrites the
+    hypervisor and virtual-supervisor CSRs (driving HypervisorCsrState
+    events), delegates and takes timer interrupts (VirtualInterrupt
+    events), and does a burst of guest computation.
+    """
+    source = f"""
+_start:
+    li sp, 0x80100000
+    la t0, handler
+    csrw mtvec, t0
+    li s2, {world_switches}
+    li s3, 0                 # world counter
+    # delegate the machine timer to the "guest" context
+    li t0, 0x80
+    csrw hideleg, t0
+switch:
+    # world switch: rewrite hypervisor context
+    addi s3, s3, 1
+    csrw hstatus, s3
+    slli t1, s3, 4
+    csrw vsstatus, t1
+    csrw vsscratch, s3
+    csrw vsepc, s3
+    ori t1, s3, 1
+    csrw hgatp, t1
+    # arm a timer interrupt for this guest slice
+    call rearm
+    li t0, 0x80
+    csrw mie, t0
+    csrrsi zero, mstatus, 8
+    mv s4, s11
+guest_work:
+    addi t2, t2, 1
+    mul t3, t2, s3
+    andi t2, t2, 0xFF
+    beq s4, s11, guest_work  # spin until the interrupt arrives
+    csrrci zero, mstatus, 8
+    csrw mie, zero
+    addi s2, s2, -1
+    bnez s2, switch
+    csrw hgatp, zero
+{_EXIT_GOOD}
+rearm:
+    li t5, {_MTIME}
+    ld t6, 0(t5)
+    addi t6, t6, 40
+    li t5, {_MTIMECMP}
+    sd t6, 0(t5)
+    ret
+.align 3
+handler:
+    addi sp, sp, -16
+    sd ra, 0(sp)
+    addi s11, s11, 1
+    call rearm
+    ld ra, 0(sp)
+    addi sp, sp, 16
+    mret
+"""
+    return Workload("kvm_like", assemble(source),
+                    world_switches * 4000 + 40_000,
+                    "hypervisor world-switch workload (H-extension events)")
+
+
+@workload("xvisor_like")
+def xvisor_like(guests: int = 3, rounds: int = 4) -> Workload:
+    """XVISOR-flavoured multi-guest scheduler (Table 3's XVISOR stand-in).
+
+    Round-robins several "guests", each with its own vsatp/vsscratch
+    context and a private memory arena it checks for cross-guest
+    corruption — heavy CSR churn plus memory traffic.
+    """
+    source = f"""
+_start:
+    li sp, 0x80100000
+    li s2, {rounds}
+round:
+    li s3, 0                   # guest id
+guest_loop:
+    # context switch: install guest virtual-supervisor state
+    csrw vsscratch, s3
+    slli t0, s3, 12
+    ori t0, t0, 8
+    csrw vsatp, t0
+    csrw vscause, zero
+    # guest body: fill and verify a private arena
+    li t1, 0x80300000
+    slli t2, s3, 14            # 16 KiB arena per guest
+    add t1, t1, t2
+    li t3, 0
+fill:
+    add t4, t1, t3
+    add t5, s3, t3
+    sd t5, 0(t4)
+    addi t3, t3, 64
+    li t6, 4096
+    blt t3, t6, fill
+    li t3, 0
+verify:
+    add t4, t1, t3
+    ld t5, 0(t4)
+    add t6, s3, t3
+    bne t5, t6, bad
+    addi t3, t3, 64
+    li t6, 4096
+    blt t3, t6, verify
+    addi s3, s3, 1
+    li t0, {guests}
+    blt s3, t0, guest_loop
+    addi s2, s2, -1
+    bnez s2, round
+    csrw vsatp, zero
+{_EXIT_GOOD}
+bad:
+    li a0, 1
+    ebreak
+"""
+    return Workload("xvisor_like", assemble(source),
+                    guests * rounds * 3000 + 40_000,
+                    "multi-guest scheduler workload (VS-CSR churn)")
+
+
+@workload("rvv_test")
+def rvv_test(iterations: int = 30) -> Workload:
+    """RVV_TEST stand-in: a denser vector regression than vector_saxpy."""
+    source = f"""
+_start:
+    li sp, 0x80100000
+    li s0, 0x80200000
+    li s1, 0x80210000
+    li t0, 0
+    li t1, 8
+init:
+    slli t2, t0, 3
+    add t3, s0, t2
+    addi t4, t0, 3
+    sd t4, 0(t3)
+    add t3, s1, t2
+    slli t4, t0, 2
+    sd t4, 0(t3)
+    addi t0, t0, 1
+    blt t0, t1, init
+    li s2, {iterations}
+loop:
+    li t0, 4
+    vsetvli t1, t0, e64
+    vle64.v v1, (s0)
+    vle64.v v2, (s1)
+    vadd.vv v3, v1, v2
+    vsub.vv v4, v3, v1
+    vmul.vv v5, v4, v2
+    vmax.vv v6, v3, v5
+    vmin.vv v7, v3, v5
+    vxor.vv v8, v6, v7
+    vor.vv v9, v8, v1
+    vadd.vx v10, v9, t1
+    vmv.v.x v11, t1
+    vse64.v v9, (s1)
+    addi s0, s0, 8             # sliding windows
+    addi s1, s1, 8
+    andi t2, s2, 7
+    bnez t2, no_reset
+    li s0, 0x80200000
+    li s1, 0x80210000
+no_reset:
+    addi s2, s2, -1
+    bnez s2, loop
+{_EXIT_GOOD}
+"""
+    return Workload("rvv_test", assemble(source), iterations * 150 + 20_000,
+                    "dense vector regression (RVV subset)")
+
+
+@workload("debug_triggers")
+def debug_triggers(reconfigs: int = 5) -> Workload:
+    """Exercises the trigger/debug CSR event category."""
+    source = f"""
+_start:
+    li sp, 0x80100000
+    li s2, {reconfigs}
+loop:
+    csrw tselect, s2
+    slli t0, s2, 8
+    csrw tdata1, t0
+    ori t0, t0, 1
+    csrw tdata2, t0
+    csrw dscratch0, s2
+    slli t1, s2, 2
+    csrw dpc, t1
+    # some work between reconfigurations
+    li t2, 20
+work:
+    add t3, t3, t2
+    addi t2, t2, -1
+    bnez t2, work
+    addi s2, s2, -1
+    bnez s2, loop
+{_EXIT_GOOD}
+"""
+    return Workload("debug_triggers", assemble(source),
+                    reconfigs * 800 + 20_000,
+                    "trigger/debug CSR reconfiguration workload")
+
+
+@workload("rvc_mix")
+def rvc_mix(iterations: int = 120) -> Workload:
+    """Mixed compressed/full-width instructions (RV64C, FLAG_IS_RVC)."""
+    source = f"""
+_start:
+    li sp, 0x80100000
+    li a3, {iterations}
+    c.li a0, 0
+    c.li a1, 7
+loop:
+    c.add a0, a1
+    c.slli a0, 1
+    c.srli a0, 1
+    c.andi a0, 63
+    mul a2, a0, a1
+    c.sdsp a2, 8(sp)
+    c.ldsp a4, 8(sp)
+    bne a2, a4, bad
+    c.addi a3, -1
+    c.bnez a3, loop
+    c.li a0, 0
+    ebreak
+bad:
+    li a0, 1
+    ebreak
+"""
+    return Workload("rvc_mix", assemble(source), iterations * 50 + 15_000,
+                    "compressed-instruction kernel (RV64C)")
+
+
+
+
+@workload("mini_os")
+def mini_os(timeslices: int = 10) -> Workload:
+    """A miniature operating system: the closest stand-in to 'Linux boot'.
+
+    M-mode firmware builds real Sv39 page tables (4 KiB leaf pages for the
+    kernel, a user-accessible code page, and a 2 MiB user-data superpage),
+    delegates the S-timer interrupt and U-ecalls, and drops into an S-mode
+    kernel.  The kernel preemptively round-robins two U-mode "processes"
+    (full t-register context save/restore) off delegated timer interrupts;
+    processes yield via ecall, and the kernel acknowledges timer ticks
+    through an SBI-style ecall to the firmware.
+
+    Exercises: paging + TLB fills, all three privilege modes, two-level
+    trap delegation, asynchronous NDEs, context switching, SUM accesses
+    and heavy CSR churn — in one workload.
+    """
+    source = f"""
+_start:
+    # ================= M-mode firmware =================
+    li sp, 0x80100000
+    # --- build page tables ---
+    # root (0x80180000): [0] = device GiB superpage (U), [2] -> L1
+    li s0, 0x80180000
+    li t0, 0xFF                  # D A - U X W R V
+    sd t0, 0(s0)
+    li t0, 0x80181               # L1 ppn
+    slli t0, t0, 10
+    ori t0, t0, 0x1              # pointer PTE
+    sd t0, 16(s0)
+    # L1 (0x80181000): [0] -> L0 (4K pages for 0x80000000-0x801FFFFF),
+    #                  [1] = 2 MiB user-data superpage at 0x80200000
+    li s1, 0x80181000
+    li t0, 0x80182
+    slli t0, t0, 10
+    ori t0, t0, 0x1
+    sd t0, 0(s1)
+    li t0, 0x80200
+    slli t0, t0, 10
+    ori t0, t0, 0xFF             # user RWX superpage
+    sd t0, 8(s1)
+    # L0 (0x80182000): identity-map 512 kernel pages (non-U)
+    li s2, 0x80182000
+    li t1, 0
+build_l0:
+    li t2, 0x80000
+    add t2, t2, t1
+    slli t2, t2, 10
+    ori t2, t2, 0xEF             # D A - X W R V (kernel)
+    slli t3, t1, 3
+    add t3, s2, t3
+    sd t3, 0(t3)                 # placeholder (overwritten below)
+    sd t2, 0(t3)
+    addi t1, t1, 1
+    li t4, 512
+    blt t1, t4, build_l0
+    # user code page: page 1 (0x80001000, where .align 12 lands the
+    # process code) gets the U bit
+    li t2, 0x80001
+    slli t2, t2, 10
+    ori t2, t2, 0xFF
+    sd t2, 8(s2)
+    # --- delegation ---
+    li t0, 0x20                  # S-timer interrupt
+    csrw mideleg, t0
+    li t0, 0x100                 # ecall-from-U
+    csrw medeleg, t0
+    la t0, m_handler
+    csrw mtvec, t0
+    li t0, 0x80                  # MTIE
+    csrw mie, t0
+    # arm the first tick
+    li t5, {_MTIME}
+    ld t6, 0(t5)
+    addi t6, t6, 120
+    li t5, {_MTIMECMP}
+    sd t6, 0(t5)
+    # --- enter the S-mode kernel under Sv39 ---
+    li t0, 0x8000000000080180
+    csrw satp, t0
+    sfence.vma
+    la t0, kernel_main
+    csrw mepc, t0
+    li t0, 0x800                 # MPP = S
+    csrw mstatus, t0
+    csrrsi zero, mstatus, 8      # MIE: M takes timer ticks
+    mret
+
+# ---- M trap handler: interrupts forward STIP; ecalls are SBI ----
+.align 3
+m_handler:
+    csrw mscratch, t5
+    csrr t5, mcause
+    bgez t5, m_sync
+    # machine timer: rearm and inject a supervisor timer interrupt
+    csrr t5, mscratch            # free t5 again below
+    csrw mscratch, t6
+    li t5, {_MTIME}
+    ld t6, 0(t5)
+    addi t6, t6, 120
+    li t5, {_MTIMECMP}
+    sd t6, 0(t5)
+    li t5, 0x20
+    csrrs zero, mip, t5          # STIP for the kernel
+    csrr t6, mscratch
+    csrw mscratch, zero
+    li t5, 0
+    mret
+m_sync:
+    # SBI: a7=1 -> acknowledge timer (clear STIP); anything else: shutdown
+    li t5, 1
+    bne a7, t5, m_shutdown
+    li t5, 0x20
+    csrrc zero, mip, t5
+    csrr t5, mepc
+    addi t5, t5, 4
+    csrw mepc, t5
+    csrr t5, mscratch
+    mret
+m_shutdown:
+    ebreak                       # a0 carries the exit code
+
+# ================= S-mode kernel =================
+.align 3
+kernel_main:
+    li sp, 0x80140000
+    la t0, s_handler
+    csrw stvec, t0
+    # allow the kernel to touch the user page (proc_table lives there)
+    li t0, 0x40000               # SUM
+    csrrs zero, sstatus, t0
+    # process table: 64 B per process: pc, t0-t6
+    la s0, proc_table
+    la t0, proc_a
+    sd t0, 0(s0)
+    la t0, proc_b
+    sd t0, 64(s0)
+    li s1, 0                     # current pid
+    li s2, 0                     # timeslices consumed
+    li t0, 0x20                  # STIE
+    csrw sie, t0
+dispatch:
+    slli t6, s1, 6
+    add t6, t6, s0
+    ld t0, 8(t6)
+    ld t1, 16(t6)
+    ld t2, 24(t6)
+    ld t3, 32(t6)
+    ld t4, 40(t6)
+    ld t5, 48(t6)
+    ld a1, 0(t6)                 # saved pc
+    csrw sepc, a1
+    ld t6, 56(t6)
+    li a1, 0x100                 # SPP = U
+    csrrc zero, sstatus, a1
+    csrrsi zero, sstatus, 32     # SPIE: user runs interruptible
+    sret
+
+.align 3
+s_handler:
+    # save the outgoing process's context
+    csrw sscratch, t6
+    slli t6, s1, 6
+    add t6, t6, s0
+    sd t0, 8(t6)
+    sd t1, 16(t6)
+    sd t2, 24(t6)
+    sd t3, 32(t6)
+    sd t4, 40(t6)
+    sd t5, 48(t6)
+    csrr t0, sscratch
+    sd t0, 56(t6)
+    csrr t0, scause
+    bgez t0, s_sync
+    # ---- delegated timer tick: acknowledge + switch ----
+    csrr t1, sepc
+    sd t1, 0(t6)
+    li a7, 1
+    ecall                        # SBI: clear STIP
+    xori s1, s1, 1
+    addi s2, s2, 1
+    li t3, {timeslices}
+    blt s2, t3, dispatch
+    li a0, 0                     # clean shutdown
+    li a7, 0
+    ecall
+s_sync:
+    li t1, 8                     # ecall-from-U (yield)
+    bne t0, t1, s_bad
+    csrr t1, sepc
+    addi t1, t1, 4
+    sd t1, 0(t6)
+    xori s1, s1, 1
+    j dispatch
+s_bad:
+    li a0, 2
+    li a7, 0
+    ecall
+
+# ================= U-mode processes =================
+# (on their own page, marked user-accessible; proc_table shares it)
+.align 12
+proc_a:
+    li t0, 3
+pa_loop:
+    addi t1, t1, 7
+    mul t2, t1, t0
+    andi t1, t1, 0xFFF
+    addi t3, t3, 1
+    andi t4, t3, 31
+    bnez t4, pa_loop
+    ecall                        # yield
+    j pa_loop
+
+.align 3
+proc_b:
+    li t0, 0x80200000            # user-data superpage
+pb_loop:
+    addi t5, t5, 8
+    andi t5, t5, 0xFFF
+    add t1, t0, t5
+    sd t5, 0(t1)
+    ld t2, 0(t1)
+    addi t6, t6, 1
+    andi t3, t6, 63
+    bnez t3, pb_loop
+    ecall                        # yield
+    j pb_loop
+
+.align 3
+proc_table:
+    .zero 128
+"""
+    return Workload("mini_os", assemble(source), timeslices * 6000 + 120_000,
+                    "miniature OS: paging + 3 privilege modes + scheduler")

@@ -1,0 +1,167 @@
+"""Synthetic event streams for large-scale communication experiments.
+
+A :class:`SyntheticStream` generates statistically realistic cycles of
+verification events *without* executing instructions, so communication-
+layer experiments (packing utilisation sweeps, fusion-ratio curves,
+million-cycle ablations) run orders of magnitude faster than a full
+co-simulation.  The profiles mirror the paper's workload mix: an OS-boot
+profile with heavy device interaction, a SPEC-like compute profile, a
+hypervisor (KVM) profile, and a vector-test profile.
+
+Synthetic streams cannot be checked against a REF (there is no program
+semantics behind them); they drive the fuser/packer/channel pipeline only.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .. import events as EV
+
+
+@dataclass(frozen=True)
+class StreamProfile:
+    """Event-mix parameters of a synthetic workload."""
+
+    name: str
+    commit_width: int = 6
+    ipc: float = 1.2
+    mmio_rate: float = 0.001  # MMIO commits per instruction
+    interrupt_rate: float = 0.0002  # interrupts per instruction
+    exception_rate: float = 0.001  # exceptions per instruction
+    load_rate: float = 0.25  # loads per instruction
+    store_rate: float = 0.12
+    icache_miss_rate: float = 0.005  # refills per instruction
+    dcache_miss_rate: float = 0.01
+    tlb_miss_rate: float = 0.002
+    fp_rate: float = 0.05  # fp writebacks per instruction
+    vec_rate: float = 0.0  # vector writebacks per instruction
+    csr_write_rate: float = 0.01  # instructions that disturb a CSR
+
+
+LINUX_BOOT = StreamProfile(
+    name="linux_boot", mmio_rate=0.004, interrupt_rate=0.0005,
+    exception_rate=0.003, dcache_miss_rate=0.02, tlb_miss_rate=0.004)
+SPEC_COMPUTE = StreamProfile(
+    name="spec_compute", ipc=1.8, mmio_rate=0.00002,
+    interrupt_rate=0.00005, exception_rate=0.00005, fp_rate=0.25)
+KVM_IO = StreamProfile(
+    name="kvm_io", mmio_rate=0.02, interrupt_rate=0.002,
+    exception_rate=0.01, csr_write_rate=0.05)
+RVV_TEST = StreamProfile(
+    name="rvv_test", vec_rate=0.3, fp_rate=0.1, load_rate=0.35,
+    store_rate=0.2)
+
+PROFILES = (LINUX_BOOT, SPEC_COMPUTE, KVM_IO, RVV_TEST)
+
+
+class SyntheticStream:
+    """Deterministic generator of per-cycle event lists."""
+
+    def __init__(self, profile: StreamProfile, seed: int = 7,
+                 core_id: int = 0) -> None:
+        self.profile = profile
+        self.core_id = core_id
+        self._rng = random.Random(seed)
+        self._slot = 0
+        self._pc = 0x8000_0000
+        self._csrs = [0] * EV.CSR_STATE_ENTRIES
+        self._regs = [0] * 32
+
+    # ------------------------------------------------------------------
+    def cycles(self, count: int) -> Iterator[List[EV.VerificationEvent]]:
+        """Yield ``count`` cycles of events."""
+        for _ in range(count):
+            yield self.one_cycle()
+
+    def one_cycle(self) -> List[EV.VerificationEvent]:
+        profile = self.profile
+        rng = self._rng
+        stall_prob = max(
+            0.0, 1.0 - 2.0 * profile.ipc / (profile.commit_width + 1))
+        if rng.random() < stall_prob:
+            return []
+        commits = rng.randint(1, profile.commit_width)
+        out: List[EV.VerificationEvent] = []
+        for _ in range(commits):
+            self._one_instruction(out)
+        self._state_snapshots(out)
+        return out
+
+    # ------------------------------------------------------------------
+    def _one_instruction(self, out: List[EV.VerificationEvent]) -> None:
+        profile = self.profile
+        rng = self._rng
+        tag = self._slot
+        self._slot += 1
+        self._pc += 4
+
+        if rng.random() < profile.interrupt_rate:
+            out.append(EV.ArchInterrupt(core_id=self.core_id, order_tag=tag,
+                                        pc=self._pc, cause=7))
+            return
+        if rng.random() < profile.exception_rate:
+            out.append(EV.ArchException(core_id=self.core_id, order_tag=tag,
+                                        pc=self._pc, cause=8, tval=0,
+                                        instr=0x73))
+            return
+
+        flags = 0
+        wdata = rng.getrandbits(32)
+        rd = rng.randrange(1, 32)
+        if rng.random() < profile.mmio_rate:
+            flags |= EV.FLAG_SKIP
+        flags |= EV.FLAG_RF_WEN
+        self._regs[rd] = wdata
+        out.append(EV.IntWriteback(core_id=self.core_id, order_tag=tag,
+                                   addr=rd, data=wdata))
+        out.append(EV.InstrCommit(core_id=self.core_id, order_tag=tag,
+                                  pc=self._pc, instr=rng.getrandbits(32),
+                                  wdata=wdata, rd=rd, flags=flags,
+                                  fused_count=1))
+        if rng.random() < profile.load_rate:
+            out.append(EV.LoadEvent(core_id=self.core_id, order_tag=tag,
+                                    paddr=0x8020_0000 + rng.getrandbits(16),
+                                    data=rng.getrandbits(32), op_type=8,
+                                    fu_type=0, mmio=0))
+        if rng.random() < profile.store_rate:
+            out.append(EV.StoreEvent(core_id=self.core_id, order_tag=tag,
+                                     paddr=0x8030_0000 + rng.getrandbits(16),
+                                     data=rng.getrandbits(32), mask=0xFF))
+        if rng.random() < profile.icache_miss_rate:
+            out.append(EV.ICacheRefill(core_id=self.core_id, order_tag=tag,
+                                       addr=self._pc & ~0x3F,
+                                       data=tuple(rng.getrandbits(16)
+                                                  for _ in range(8))))
+        if rng.random() < profile.dcache_miss_rate:
+            out.append(EV.DCacheRefill(core_id=self.core_id, order_tag=tag,
+                                       addr=rng.getrandbits(24) & ~0x3F,
+                                       data=tuple(rng.getrandbits(16)
+                                                  for _ in range(8))))
+        if rng.random() < profile.tlb_miss_rate:
+            out.append(EV.L1TlbFill(core_id=self.core_id, order_tag=tag,
+                                    vpn=rng.getrandbits(20),
+                                    ppn=rng.getrandbits(20), perm=0xCF,
+                                    level=0, satp=0))
+        if rng.random() < profile.fp_rate:
+            out.append(EV.FpWriteback(core_id=self.core_id, order_tag=tag,
+                                      addr=rng.randrange(32),
+                                      data=rng.getrandbits(64)))
+        if rng.random() < profile.vec_rate:
+            out.append(EV.VecWriteback(core_id=self.core_id, order_tag=tag,
+                                       addr=rng.randrange(32),
+                                       data=tuple(rng.getrandbits(64)
+                                                  for _ in range(4))))
+        if rng.random() < profile.csr_write_rate:
+            self._csrs[rng.randrange(8)] = rng.getrandbits(32)
+
+    def _state_snapshots(self, out: List[EV.VerificationEvent]) -> None:
+        tag = self._slot - 1
+        out.append(EV.IntRegState(core_id=self.core_id, order_tag=tag,
+                                  regs=tuple(self._regs)))
+        out.append(EV.CsrState(core_id=self.core_id, order_tag=tag,
+                               csrs=tuple(self._csrs)))
+        out.append(EV.FpCsrState(core_id=self.core_id, order_tag=tag,
+                                 fcsr=0, frm=0, fflags=0))

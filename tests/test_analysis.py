@@ -1,0 +1,96 @@
+"""Tests for the area and overhead analysis models."""
+
+import pytest
+
+from repro.analysis import (
+    breakdown_row,
+    communication_fraction,
+    estimate_area,
+    probe_bits,
+    render_table,
+)
+from repro.comm import FPGA_VU19P, PALLADIUM
+from repro.core import CONFIG_BNSD, CONFIG_Z, run_cosim
+from repro.dut import (
+    NUTSHELL,
+    XIANGSHAN_DEFAULT,
+    XIANGSHAN_DUAL,
+    XIANGSHAN_MINIMAL,
+)
+
+
+class TestAreaModel:
+    def test_figure15_anchor_without_batch(self):
+        # Paper: ~6% area overhead without Batch, across XS configs.
+        for config in (XIANGSHAN_MINIMAL, XIANGSHAN_DEFAULT, XIANGSHAN_DUAL):
+            report = estimate_area(config, with_batch=False)
+            assert 0.04 <= report.overhead_fraction <= 0.09, config.name
+
+    def test_figure15_anchor_with_batch(self):
+        # Paper: ~25% average with Batch enabled.
+        fractions = [
+            estimate_area(config, with_batch=True).overhead_fraction
+            for config in (XIANGSHAN_MINIMAL, XIANGSHAN_DEFAULT,
+                           XIANGSHAN_DUAL)
+        ]
+        assert all(0.18 <= f <= 0.32 for f in fractions)
+        average = sum(fractions) / len(fractions)
+        assert 0.20 <= average <= 0.30
+
+    def test_batch_is_the_dominant_unit(self):
+        report = estimate_area(XIANGSHAN_DEFAULT, with_batch=True)
+        assert report.parts["batch"] > report.parts["replay_buffer"]
+        assert report.parts["replay_buffer"] > report.parts["monitor"]
+
+    def test_probe_bits_scale_with_width_and_cores(self):
+        assert probe_bits(XIANGSHAN_MINIMAL) < probe_bits(XIANGSHAN_DEFAULT)
+        assert probe_bits(XIANGSHAN_DUAL) == 2 * probe_bits(XIANGSHAN_DEFAULT)
+
+    def test_nutshell_probes_tiny(self):
+        assert probe_bits(NUTSHELL) < probe_bits(XIANGSHAN_DEFAULT) / 5
+
+    def test_squash_optional(self):
+        with_squash = estimate_area(XIANGSHAN_DEFAULT, with_squash=True)
+        without = estimate_area(XIANGSHAN_DEFAULT, with_squash=False)
+        assert with_squash.difftest_mgates > without.difftest_mgates
+
+
+class TestOverheadBreakdown:
+    @pytest.fixture(scope="class")
+    def baseline_run(self, small_image):
+        return run_cosim(XIANGSHAN_DEFAULT, CONFIG_Z, small_image,
+                         max_cycles=60_000)
+
+    def test_baseline_communication_dominates(self, baseline_run):
+        # Section 2.3: >98% of baseline co-simulation time is communication.
+        fraction = communication_fraction(
+            baseline_run.stats, PALLADIUM, XIANGSHAN_DEFAULT, False)
+        assert fraction > 0.90
+
+    def test_optimized_overhead_small_on_palladium(self, small_image):
+        result = run_cosim(XIANGSHAN_DEFAULT, CONFIG_BNSD, small_image,
+                           max_cycles=60_000)
+        fraction = communication_fraction(
+            result.stats, PALLADIUM, XIANGSHAN_DEFAULT, True)
+        assert fraction < 0.6
+
+    def test_fpga_startup_share_higher_than_palladium(self, baseline_run):
+        pldm = breakdown_row("pldm", baseline_run.stats, PALLADIUM,
+                             XIANGSHAN_DEFAULT)
+        fpga = breakdown_row("fpga", baseline_run.stats, FPGA_VU19P,
+                             XIANGSHAN_DEFAULT)
+        # Figure 2 observation: FPGA shows higher startup share but lower
+        # transmission share (relative to its own communication time).
+        pldm_comm = 1 - pldm.fractions["dut"]
+        fpga_comm = 1 - fpga.fractions["dut"]
+        assert fpga.fractions["startup"] / fpga_comm > \
+            pldm.fractions["startup"] / pldm_comm
+        assert fpga.fractions["transmission"] / fpga_comm < \
+            pldm.fractions["transmission"] / pldm_comm
+
+    def test_render_table(self, baseline_run):
+        rows = [breakdown_row("XiangShan / Palladium", baseline_run.stats,
+                              PALLADIUM, XIANGSHAN_DEFAULT)]
+        table = render_table(rows)
+        assert "XiangShan / Palladium" in table
+        assert "KHz" in table

@@ -1,0 +1,248 @@
+"""Tests for the ISA checker: order restoration, comparison, mismatches."""
+
+import pytest
+
+import repro.events as EV
+from repro.core.checker import Checker, CheckerProtocolError
+from repro.core.framework import REF_MMIO_RANGES
+from repro.dut import XIANGSHAN_DEFAULT, DutSystem
+from repro.isa import assemble
+from repro.ref import RefModel
+
+
+def make_pair(source: str):
+    image = assemble(source)
+    system = DutSystem(XIANGSHAN_DEFAULT)
+    system.load_image(image)
+    ref = RefModel(mmio_ranges=REF_MMIO_RANGES)
+    ref.load_image(image)
+    return system, Checker(ref)
+
+
+def drive(system, checker, max_cycles=40_000, transform=None):
+    """Feed the raw DUT stream (in order) to the checker."""
+    for _ in range(max_cycles):
+        (bundle,) = system.cycle()
+        events = bundle.events if transform is None else transform(
+            bundle.events)
+        for event in events:
+            mismatch = checker.process(event)
+            if mismatch is not None:
+                return mismatch
+        if system.finished():
+            return None
+    raise AssertionError("did not finish")
+
+
+SIMPLE = """
+_start:
+    li sp, 0x80100000
+    li t0, 20
+loop:
+    sd t0, 0(sp)
+    ld t1, 0(sp)
+    addi t0, t0, -1
+    bnez t0, loop
+    li a0, 0
+    ebreak
+"""
+
+
+class TestRawStream:
+    def test_clean_run_passes(self):
+        system, checker = make_pair(SIMPLE)
+        assert drive(system, checker) is None
+        assert checker.finished == 0
+
+    def test_ref_slot_tracks_dut_slots(self):
+        system, checker = make_pair(SIMPLE)
+        drive(system, checker)
+        assert checker.ref_slot == system.cores[0].monitor.slot
+
+    def test_counters_populated(self):
+        system, checker = make_pair(SIMPLE)
+        drive(system, checker)
+        assert checker.counters.sw_ref_steps > 0
+        assert checker.counters.sw_events_checked > 0
+        assert checker.counters.sw_bytes_checked > 0
+
+
+class TestMismatchDetection:
+    def test_wrong_commit_wdata_detected(self):
+        system, checker = make_pair(SIMPLE)
+
+        state = {"armed": True}
+
+        def corrupt(events):
+            out = []
+            for event in events:
+                if (isinstance(event, EV.InstrCommit) and state["armed"]
+                        and event.order_tag > 10
+                        and event.flags & EV.FLAG_RF_WEN):
+                    state["armed"] = False
+                    event = EV.InstrCommit(
+                        core_id=event.core_id, order_tag=event.order_tag,
+                        pc=event.pc, instr=event.instr,
+                        wdata=event.wdata ^ 1, rd=event.rd,
+                        flags=event.flags, fused_count=event.fused_count)
+                out.append(event)
+            return out
+
+        mismatch = drive(system, checker, transform=corrupt)
+        assert mismatch is not None
+        assert mismatch.field_name in ("wdata", "xreg", "regs", "store_data",
+                                       "load_data")
+
+    def test_wrong_pc_detected(self):
+        system, checker = make_pair(SIMPLE)
+        state = {"armed": True}
+
+        def corrupt(events):
+            out = []
+            for event in events:
+                if (isinstance(event, EV.InstrCommit) and state["armed"]
+                        and event.order_tag > 5):
+                    state["armed"] = False
+                    event = EV.InstrCommit(
+                        core_id=event.core_id, order_tag=event.order_tag,
+                        pc=event.pc ^ 8, instr=event.instr, wdata=event.wdata,
+                        rd=event.rd, flags=event.flags,
+                        fused_count=event.fused_count)
+                out.append(event)
+            return out
+
+        mismatch = drive(system, checker, transform=corrupt)
+        assert mismatch is not None and mismatch.field_name == "pc"
+
+    def test_wrong_snapshot_detected_with_csr_name(self):
+        system, checker = make_pair(SIMPLE)
+        state = {"armed": True}
+
+        def corrupt(events):
+            out = []
+            for event in events:
+                if isinstance(event, EV.CsrState) and state["armed"] \
+                        and event.order_tag > 10:
+                    state["armed"] = False
+                    csrs = list(event.csrs)
+                    csrs[0] ^= 2  # mstatus
+                    event = EV.CsrState(core_id=event.core_id,
+                                        order_tag=event.order_tag,
+                                        csrs=tuple(csrs))
+                out.append(event)
+            return out
+
+        mismatch = drive(system, checker, transform=corrupt)
+        assert mismatch is not None
+        assert "csr[0x300]" in mismatch.field_name
+
+    def test_wrong_refill_detected(self):
+        system, checker = make_pair(SIMPLE)
+        state = {"armed": True}
+
+        def corrupt(events):
+            out = []
+            for event in events:
+                if isinstance(event, EV.ICacheRefill) and state["armed"]:
+                    state["armed"] = False
+                    data = list(event.data)
+                    data[0] ^= 0xFF
+                    event = EV.ICacheRefill(core_id=event.core_id,
+                                            order_tag=event.order_tag,
+                                            addr=event.addr,
+                                            data=tuple(data))
+                out.append(event)
+            return out
+
+        mismatch = drive(system, checker, transform=corrupt)
+        assert mismatch is not None
+        assert mismatch.field_name == "refill_data"
+        assert mismatch.component == "icache"
+
+    def test_mip_differences_ignored(self):
+        system, checker = make_pair(SIMPLE)
+
+        def corrupt(events):
+            out = []
+            for event in events:
+                if isinstance(event, EV.CsrState):
+                    csrs = list(event.csrs)
+                    csrs[9] ^= 0x80  # mip entry: must not be compared
+                    event = EV.CsrState(core_id=event.core_id,
+                                        order_tag=event.order_tag,
+                                        csrs=tuple(csrs))
+                out.append(event)
+            return out
+
+        assert drive(system, checker, transform=corrupt) is None
+
+
+class TestFusedStream:
+    def test_fused_commit_advances_multiple_slots(self):
+        image = assemble(SIMPLE)
+        ref = RefModel(mmio_ranges=REF_MMIO_RANGES)
+        ref.load_image(image)
+        checker = Checker(ref)
+        # Hand-build a fused commit covering the first 3 instructions.
+        system = DutSystem(XIANGSHAN_DEFAULT)
+        system.load_image(image)
+        commits = []
+        while len(commits) < 3:
+            (bundle,) = system.cycle()
+            commits.extend(e for e in bundle.events
+                           if isinstance(e, EV.InstrCommit))
+        last = commits[2]
+        fused = EV.InstrCommit(core_id=0, order_tag=last.order_tag,
+                               pc=last.pc, instr=last.instr, wdata=last.wdata,
+                               rd=last.rd, flags=last.flags, fused_count=3)
+        assert checker.process(fused) is None
+        assert checker.ref_slot == 3
+
+    def test_fused_stream_via_squash_passes(self):
+        from repro.comm.fusion import Completer, SquashFuser
+
+        image = assemble(SIMPLE)
+        system = DutSystem(XIANGSHAN_DEFAULT)
+        system.load_image(image)
+        ref = RefModel(mmio_ranges=REF_MMIO_RANGES)
+        ref.load_image(image)
+        checker = Checker(ref)
+        fuser = SquashFuser(window=16, differencing=True)
+        completer = Completer()
+        for _ in range(40_000):
+            (bundle,) = system.cycle()
+            for item in fuser.on_cycle(bundle.events):
+                assert checker.process(completer.complete(item)) is None
+            if system.finished():
+                break
+        for item in fuser.flush():
+            assert checker.process(completer.complete(item)) is None
+        assert checker.finished == 0
+
+
+class TestProtocolErrors:
+    def _checker(self):
+        ref = RefModel(mmio_ranges=REF_MMIO_RANGES)
+        ref.load_image(assemble("nop\n nop\n nop\n li a0, 0\n ebreak"))
+        return Checker(ref)
+
+    def test_stale_check_raises(self):
+        checker = self._checker()
+        checker.process(EV.InstrCommit(order_tag=2, pc=0x80000008,
+                                       instr=0x13, fused_count=3))
+        with pytest.raises(CheckerProtocolError, match="arrived after"):
+            checker.process(EV.IntWriteback(order_tag=0, addr=1, data=0))
+
+    def test_duplicate_slot_consumer_raises(self):
+        checker = self._checker()
+        checker.process(EV.ArchException(order_tag=5, pc=0, cause=2, tval=0))
+        with pytest.raises(CheckerProtocolError, match="duplicate"):
+            checker.process(EV.ArchException(order_tag=5, pc=0, cause=2,
+                                             tval=0))
+
+    def test_past_consumer_raises(self):
+        checker = self._checker()
+        checker.process(EV.InstrCommit(order_tag=1, pc=0x80000004,
+                                       instr=0x13, fused_count=2))
+        with pytest.raises(CheckerProtocolError):
+            checker.process(EV.ArchInterrupt(order_tag=0, pc=0, cause=7))

@@ -1,0 +1,149 @@
+"""Checker soundness fuzzing: corrupting any checked field is detected.
+
+A clean DUT event stream is recorded once; then a single randomly-chosen
+checked field of a randomly-chosen event is flipped and the stream is fed
+through the checker.  Soundness property: *every* such corruption of a
+checked quantity produces a mismatch (and never a protocol error).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.events as EV
+from repro.core.checker import UNCHECKED_CSRS, Checker
+from repro.core.framework import REF_MMIO_RANGES
+from repro.dut import XIANGSHAN_DEFAULT, DutSystem
+from repro.isa import assemble
+from repro.isa import csr as CSR
+from repro.ref import RefModel
+
+PROGRAM = """
+_start:
+    li sp, 0x80100000
+    li t0, 40
+    li t1, 0
+loop:
+    add t1, t1, t0
+    sd t1, -8(sp)
+    ld t2, -8(sp)
+    mul t3, t1, t2
+    addi t0, t0, -1
+    bnez t0, loop
+    li a0, 0
+    ebreak
+"""
+
+#: (event class, field, transform) — checked quantities.
+_CHECKED_FIELDS = [
+    (EV.InstrCommit, "pc", lambda v: v ^ 4),
+    (EV.IntWriteback, "data", lambda v: v ^ 1),
+    # (corrupting IntWriteback.addr is NOT always detectable: two
+    #  registers can legitimately hold equal values)
+    (EV.IntRegState, "regs", lambda v: (v[0],) + (v[1] ^ 2,) + v[2:]),
+    (EV.FpRegState, "regs", lambda v: (v[0] ^ 1,) + v[1:]),
+    (EV.StoreEvent, "data", lambda v: v ^ 8),
+    (EV.LoadEvent, "data", lambda v: v ^ 8),
+    (EV.ICacheRefill, "data", lambda v: (v[0] ^ 0xFF,) + v[1:]),
+    (EV.DCacheRefill, "data", lambda v: (v[0] ^ 0xFF,) + v[1:]),
+]
+
+
+def _clean_stream():
+    system = DutSystem(XIANGSHAN_DEFAULT)
+    system.load_image(assemble(PROGRAM))
+    events = []
+    for _ in range(40_000):
+        (bundle,) = system.cycle()
+        events.extend(bundle.events)
+        if system.finished():
+            break
+    return events
+
+
+@pytest.fixture(scope="module")
+def clean_stream():
+    return _clean_stream()
+
+
+def _fresh_checker():
+    ref = RefModel(mmio_ranges=REF_MMIO_RANGES)
+    ref.load_image(assemble(PROGRAM))
+    return Checker(ref)
+
+
+def _copy_with(event, field, transform):
+    fields = {spec.name: getattr(event, spec.name) for spec in event.FIELDS}
+    fields[field] = transform(fields[field])
+    return type(event)(core_id=event.core_id, order_tag=event.order_tag,
+                       **fields)
+
+
+def test_clean_stream_passes(clean_stream):
+    checker = _fresh_checker()
+    for event in clean_stream:
+        assert checker.process(event) is None
+    assert checker.finished == 0
+
+
+@given(choice=st.integers(0, len(_CHECKED_FIELDS) - 1),
+       pick=st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_any_checked_field_corruption_detected(clean_stream, choice, pick):
+    cls, field, transform = _CHECKED_FIELDS[choice]
+    candidates = [i for i, e in enumerate(clean_stream)
+                  if isinstance(e, cls) and not e.is_nde()
+                  and not (isinstance(e, EV.InstrCommit)
+                           and not e.flags & EV.FLAG_RF_WEN)]
+    if not candidates:
+        return
+    index = candidates[pick % len(candidates)]
+    corrupted = list(clean_stream)
+    corrupted[index] = _copy_with(corrupted[index], field, transform)
+    checker = _fresh_checker()
+    mismatch = None
+    for event in corrupted:
+        mismatch = checker.process(event)
+        if mismatch is not None:
+            break
+    assert mismatch is not None, (cls.__name__, field, index)
+    # Detection is at (or after, for snapshot checks) the corrupted slot.
+    assert mismatch.slot >= 0
+
+
+def test_unchecked_csr_corruption_not_flagged(clean_stream):
+    """Masked CSRs (mip/sip) may differ freely — never a false positive."""
+    mip_index = CSR.CHECKED_CSRS.index(CSR.MIP)
+    corrupted = []
+    for event in clean_stream:
+        if isinstance(event, EV.CsrState):
+            csrs = list(event.csrs)
+            csrs[mip_index] ^= 0x80
+            event = EV.CsrState(core_id=event.core_id,
+                                order_tag=event.order_tag, csrs=tuple(csrs))
+        corrupted.append(event)
+    checker = _fresh_checker()
+    for event in corrupted:
+        assert checker.process(event) is None
+    assert checker.finished == 0
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=10, deadline=None)
+def test_random_event_drop_never_causes_protocol_error_for_checks(
+        clean_stream, seed):
+    """Dropping a pure check event silently weakens coverage but must not
+    corrupt the checker's slot machinery."""
+    rng = random.Random(seed)
+    droppable = [i for i, e in enumerate(clean_stream)
+                 if not isinstance(e, (EV.InstrCommit, EV.ArchException,
+                                       EV.ArchInterrupt, EV.TrapFinish,
+                                       EV.LrScEvent))]
+    index = rng.choice(droppable)
+    stream = clean_stream[:index] + clean_stream[index + 1:]
+    checker = _fresh_checker()
+    for event in stream:
+        assert checker.process(event) is None
+    assert checker.finished == 0

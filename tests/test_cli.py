@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRun:
+    def test_run_default(self, capsys):
+        code = main(["run", "--workload", "microbench"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "HIT GOOD TRAP" in out
+        assert "Simulation speed:" in out
+
+    def test_run_selects_platform(self, capsys):
+        main(["run", "--workload", "microbench", "--platform", "fpga"])
+        assert "FPGA" in capsys.readouterr().out
+
+    def test_run_profile_flag(self, capsys):
+        main(["run", "--workload", "microbench", "--profile"])
+        assert "invocations/cycle" in capsys.readouterr().out
+
+    def test_run_nutshell_baseline(self, capsys):
+        code = main(["run", "--workload", "microbench", "--dut", "nutshell",
+                     "--config", "Z"])
+        assert code == 0
+
+    def test_run_uart_output_shown(self, capsys):
+        main(["run", "--workload", "mmio_echo"])
+        assert "hello difftest-h" in capsys.readouterr().out
+
+    def test_max_cycles_override(self, capsys):
+        code = main(["run", "--workload", "microbench", "--max-cycles", "5"])
+        assert code == 1  # did not finish
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "--workload", "nope"])
+
+
+class TestLadder:
+    def test_ladder_prints_four_rows(self, capsys):
+        code = main(["ladder", "--workload", "microbench"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("Z", "B", "BIN", "EBINSD"):
+            assert name in out
+
+
+class TestInject:
+    def test_inject_detects_and_reports(self, capsys):
+        code = main(["inject", "--fault", "store_queue_mismatch",
+                     "--workload", "microbench", "--trigger", "300"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "detected at cycle" in out
+        assert "debug report" in out
+
+    def test_inject_unknown_fault(self):
+        with pytest.raises(KeyError):
+            main(["inject", "--fault", "nope"])
+
+
+class TestFuzz:
+    def test_fuzz_passes(self, capsys):
+        code = main(["fuzz", "--seeds", "3", "--length", "40"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3/3 passed" in out
+
+
+class TestListings:
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "linux_boot_like" in out
+        assert "kvm_like" in out
+
+    def test_faults(self, capsys):
+        assert main(["faults"]) == 0
+        out = capsys.readouterr().out
+        assert "#3964" in out
+        assert len(out.strip().splitlines()) == 19
+
+    def test_events(self, capsys):
+        assert main(["events"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 32
+        assert "VecRegState" in out
+
+    def test_module_invocation(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "faults"],
+            capture_output=True, text=True)
+        assert proc.returncode == 0
+        assert "#3964" in proc.stdout
+
+
+class TestSweep:
+    def test_sweep_default(self, capsys):
+        code = main(["sweep", "--workload", "microbench"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sweep of bw_bytes_per_us" in out
+        assert "non-blocking gain" in out
+        assert "reduction needed" in out
+
+    def test_sweep_custom_values(self, capsys):
+        code = main(["sweep", "--workload", "microbench",
+                     "--parameter", "t_sync_us", "--values", "1,10,100"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("KHz") >= 3

@@ -1,0 +1,282 @@
+"""Tests for the DUT simulator: event generation, caches, TLBs, faults."""
+
+import pytest
+
+import repro.events as EV
+from repro.dut import (
+    ALL_CONFIGS,
+    FAULT_CATALOGUE,
+    NUTSHELL,
+    XIANGSHAN_DEFAULT,
+    XIANGSHAN_DUAL,
+    DutSystem,
+    SetAssocCache,
+    StoreBuffer,
+    faults_by_category,
+)
+from repro.dut.tlb import TlbHierarchy, TlbModel
+from repro.isa import assemble
+from repro.isa.mmu import Translation
+
+
+def run_dut(image: bytes, config=XIANGSHAN_DEFAULT, max_cycles=40_000,
+            seed=2025):
+    system = DutSystem(config, seed=seed)
+    system.load_image(image)
+    events = []
+    cycles = 0
+    while not system.finished() and cycles < max_cycles:
+        for bundle in system.cycle():
+            events.extend(bundle.events)
+        cycles += 1
+    return system, events
+
+
+class TestEventGeneration:
+    def test_commits_have_monotonic_tags(self, small_image):
+        _, events = run_dut(small_image)
+        tags = [e.order_tag for e in events if isinstance(e, EV.InstrCommit)]
+        assert tags == sorted(tags)
+        assert len(tags) == len(set(tags))
+
+    def test_every_retired_instruction_commits(self, small_image):
+        system, events = run_dut(small_image)
+        commits = [e for e in events if isinstance(e, EV.InstrCommit)]
+        assert len(commits) == system.cores[0].retired
+
+    def test_state_snapshots_on_commit_cycles(self, small_image):
+        system = DutSystem(XIANGSHAN_DEFAULT)
+        system.load_image(small_image)
+        for _ in range(2000):
+            (bundle,) = system.cycle()
+            if bundle.committed:
+                kinds = {type(e) for e in bundle.events}
+                assert EV.IntRegState in kinds
+                assert EV.CsrState in kinds
+            if bundle.trap_finish is not None:
+                break
+
+    def test_trap_finish_event_emitted(self, small_image):
+        _, events = run_dut(small_image)
+        traps = [e for e in events if isinstance(e, EV.TrapFinish)]
+        assert len(traps) == 1
+        assert traps[0].code == 0
+
+    def test_loads_and_stores_emitted(self, small_image):
+        _, events = run_dut(small_image)
+        assert any(isinstance(e, EV.LoadEvent) for e in events)
+        assert any(isinstance(e, EV.StoreEvent) for e in events)
+
+    def test_division_reports_delayed_writeback(self):
+        image = assemble("li t0, 100\n li t1, 7\n div t2, t0, t1\n"
+                         "li a0, 0\n ebreak")
+        _, events = run_dut(image)
+        assert any(isinstance(e, EV.DelayedIntUpdate) for e in events)
+
+    def test_event_set_filtering(self, small_image):
+        _, events = run_dut(small_image, config=NUTSHELL)
+        names = {type(e).__name__ for e in events}
+        allowed = set(NUTSHELL.event_set)
+        assert names <= allowed
+
+    def test_seed_determinism(self, small_image):
+        _, events_a = run_dut(small_image, seed=7)
+        _, events_b = run_dut(small_image, seed=7)
+        assert events_a == events_b
+
+    def test_different_seeds_change_timing_not_architecture(self, small_image):
+        sys_a, _ = run_dut(small_image, seed=1)
+        sys_b, _ = run_dut(small_image, seed=2)
+        assert sys_a.cores[0].retired == sys_b.cores[0].retired
+        assert sys_a.cores[0].state.xregs == sys_b.cores[0].state.xregs
+
+    def test_commit_width_respected(self, microbench_image):
+        system = DutSystem(XIANGSHAN_DEFAULT)
+        system.load_image(microbench_image)
+        for _ in range(3000):
+            (bundle,) = system.cycle()
+            assert bundle.committed <= XIANGSHAN_DEFAULT.commit_width
+            if bundle.trap_finish is not None:
+                break
+
+
+class TestHierarchyEvents:
+    def test_cache_refills_on_large_footprint(self):
+        source = """
+            li s0, 0x80200000
+            li t0, 0
+        loop:
+            add t1, s0, t0
+            sd t0, 0(t1)
+            addi t0, t0, 64
+            li t2, 32768
+            blt t0, t2, loop
+            li a0, 0
+            ebreak
+        """
+        _, events = run_dut(assemble(source), max_cycles=200_000)
+        assert any(isinstance(e, EV.DCacheRefill) for e in events)
+        assert any(isinstance(e, EV.L2Refill) for e in events)
+        assert any(isinstance(e, EV.SbufferFlush) for e in events)
+
+    def test_refill_data_matches_memory(self, small_image):
+        system, events = run_dut(small_image)
+        for event in events:
+            if isinstance(event, EV.DCacheRefill):
+                line = system.memory.load_words(event.addr, 8)
+                # The line may have been rewritten later; at minimum the
+                # refill address is line-aligned and data has 8 words.
+                assert event.addr % 64 == 0
+                assert len(event.data) == 8
+                del line
+
+    def test_icache_refills(self, small_image):
+        _, events = run_dut(small_image)
+        assert any(isinstance(e, EV.ICacheRefill) for e in events)
+
+
+class TestCacheModel:
+    def test_hit_after_miss(self):
+        cache = SetAssocCache(sets=4, ways=2)
+        hit, line = cache.access(0x1000)
+        assert not hit and line == 0x1000
+        hit, _ = cache.access(0x1008)  # same line
+        assert hit
+
+    def test_lru_eviction(self):
+        cache = SetAssocCache(sets=1, ways=2)
+        cache.access(0x000)
+        cache.access(0x040)
+        cache.access(0x000)  # touch to make 0x040 LRU
+        cache.access(0x080)  # evicts 0x040
+        hit, _ = cache.access(0x000)
+        assert hit
+        hit, _ = cache.access(0x040)
+        assert not hit
+
+    def test_invalidate(self):
+        cache = SetAssocCache(sets=4, ways=2)
+        cache.access(0x1000)
+        cache.invalidate()
+        hit, _ = cache.access(0x1000)
+        assert not hit
+
+    def test_stats(self):
+        cache = SetAssocCache(sets=4, ways=2)
+        cache.access(0)
+        cache.access(0)
+        assert cache.misses == 1 and cache.hits == 1
+
+
+class TestStoreBuffer:
+    def test_coalesces_same_line(self):
+        buffer = StoreBuffer(entries=4)
+        assert buffer.store(0x100, 8) == []
+        assert buffer.store(0x108, 8) == []
+        assert len(buffer._lines) == 1
+
+    def test_flush_on_capacity(self):
+        buffer = StoreBuffer(entries=2)
+        buffer.store(0x000, 8)
+        buffer.store(0x040, 8)
+        flushed = buffer.store(0x080, 8)
+        assert len(flushed) == 1
+        assert flushed[0][0] == 0x000  # oldest line
+
+    def test_drain_flushes_all(self):
+        buffer = StoreBuffer(entries=8)
+        buffer.store(0x000, 8)
+        buffer.store(0x040, 8)
+        assert len(buffer.drain()) == 2
+        assert buffer.drain() == []
+
+
+class TestTlbModel:
+    def _translation(self, vpn: int) -> Translation:
+        return Translation(paddr=vpn << 12, vpn=vpn, ppn=vpn + 100, level=0,
+                           perm=0xCF, pte_addr=0)
+
+    def test_miss_then_hit(self):
+        tlb = TlbModel(entries=4)
+        assert tlb.lookup(5) is None
+        tlb.fill(self._translation(5))
+        assert tlb.lookup(5) is not None
+
+    def test_lru_capacity(self):
+        tlb = TlbModel(entries=2)
+        for vpn in (1, 2, 3):
+            tlb.fill(self._translation(vpn))
+        assert tlb.lookup(1) is None
+        assert tlb.lookup(3) is not None
+
+    def test_hierarchy_l1_and_l2_fills(self):
+        tlbs = TlbHierarchy(2, 2, 8)
+        l1, l2 = tlbs.access(self._translation(7), is_fetch=False)
+        assert l1 is not None and l2 is not None
+        l1, l2 = tlbs.access(self._translation(7), is_fetch=False)
+        assert l1 is None and l2 is None
+
+    def test_l2_shared_between_l1s(self):
+        tlbs = TlbHierarchy(2, 2, 8)
+        tlbs.access(self._translation(7), is_fetch=False)
+        l1, l2 = tlbs.access(self._translation(7), is_fetch=True)
+        assert l1 is not None  # itlb missed
+        assert l2 is None  # but the shared L2 hit
+
+    def test_flush(self):
+        tlbs = TlbHierarchy(2, 2, 8)
+        tlbs.access(self._translation(7), is_fetch=False)
+        tlbs.flush()
+        l1, l2 = tlbs.access(self._translation(7), is_fetch=False)
+        assert l1 is not None and l2 is not None
+
+
+class TestDualCore:
+    def test_both_cores_emit_with_core_ids(self, microbench_image):
+        system, events = run_dut(microbench_image, config=XIANGSHAN_DUAL,
+                                 max_cycles=60_000)
+        assert {e.core_id for e in events} == {0, 1}
+        assert system.exit_code() == 0
+
+    def test_cores_share_memory(self, microbench_image):
+        system = DutSystem(XIANGSHAN_DUAL)
+        system.load_image(microbench_image)
+        assert system.cores[0].bus.memory is system.cores[1].bus.memory
+
+
+class TestFaultCatalogue:
+    def test_nineteen_faults_in_three_categories(self):
+        assert len(FAULT_CATALOGUE) == 19
+        grouped = faults_by_category()
+        assert len(grouped) == 3
+        assert sorted(len(v) for v in grouped.values()) == [6, 6, 7]
+
+    def test_pull_requests_unique(self):
+        prs = [f.pull_request for f in FAULT_CATALOGUE]
+        assert len(set(prs)) == 19
+
+    def test_fault_corrupts_state_and_events_consistently(self, small_image):
+        from repro.dut import fault_by_name
+
+        def commit_stream(install_fault: bool):
+            system = DutSystem(XIANGSHAN_DEFAULT)
+            system.load_image(small_image)
+            if install_fault:
+                fault_by_name("control_flow_wdata").install(
+                    system.cores[0], trigger=50)
+            wdata = []
+            for _ in range(40_000):
+                (bundle,) = system.cycle()
+                wdata.extend(e.wdata for e in bundle.events
+                             if isinstance(e, EV.InstrCommit))
+                if system.finished():
+                    break
+            return wdata, system
+
+        clean_wdata, _clean = commit_stream(False)
+        faulty_wdata, faulty = commit_stream(True)
+        assert clean_wdata != faulty_wdata
+        # Consistency: the event carried exactly what the DUT regfile held.
+        first_diff = next(i for i, (a, b) in
+                          enumerate(zip(clean_wdata, faulty_wdata)) if a != b)
+        assert faulty_wdata[first_diff] == clean_wdata[first_diff] ^ 0x4

@@ -1,0 +1,183 @@
+"""Tests for the verification-event system (Table 1)."""
+
+import pytest
+
+import repro.events as EV
+from repro.events import (
+    EventCategory,
+    FusionRule,
+    VerificationEvent,
+    aggregate_interface_size,
+    all_event_classes,
+    event_class,
+)
+
+
+class TestRegistry:
+    def test_exactly_32_event_types(self):
+        assert len(all_event_classes()) == 32
+
+    def test_event_ids_dense_and_ordered(self):
+        ids = [cls.DESCRIPTOR.event_id for cls in all_event_classes()]
+        assert ids == list(range(32))
+
+    def test_category_counts_match_table1(self):
+        counts = {}
+        for cls in all_event_classes():
+            category = cls.DESCRIPTOR.category
+            counts[category] = counts.get(category, 0) + 1
+        assert counts[EventCategory.CONTROL_FLOW] == 5
+        assert counts[EventCategory.REGISTER_UPDATE] == 9
+        assert counts[EventCategory.MEMORY_ACCESS] == 3
+        assert counts[EventCategory.MEMORY_HIERARCHY] == 6
+        assert counts[EventCategory.EXTENSION] == 9
+
+    def test_lookup_by_id(self):
+        assert event_class(0) is EV.InstrCommit
+        assert event_class(31) is EV.LrScEvent
+
+    def test_lookup_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            event_class(99)
+
+    def test_names_unique(self):
+        names = [cls.__name__ for cls in all_event_classes()]
+        assert len(set(names)) == 32
+
+    def test_duplicate_registration_rejected(self):
+        from repro.events.base import EventDescriptor, FieldSpec, register_event
+
+        class Dup(VerificationEvent):
+            DESCRIPTOR = EventDescriptor(
+                event_id=0, name="Dup", category=EventCategory.CONTROL_FLOW,
+                fusion_rule=FusionRule.PASS_THROUGH)
+            FIELDS = (FieldSpec("x", "B"),)
+
+        with pytest.raises(ValueError, match="duplicate"):
+            register_event(Dup)
+
+
+class TestStructuralSemantics:
+    def test_size_range_spans_170x(self):
+        sizes = [cls.payload_size() for cls in all_event_classes()]
+        assert max(sizes) / min(sizes) >= 150
+
+    def test_smallest_and_largest_types(self):
+        smallest = min(all_event_classes(), key=lambda c: c.payload_size())
+        largest = max(all_event_classes(), key=lambda c: c.payload_size())
+        assert smallest is EV.FpCsrState
+        assert largest is EV.VecRegState
+        assert largest.payload_size() == 1024
+
+    def test_aggregate_interface_size_same_order_as_paper(self):
+        # Section 2.2 reports 11,496 bytes for the original DiffTest; our
+        # probe set lands in the same order of magnitude.
+        assert 4000 <= aggregate_interface_size() <= 16384
+
+    def test_payload_size_matches_struct(self):
+        for cls in all_event_classes():
+            assert cls.payload_size() == len(cls().encode_payload())
+
+    def test_wire_size_adds_header(self):
+        assert EV.InstrCommit.wire_size() == EV.InstrCommit.payload_size() + 6
+
+    def test_unit_sizes_sum_to_payload(self):
+        for cls in all_event_classes():
+            assert sum(cls.unit_sizes()) == cls.payload_size()
+
+    def test_unit_count_matches_flatten(self):
+        for cls in all_event_classes():
+            assert cls.unit_count() == len(cls().to_units())
+
+
+class TestEncoding:
+    def test_payload_roundtrip_default(self):
+        for cls in all_event_classes():
+            event = cls(core_id=1, order_tag=42)
+            decoded = cls.decode_payload(event.encode_payload(), core_id=1,
+                                         order_tag=42)
+            assert decoded == event
+
+    def test_full_roundtrip_with_header(self):
+        event = EV.StoreEvent(core_id=3, order_tag=77, paddr=0x80001000,
+                              data=0xDEADBEEF, mask=0xFF)
+        decoded = VerificationEvent.decode(event.encode())
+        assert isinstance(decoded, EV.StoreEvent)
+        assert decoded == event
+        assert decoded.core_id == 3
+        assert decoded.order_tag == 77
+
+    def test_decode_at_offset(self):
+        event = EV.IntWriteback(addr=5, data=123)
+        blob = b"\xAA" * 10 + event.encode()
+        assert VerificationEvent.decode(blob, 10) == event
+
+    def test_units_roundtrip(self):
+        event = EV.CsrState(csrs=tuple(range(EV.CSR_STATE_ENTRIES)))
+        rebuilt = EV.CsrState.from_units(event.to_units())
+        assert tuple(rebuilt.csrs) == tuple(range(EV.CSR_STATE_ENTRIES))
+
+    def test_array_field_wrong_length_rejected(self):
+        with pytest.raises(ValueError, match="expects"):
+            EV.IntRegState(regs=(1, 2, 3))
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeError, match="unknown fields"):
+            EV.InstrCommit(bogus=1)
+
+    def test_equality_considers_tag_and_core(self):
+        a = EV.IntWriteback(core_id=0, order_tag=1, addr=3, data=9)
+        b = EV.IntWriteback(core_id=0, order_tag=2, addr=3, data=9)
+        assert a != b
+        assert a == EV.IntWriteback(core_id=0, order_tag=1, addr=3, data=9)
+
+    def test_hashable(self):
+        a = EV.LoadEvent(paddr=8, data=1, op_type=8, fu_type=0, mmio=0)
+        assert a in {a}
+
+    def test_repr_mentions_class(self):
+        assert "InstrCommit" in repr(EV.InstrCommit())
+
+
+class TestOrderSemantics:
+    def test_static_ndes(self):
+        assert EV.ArchInterrupt().is_nde()
+        assert EV.VirtualInterrupt().is_nde()
+        assert EV.LrScEvent().is_nde()
+
+    def test_commit_nde_depends_on_skip_flag(self):
+        assert not EV.InstrCommit(flags=0).is_nde()
+        assert EV.InstrCommit(flags=EV.FLAG_SKIP).is_nde()
+
+    def test_load_nde_depends_on_mmio(self):
+        assert not EV.LoadEvent(mmio=0).is_nde()
+        assert EV.LoadEvent(mmio=1).is_nde()
+
+    def test_deterministic_events_not_nde(self):
+        assert not EV.ArchException().is_nde()
+        assert not EV.DCacheRefill().is_nde()
+        assert not EV.IntRegState().is_nde()
+
+
+class TestFusionRules:
+    def test_commit_collapses(self):
+        assert EV.InstrCommit.DESCRIPTOR.fusion_rule is FusionRule.COLLAPSE
+
+    def test_snapshots_keep_latest(self):
+        for cls in (EV.IntRegState, EV.FpRegState, EV.CsrState,
+                    EV.VecRegState, EV.HypervisorCsrState):
+            assert cls.DESCRIPTOR.fusion_rule is FusionRule.KEEP_LATEST
+
+    def test_writebacks_accumulate(self):
+        for cls in (EV.IntWriteback, EV.FpWriteback, EV.VecWriteback,
+                    EV.DelayedIntUpdate, EV.DelayedFpUpdate):
+            assert cls.DESCRIPTOR.fusion_rule is FusionRule.ACCUMULATE
+
+    def test_hierarchy_passes_through(self):
+        for cls in (EV.ICacheRefill, EV.DCacheRefill, EV.L2Refill,
+                    EV.L1TlbFill, EV.L2TlbFill, EV.SbufferFlush):
+            assert cls.DESCRIPTOR.fusion_rule is FusionRule.PASS_THROUGH
+
+    def test_every_type_names_a_component(self):
+        for cls in all_event_classes():
+            assert cls.DESCRIPTOR.component

@@ -1,0 +1,89 @@
+"""Property-based tests on event encoding and differencing."""
+
+import struct
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.events as EV
+from repro.comm.fusion.differencing import Completer, Differencer
+from repro.events import VerificationEvent, all_event_classes
+
+
+def _field_strategy(spec):
+    bits = 8 * struct.calcsize("<" + spec.code)
+    value = st.integers(min_value=0, max_value=(1 << bits) - 1)
+    if spec.count == 1:
+        return value
+    return st.tuples(*([value] * spec.count))
+
+
+def _event_strategy(cls):
+    fields = {spec.name: _field_strategy(spec) for spec in cls.FIELDS}
+    return st.fixed_dictionaries(fields).map(
+        lambda kw: cls(core_id=0, order_tag=0, **kw))
+
+
+_any_event = st.one_of([
+    _event_strategy(cls) for cls in all_event_classes()
+])
+
+
+@given(_any_event)
+@settings(max_examples=300, deadline=None)
+def test_encode_decode_roundtrip(event):
+    decoded = VerificationEvent.decode(event.encode())
+    assert decoded == event
+
+
+@given(_any_event)
+@settings(max_examples=200, deadline=None)
+def test_units_roundtrip(event):
+    rebuilt = type(event).from_units(event.to_units())
+    assert rebuilt._flatten() == event._flatten()
+
+
+@given(st.lists(_event_strategy(EV.CsrState), min_size=1, max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_differencing_chain_roundtrip(events):
+    """Diff then complete reproduces the original event stream exactly."""
+    differ = Differencer()
+    completer = Completer()
+    for event in events:
+        item = differ.encode(event)
+        restored = completer.complete(item)
+        assert restored._flatten() == event._flatten()
+
+
+@given(st.lists(st.one_of(_event_strategy(EV.IntRegState),
+                          _event_strategy(EV.CsrState),
+                          _event_strategy(EV.VecCsrState)),
+                min_size=1, max_size=12))
+@settings(max_examples=60, deadline=None)
+def test_differencing_mixed_types_roundtrip(events):
+    differ = Differencer()
+    completer = Completer()
+    for event in events:
+        restored = completer.complete(differ.encode(event))
+        assert type(restored) is type(event)
+        assert restored._flatten() == event._flatten()
+
+
+@given(st.lists(_event_strategy(EV.CsrState), min_size=2, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_differencing_never_grows_payload(events):
+    differ = Differencer()
+    for event in events:
+        item = differ.encode(event)
+        assert len(item.payload) <= event.payload_size()
+
+
+@given(_event_strategy(EV.IntRegState))
+@settings(max_examples=50, deadline=None)
+def test_identical_successor_diffs_to_bitmap_only(event):
+    differ = Differencer()
+    differ.encode(event)
+    repeat = EV.IntRegState(core_id=0, order_tag=1, regs=tuple(event.regs))
+    item = differ.encode(repeat)
+    # All units unchanged: payload is just the (all-zero) bitmap.
+    assert len(item.payload) == (EV.IntRegState.unit_count() + 7) // 8

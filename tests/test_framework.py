@@ -1,0 +1,174 @@
+"""Integration tests for the CoSimulation framework."""
+
+import pytest
+
+from repro.core import (
+    CONFIG_B,
+    CONFIG_BN,
+    CONFIG_BNSD,
+    CONFIG_COUPLED,
+    CONFIG_FIXED,
+    CONFIG_Z,
+    CoSimulation,
+    run_cosim,
+)
+from repro.comm import FPGA_VU19P, PALLADIUM
+from repro.dut import (
+    NUTSHELL,
+    XIANGSHAN_DEFAULT,
+    XIANGSHAN_DUAL,
+    XIANGSHAN_MINIMAL,
+)
+from repro.workloads import build
+
+ALL_CONFIGS = (CONFIG_Z, CONFIG_FIXED, CONFIG_B, CONFIG_BN, CONFIG_BNSD,
+               CONFIG_COUPLED)
+
+
+class TestConfigurationLadder:
+    @pytest.mark.parametrize("config", ALL_CONFIGS, ids=lambda c: c.name)
+    def test_all_configs_pass_clean_workload(self, small_image, config):
+        result = run_cosim(XIANGSHAN_DEFAULT, config, small_image,
+                           max_cycles=60_000)
+        assert result.passed, result.mismatch
+        assert result.exit_code == 0
+
+    @pytest.mark.parametrize("dut", (NUTSHELL, XIANGSHAN_MINIMAL,
+                                     XIANGSHAN_DEFAULT),
+                             ids=lambda d: d.name)
+    def test_all_duts_pass(self, small_image, dut):
+        result = run_cosim(dut, CONFIG_BNSD, small_image, max_cycles=80_000)
+        assert result.passed
+
+    def test_dual_core(self, microbench_image):
+        result = run_cosim(XIANGSHAN_DUAL, CONFIG_BNSD, microbench_image,
+                           max_cycles=120_000)
+        assert result.passed
+        assert result.instructions > 0
+
+    def test_same_instruction_count_across_configs(self, small_image):
+        counts = {
+            config.name: run_cosim(XIANGSHAN_DEFAULT, config, small_image,
+                                   max_cycles=60_000).instructions
+            for config in (CONFIG_Z, CONFIG_BNSD)
+        }
+        assert len(set(counts.values())) == 1
+
+
+class TestOptimizationEffects:
+    @pytest.fixture(scope="class")
+    def results(self, small_image):
+        return {
+            config.name: run_cosim(XIANGSHAN_DEFAULT, config, small_image,
+                                   max_cycles=60_000)
+            for config in ALL_CONFIGS
+        }
+
+    def test_batch_reduces_invokes(self, results):
+        assert results["B"].stats.counters.invokes < \
+            results["Z"].stats.counters.invokes / 5
+
+    def test_fixed_has_bubbles_batch_does_not(self, results):
+        assert results["FIXED"].stats.bubble_bytes > 0
+        assert results["B"].stats.bubble_bytes == 0
+        assert results["FIXED"].stats.packet_utilization < 0.5
+        assert results["B"].stats.packet_utilization == 1.0
+
+    def test_fixed_inflates_bytes(self, results):
+        assert results["FIXED"].stats.counters.bytes_sent > \
+            1.5 * results["Z"].stats.counters.bytes_sent
+
+    def test_squash_reduces_bytes(self, results):
+        assert results["EBINSD"].stats.counters.bytes_sent < \
+            results["BIN"].stats.counters.bytes_sent / 5
+
+    def test_squash_fusion_ratio_above_coupled(self, results):
+        assert results["EBINSD"].stats.fusion_ratio >= \
+            results["COUPLED"].stats.fusion_ratio
+
+    def test_modeled_speed_ladder_monotone(self, results):
+        speeds = [
+            results[name].breakdown(
+                PALLADIUM, XIANGSHAN_DEFAULT.gates_millions,
+                nonblocking=(name in ("BIN", "EBINSD"))).speed_khz
+            for name in ("Z", "B", "BIN", "EBINSD")
+        ]
+        assert speeds == sorted(speeds)
+        assert speeds[-1] > 10 * speeds[0]
+
+    def test_software_work_reduced_by_squash(self, results):
+        assert results["EBINSD"].stats.counters.sw_bytes_checked < \
+            results["BIN"].stats.counters.sw_bytes_checked / 3
+
+    def test_checkpoints_taken(self, results):
+        assert results["EBINSD"].stats.checkpoints > 0
+
+
+class TestRunResult:
+    def test_uart_output_captured(self, mmio_workload):
+        result = run_cosim(XIANGSHAN_DEFAULT, CONFIG_BNSD,
+                           mmio_workload.image,
+                           max_cycles=mmio_workload.max_cycles)
+        assert result.passed
+        assert "hello difftest-h" in result.uart_output
+
+    def test_breakdown_per_platform(self, small_image):
+        result = run_cosim(XIANGSHAN_DEFAULT, CONFIG_BNSD, small_image,
+                           max_cycles=60_000)
+        pldm = result.breakdown(PALLADIUM, 57.6, True)
+        fpga = result.breakdown(FPGA_VU19P, 57.6, True)
+        assert fpga.speed_khz > pldm.speed_khz
+
+    def test_stats_summary_renders(self, small_image):
+        result = run_cosim(XIANGSHAN_DEFAULT, CONFIG_BNSD, small_image,
+                           max_cycles=60_000)
+        assert "cycles=" in result.stats.summary()
+
+    def test_max_cycles_budget_respected(self, small_image):
+        result = run_cosim(XIANGSHAN_DEFAULT, CONFIG_BNSD, small_image,
+                           max_cycles=10)
+        assert result.cycles == 10
+        assert result.exit_code is None
+
+
+class TestNdeWorkloads:
+    @pytest.mark.parametrize("config", ALL_CONFIGS, ids=lambda c: c.name)
+    def test_interrupts_under_all_configs(self, timer_workload, config):
+        result = run_cosim(XIANGSHAN_DEFAULT, config, timer_workload.image,
+                           max_cycles=timer_workload.max_cycles)
+        assert result.passed, result.mismatch
+
+    @pytest.mark.parametrize("config", ALL_CONFIGS, ids=lambda c: c.name)
+    def test_mmio_under_all_configs(self, mmio_workload, config):
+        result = run_cosim(XIANGSHAN_DEFAULT, config, mmio_workload.image,
+                           max_cycles=mmio_workload.max_cycles)
+        assert result.passed, result.mismatch
+
+    def test_squash_sends_ndes_ahead(self, timer_workload):
+        result = run_cosim(XIANGSHAN_DEFAULT, CONFIG_BNSD,
+                           timer_workload.image,
+                           max_cycles=timer_workload.max_cycles)
+        assert result.stats.nde_sent_ahead > 0
+        assert result.stats.fusion_breaks == 0
+
+    def test_coupled_breaks_on_ndes(self, timer_workload):
+        result = run_cosim(XIANGSHAN_DEFAULT, CONFIG_COUPLED,
+                           timer_workload.image,
+                           max_cycles=timer_workload.max_cycles)
+        assert result.stats.fusion_breaks > 0
+
+
+class TestSeedStability:
+    def test_different_seeds_still_pass(self, small_image):
+        for seed in (1, 7, 99):
+            result = run_cosim(XIANGSHAN_DEFAULT, CONFIG_BNSD, small_image,
+                               max_cycles=60_000, seed=seed)
+            assert result.passed
+
+    def test_same_seed_same_stats(self, small_image):
+        a = run_cosim(XIANGSHAN_DEFAULT, CONFIG_BNSD, small_image,
+                      max_cycles=60_000, seed=5)
+        b = run_cosim(XIANGSHAN_DEFAULT, CONFIG_BNSD, small_image,
+                      max_cycles=60_000, seed=5)
+        assert a.stats.counters.bytes_sent == b.stats.counters.bytes_sent
+        assert a.cycles == b.cycles

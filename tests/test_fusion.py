@@ -1,0 +1,236 @@
+"""Tests for Squash fusion, order decoupling, and differencing."""
+
+import pytest
+
+import repro.events as EV
+from repro.comm.fusion import (
+    Completer,
+    Differencer,
+    OrderCoupledFuser,
+    SquashFuser,
+)
+from repro.comm.packing import ENC_DIFF, ENC_FULL
+
+
+def commit(tag: int, core: int = 0, skip: bool = False) -> EV.InstrCommit:
+    flags = EV.FLAG_RF_WEN | (EV.FLAG_SKIP if skip else 0)
+    return EV.InstrCommit(core_id=core, order_tag=tag, pc=0x80000000 + 4 * tag,
+                          instr=0x13, wdata=tag, rd=1, flags=flags,
+                          fused_count=1)
+
+
+def decode_items(items):
+    completer = Completer()
+    return [completer.complete(item) for item in items]
+
+
+class TestCollapse:
+    def test_commits_fold_into_one(self):
+        fuser = SquashFuser(window=8, differencing=False)
+        out = []
+        for tag in range(8):
+            out.extend(fuser.on_cycle([commit(tag)]))
+        events = decode_items(out)
+        fused = [e for e in events if isinstance(e, EV.InstrCommit)]
+        assert len(fused) == 1
+        assert fused[0].fused_count == 8
+        assert fused[0].order_tag == 7
+        assert fused[0].pc == 0x80000000 + 4 * 7
+
+    def test_window_flush_triggers_at_limit(self):
+        fuser = SquashFuser(window=4, differencing=False)
+        emitted = []
+        for tag in range(4):
+            emitted.extend(fuser.on_cycle([commit(tag)]))
+        assert emitted  # flush happened exactly at the window limit
+        assert not fuser.flush()
+
+    def test_explicit_flush_emits_partial_window(self):
+        fuser = SquashFuser(window=100, differencing=False)
+        fuser.on_cycle([commit(0), commit(1)])
+        events = decode_items(fuser.flush())
+        assert events[-1].fused_count == 2
+
+    def test_original_commit_not_mutated(self):
+        fuser = SquashFuser(window=100, differencing=False)
+        first = commit(0)
+        fuser.on_cycle([first])
+        fuser.on_cycle([commit(1)])
+        assert first.fused_count == 1
+        assert first.order_tag == 0
+
+    def test_per_core_fusion_windows(self):
+        fuser = SquashFuser(window=100, differencing=False)
+        fuser.on_cycle([commit(0, core=0), commit(0, core=1),
+                        commit(1, core=1)])
+        events = decode_items(fuser.flush())
+        counts = {e.core_id: e.fused_count for e in events
+                  if isinstance(e, EV.InstrCommit)}
+        assert counts == {0: 1, 1: 2}
+
+
+class TestOrderDecoupling:
+    def test_nde_transmitted_ahead_without_break(self):
+        fuser = SquashFuser(window=100, differencing=False)
+        out = []
+        out.extend(fuser.on_cycle([commit(0)]))
+        out.extend(fuser.on_cycle(
+            [EV.ArchInterrupt(order_tag=1, pc=0, cause=7)]))
+        out.extend(fuser.on_cycle([commit(2)]))
+        # Only the interrupt was transmitted so far; fusion continued.
+        assert len(out) == 1
+        assert decode_items(out)[0].order_tag == 1
+        events = decode_items(fuser.flush())
+        fused = [e for e in events if isinstance(e, EV.InstrCommit)][0]
+        assert fused.fused_count == 2
+        assert fuser.stats.fusion_breaks == 0
+        assert fuser.stats.nde_sent_ahead == 1
+
+    def test_mmio_commit_sent_ahead(self):
+        fuser = SquashFuser(window=100, differencing=False)
+        out = fuser.on_cycle([commit(0, skip=True)])
+        assert len(out) == 1
+        assert decode_items(out)[0].flags & EV.FLAG_SKIP
+
+    def test_flush_emits_fused_commit_last(self):
+        fuser = SquashFuser(window=100, differencing=False)
+        fuser.on_cycle([
+            commit(0),
+            EV.DCacheRefill(order_tag=0, addr=0x80200000,
+                            data=tuple(range(8))),
+            EV.IntRegState(order_tag=0, regs=tuple(range(32))),
+        ])
+        events = decode_items(fuser.flush())
+        assert isinstance(events[-1], EV.InstrCommit)
+
+    def test_keep_latest_snapshot(self):
+        fuser = SquashFuser(window=100, differencing=False)
+        for tag in range(3):
+            fuser.on_cycle([
+                commit(tag),
+                EV.IntRegState(order_tag=tag, regs=tuple([tag] * 32)),
+            ])
+        events = decode_items(fuser.flush())
+        snapshots = [e for e in events if isinstance(e, EV.IntRegState)]
+        assert len(snapshots) == 1
+        assert snapshots[0].regs[0] == 2  # the latest one
+
+    def test_accumulate_last_write_per_register(self):
+        fuser = SquashFuser(window=100, differencing=False)
+        fuser.on_cycle([EV.IntWriteback(order_tag=0, addr=5, data=1)])
+        fuser.on_cycle([EV.IntWriteback(order_tag=1, addr=5, data=2)])
+        fuser.on_cycle([EV.IntWriteback(order_tag=2, addr=6, data=3)])
+        events = decode_items(fuser.flush())
+        writes = {(e.addr, e.data) for e in events
+                  if isinstance(e, EV.IntWriteback)}
+        assert writes == {(5, 2), (6, 3)}
+
+    def test_passthrough_events_all_delivered(self):
+        fuser = SquashFuser(window=100, differencing=False)
+        refills = [EV.DCacheRefill(order_tag=t, addr=64 * t,
+                                   data=tuple(range(8))) for t in range(3)]
+        for refill in refills:
+            fuser.on_cycle([refill])
+        events = decode_items(fuser.flush())
+        got = [e for e in events if isinstance(e, EV.DCacheRefill)]
+        assert got == refills
+
+    def test_trapfinish_flushes_then_finishes(self):
+        fuser = SquashFuser(window=100, differencing=False)
+        fuser.on_cycle([commit(0)])
+        out = fuser.on_cycle([EV.TrapFinish(order_tag=1, pc=0, code=0,
+                                            has_trap=1, cycles=9,
+                                            instr_count=1)])
+        events = decode_items(out)
+        assert isinstance(events[-1], EV.TrapFinish)
+        assert any(isinstance(e, EV.InstrCommit) for e in events)
+
+    def test_fusion_ratio_reported(self):
+        fuser = SquashFuser(window=100, differencing=False)
+        for tag in range(10):
+            fuser.on_cycle([commit(tag)])
+        fuser.flush()
+        assert fuser.stats.fusion_ratio == pytest.approx(10.0)
+
+
+class TestOrderCoupledBaseline:
+    def test_nde_breaks_fusion(self):
+        fuser = OrderCoupledFuser(window=100, differencing=False)
+        out = []
+        out.extend(fuser.on_cycle([commit(0)]))
+        out.extend(fuser.on_cycle(
+            [EV.ArchInterrupt(order_tag=1, pc=0, cause=7)]))
+        out.extend(fuser.on_cycle([commit(2)]))
+        events = decode_items(out)
+        # The fused commit (count 1) was transmitted BEFORE the NDE.
+        kinds = [type(e).__name__ for e in events]
+        assert kinds.index("InstrCommit") < kinds.index("ArchInterrupt")
+        assert fuser.stats.fusion_breaks == 1
+
+    def test_squash_beats_coupled_under_ndes(self):
+        def run(fuser):
+            for tag in range(0, 40, 2):
+                fuser.on_cycle([commit(tag)])
+                fuser.on_cycle([EV.ArchInterrupt(order_tag=tag + 1, pc=0,
+                                                 cause=7)])
+            fuser.flush()
+            return fuser.stats.fusion_ratio
+
+        squash = run(SquashFuser(window=100, differencing=False))
+        coupled = run(OrderCoupledFuser(window=100, differencing=False))
+        assert squash > coupled
+
+
+class TestDifferencing:
+    def test_first_instance_is_full(self):
+        differ = Differencer()
+        item = differ.encode(EV.CsrState(csrs=tuple(range(64))))
+        assert item.encoding == ENC_FULL
+
+    def test_unchanged_snapshot_shrinks_massively(self):
+        differ = Differencer()
+        differ.encode(EV.CsrState(order_tag=0, csrs=tuple(range(64))))
+        item = differ.encode(EV.CsrState(order_tag=1, csrs=tuple(range(64))))
+        assert item.encoding == ENC_DIFF
+        assert len(item.payload) == 8  # 64-unit bitmap only
+        assert differ.bytes_saved > 0
+
+    def test_partial_change_sends_changed_units_only(self):
+        differ = Differencer()
+        base = list(range(64))
+        differ.encode(EV.CsrState(order_tag=0, csrs=tuple(base)))
+        base[3] = 999
+        item = differ.encode(EV.CsrState(order_tag=1, csrs=tuple(base)))
+        assert len(item.payload) == 8 + 8  # bitmap + one changed u64
+
+    def test_small_events_never_diffed(self):
+        differ = Differencer()
+        differ.encode(EV.FpCsrState(order_tag=0, fcsr=1, frm=0, fflags=1))
+        item = differ.encode(EV.FpCsrState(order_tag=1, fcsr=1, frm=0,
+                                           fflags=1))
+        assert item.encoding == ENC_FULL
+
+    def test_unprofitable_diff_falls_back_to_full(self):
+        differ = Differencer()
+        differ.encode(EV.IntRegState(order_tag=0, regs=tuple(range(32))))
+        item = differ.encode(EV.IntRegState(
+            order_tag=1, regs=tuple(range(100, 132))))  # everything changed
+        assert item.encoding == ENC_FULL
+
+    def test_completer_requires_prior_full(self):
+        differ = Differencer()
+        differ.encode(EV.CsrState(order_tag=0, csrs=tuple(range(64))))
+        diffed = differ.encode(EV.CsrState(order_tag=1, csrs=tuple(range(64))))
+        with pytest.raises(ValueError, match="no prior full event"):
+            Completer().complete(diffed)
+
+    def test_chains_are_per_core(self):
+        differ = Differencer()
+        completer = Completer()
+        a0 = EV.CsrState(core_id=0, order_tag=0, csrs=tuple([1] * 64))
+        b0 = EV.CsrState(core_id=1, order_tag=0, csrs=tuple([2] * 64))
+        a1 = EV.CsrState(core_id=0, order_tag=1, csrs=tuple([1] * 64))
+        for event in (a0, b0, a1):
+            restored = completer.complete(differ.encode(event))
+            assert restored._flatten() == event._flatten()
+            assert restored.core_id == event.core_id

@@ -1,0 +1,96 @@
+"""Differential fuzzing: random programs through the full stack.
+
+Every generated program must co-simulate cleanly under every
+configuration — any mismatch indicates a bug in the communication or
+checking machinery (DUT and REF share the executor, so architectural
+divergence is impossible without fault injection).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import CONFIG_BNSD, CONFIG_COUPLED, CONFIG_FIXED, CONFIG_Z, \
+    run_cosim
+from repro.dut import NUTSHELL, XIANGSHAN_DEFAULT
+from repro.workloads import FuzzProfile, ProgramGenerator, fuzz_workload
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = ProgramGenerator(7, length=50).generate()
+        b = ProgramGenerator(7, length=50).generate()
+        assert a.source == b.source
+        assert a.image == b.image
+
+    def test_seeds_differ(self):
+        a = ProgramGenerator(1, length=50).generate()
+        b = ProgramGenerator(2, length=50).generate()
+        assert a.image != b.image
+
+    def test_length_scales_program(self):
+        short = ProgramGenerator(3, length=20).generate()
+        long = ProgramGenerator(3, length=200).generate()
+        assert len(long.image) > len(short.image)
+
+    def test_source_is_reassemblable(self):
+        from repro.isa import assemble
+
+        program = ProgramGenerator(11, length=80).generate()
+        assert assemble(program.source) == program.image
+
+    def test_profile_controls_mix(self):
+        no_fp = ProgramGenerator(
+            5, length=100, profile=FuzzProfile(fp=0.0)).generate()
+        assert "fadd.d" not in no_fp.source
+        heavy_fp = ProgramGenerator(
+            5, length=100, profile=FuzzProfile(fp=50.0)).generate()
+        assert "f" in heavy_fp.source
+
+
+class TestDifferentialFuzzing:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_programs_pass_full_stack(self, seed):
+        workload = fuzz_workload(seed, length=90)
+        result = run_cosim(XIANGSHAN_DEFAULT, CONFIG_BNSD, workload.image,
+                           max_cycles=workload.max_cycles)
+        assert result.passed, (seed, result.mismatch, result.exit_code)
+
+    @pytest.mark.parametrize("config", (CONFIG_Z, CONFIG_FIXED,
+                                        CONFIG_COUPLED),
+                             ids=lambda c: c.name)
+    def test_one_seed_across_configs(self, config):
+        workload = fuzz_workload(42, length=120)
+        result = run_cosim(XIANGSHAN_DEFAULT, config, workload.image,
+                           max_cycles=workload.max_cycles)
+        assert result.passed, result.mismatch
+
+    def test_vector_profile(self):
+        workload = fuzz_workload(3, length=60,
+                                 profile=FuzzProfile(vector=3.0))
+        result = run_cosim(XIANGSHAN_DEFAULT, CONFIG_BNSD, workload.image,
+                           max_cycles=workload.max_cycles)
+        assert result.passed, result.mismatch
+
+    def test_trap_heavy_profile(self):
+        workload = fuzz_workload(4, length=80,
+                                 profile=FuzzProfile(ecall=8.0))
+        result = run_cosim(XIANGSHAN_DEFAULT, CONFIG_BNSD, workload.image,
+                           max_cycles=workload.max_cycles)
+        assert result.passed, result.mismatch
+
+    def test_nutshell_runs_fuzz(self):
+        workload = fuzz_workload(6, length=60)
+        result = run_cosim(NUTSHELL, CONFIG_BNSD, workload.image,
+                           max_cycles=workload.max_cycles * 3)
+        assert result.passed, result.mismatch
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           length=st.integers(min_value=10, max_value=150))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_property_any_seed_passes(self, seed, length):
+        workload = fuzz_workload(seed, length=length)
+        result = run_cosim(XIANGSHAN_DEFAULT, CONFIG_BNSD, workload.image,
+                           max_cycles=workload.max_cycles)
+        assert result.passed, (seed, length, result.mismatch)

@@ -1,0 +1,179 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa import AssemblerError, assemble, decode
+from repro.isa.assembler import Assembler
+from repro.isa.const import DRAM_BASE
+
+
+def words(image: bytes):
+    return [int.from_bytes(image[i : i + 4], "little")
+            for i in range(0, len(image), 4)]
+
+
+def first(source: str):
+    return decode(words(assemble(source))[0])
+
+
+class TestBasicEncoding:
+    def test_addi(self):
+        d = first("addi x5, x6, -12")
+        assert (d.name, d.rd, d.rs1, d.imm) == ("addi", 5, 6, -12)
+
+    def test_abi_register_names(self):
+        d = first("add a0, sp, t0")
+        assert (d.rd, d.rs1, d.rs2) == (10, 2, 5)
+
+    def test_load_store_operands(self):
+        d = first("ld t0, 16(sp)")
+        assert (d.name, d.rd, d.rs1, d.imm) == ("ld", 5, 2, 16)
+        d = first("sd t0, -16(sp)")
+        assert (d.name, d.rs2, d.rs1, d.imm) == ("sd", 5, 2, -16)
+
+    def test_negative_branch_offset(self):
+        image = assemble("top:\n nop\n beq x1, x2, top")
+        d = decode(words(image)[1])
+        assert d.name == "beq" and d.imm == -4
+
+    def test_forward_branch(self):
+        image = assemble("beq x0, x0, end\n nop\n end: nop")
+        d = decode(words(image)[0])
+        assert d.imm == 8
+
+    def test_jal_with_implicit_ra(self):
+        image = assemble("jal target\n nop\n target: nop")
+        d = decode(words(image)[0])
+        assert d.name == "jal" and d.rd == 1 and d.imm == 8
+
+    def test_lui(self):
+        d = first("lui t0, 0x80000")
+        assert d.name == "lui" and d.imm == -0x80000000
+
+    def test_csr_by_name_and_number(self):
+        assert first("csrrw x1, mstatus, x2").csr == 0x300
+        assert first("csrrw x1, 0x305, x2").csr == 0x305
+
+    def test_shift_immediates(self):
+        assert first("slli t0, t0, 63").imm == 63
+        assert first("srai t0, t0, 4").name == "srai"
+
+    def test_system_instructions(self):
+        for name in ("ecall", "ebreak", "mret", "sret", "wfi", "fence",
+                     "fence.i"):
+            assert first(name).name == name
+
+    def test_amo(self):
+        d = first("amoadd.d t0, t1, (t2)")
+        assert (d.name, d.rd, d.rs2, d.rs1) == ("amoadd.d", 5, 6, 7)
+
+    def test_lr_sc(self):
+        assert first("lr.d t0, (a0)").name == "lr.d"
+        d = first("sc.w t0, t1, (a0)")
+        assert (d.name, d.rd, d.rs2, d.rs1) == ("sc.w", 5, 6, 10)
+
+    def test_vector(self):
+        assert first("vsetvli t0, t1, e64").name == "vsetvli"
+        assert first("vle64.v v1, (a0)").name == "vle64.v"
+        assert first("vadd.vv v3, v1, v2").name == "vadd.vv"
+
+    def test_fp(self):
+        assert first("fld f1, 0(a0)").name == "fld"
+        assert first("fadd.d f3, f1, f2").name == "fadd.d"
+        assert first("fmv.x.d t0, f1").name == "fmv.x.d"
+
+
+class TestPseudoInstructions:
+    def test_nop_mv_not_neg(self):
+        assert first("nop").name == "addi"
+        d = first("mv t0, t1")
+        assert (d.name, d.rd, d.rs1, d.imm) == ("addi", 5, 6, 0)
+        assert first("not t0, t1").name == "xori"
+        assert first("neg t0, t1").name == "sub"
+
+    def test_branch_pseudos(self):
+        assert first("beqz t0, 8").name == "beq"
+        assert first("bnez t0, 8").name == "bne"
+        d = first("ble t0, t1, 8")
+        assert d.name == "bge" and d.rs1 == 6 and d.rs2 == 5
+        d = first("bgt t0, t1, 8")
+        assert d.name == "blt" and d.rs1 == 6 and d.rs2 == 5
+
+    def test_j_jr_call_ret(self):
+        assert first("j 8").name == "jal"
+        assert first("jr t0").name == "jalr"
+        assert first("ret").name == "jalr"
+        image = assemble("call fn\n fn: nop")
+        assert decode(words(image)[0]).rd == 1
+
+    def test_csr_pseudos(self):
+        assert first("csrr t0, mstatus").name == "csrrs"
+        assert first("csrw mstatus, t0").name == "csrrw"
+        assert first("csrwi mstatus, 3").name == "csrrwi"
+
+
+class TestLiExpansion:
+    @pytest.mark.parametrize("value", [0, 1, -1, 2047, -2048])
+    def test_small(self, value):
+        assert len(assemble(f"li t0, {value}")) == 4
+
+    @pytest.mark.parametrize("value", [2048, 0x7FFFFFFF, -0x80000000, 123456])
+    def test_32bit(self, value):
+        assert len(assemble(f"li t0, {value}")) == 8
+
+    @pytest.mark.parametrize("value", [
+        0x80000000, 0x8000000000000000, 0xDEADBEEFCAFEBABE, 0x123456789ABCDEF0,
+        -0x7FFFFFFFFFFFFFFF,
+    ])
+    def test_64bit_length(self, value):
+        assert len(assemble(f"li t0, {value}")) == 32
+
+    def test_li_of_symbol_rejected(self):
+        with pytest.raises(AssemblerError, match="use `la`"):
+            assemble("li t0, label\nlabel: nop")
+
+
+class TestDirectives:
+    def test_word_dword_byte(self):
+        image = assemble(".word 0x11223344\n.dword 0x8877665544332211\n.byte 1, 2")
+        assert image[:4] == bytes.fromhex("44332211")
+        assert image[4:12] == bytes.fromhex("1122334455667788")
+        assert image[12:14] == b"\x01\x02"
+
+    def test_zero(self):
+        assert assemble(".zero 16") == b"\x00" * 16
+
+    def test_ascii_with_escapes(self):
+        image = assemble('.ascii "hi\\n"')
+        assert image == b"hi\n"
+
+    def test_align(self):
+        image = assemble("nop\n.align 3\nmarker: .word 1")
+        assert len(image) == 12  # 4 + 4 pad + 4
+
+    def test_labels_on_data(self):
+        asm = Assembler()
+        asm.assemble("start: nop\ndata: .dword 42")
+        assert asm.labels["data"] == DRAM_BASE + 4
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("frobnicate t0")
+
+    def test_unknown_register(self):
+        with pytest.raises(AssemblerError, match="unknown register"):
+            assemble("addi t9, t0, 1")
+
+    def test_unknown_symbol(self):
+        with pytest.raises(AssemblerError, match="unknown symbol"):
+            assemble("beq x0, x0, nowhere")
+
+    def test_error_includes_line_number(self):
+        with pytest.raises(AssemblerError, match="line 2"):
+            assemble("nop\nbogus x0")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblerError, match="bad memory operand"):
+            assemble("ld t0, t1")

@@ -1,0 +1,235 @@
+"""Tests for the RV64C compressed-instruction extension."""
+
+import pytest
+
+from repro.isa import ArchState, Bus, Hart, assemble
+from repro.isa.compressed import decode_compressed, is_compressed
+from repro.isa.const import DRAM_BASE, MASK64
+from repro.isa.decode import IllegalInstruction
+
+
+def run_src(source: str, steps: int = 5000):
+    state = ArchState()
+    bus = Bus()
+    bus.memory.store_bytes(DRAM_BASE, assemble(source))
+    hart = Hart(state, bus)
+    for _ in range(steps):
+        result = hart.step()
+        if result.trap_finish is not None:
+            return state, result
+    raise AssertionError(f"did not finish; pc={state.pc:#x}")
+
+
+def expand(source: str):
+    image = assemble(source)
+    assert len(image) == 2
+    return decode_compressed(int.from_bytes(image, "little"))
+
+
+class TestDetection:
+    def test_compressed_quadrants(self):
+        assert is_compressed(0x0001)  # c.nop
+        assert is_compressed(0x9002)  # c.ebreak
+        assert not is_compressed(0x00000013)  # addi
+
+    def test_all_zero_halfword_is_illegal(self):
+        with pytest.raises(IllegalInstruction):
+            decode_compressed(0)
+
+
+class TestExpansion:
+    def test_c_addi(self):
+        d = expand("c.addi t0, -7")
+        assert (d.name, d.rd, d.rs1, d.imm) == ("addi", 5, 5, -7)
+        assert d.is_rvc and d.length == 2
+
+    def test_c_li(self):
+        d = expand("c.li a0, 31")
+        assert (d.name, d.rd, d.rs1, d.imm) == ("addi", 10, 0, 31)
+
+    def test_c_lui(self):
+        d = expand("c.lui a2, 5")
+        assert d.name == "lui" and d.imm == 5 << 12
+
+    def test_c_addi16sp(self):
+        d = expand("c.addi16sp sp, -64")
+        assert (d.name, d.rd, d.rs1, d.imm) == ("addi", 2, 2, -64)
+
+    def test_c_addi4spn(self):
+        # Assemble via raw encoding: c.addi4spn a0, sp, 16.
+        image = assemble("c.addi a0, 0")  # placeholder for length check
+        del image
+        hword = (0 << 13) | (0 << 11) | (1 << 7) | (2 << 2) | 0x0
+        d = decode_compressed(hword)
+        assert d.name == "addi" and d.rs1 == 2 and d.rd == 10
+        assert d.imm == 64  # uimm[9:6] = 1 -> 64
+
+    def test_c_mv_and_add(self):
+        d = expand("c.mv a0, a1")
+        assert (d.name, d.rd, d.rs1, d.rs2) == ("add", 10, 0, 11)
+        d = expand("c.add a0, a1")
+        assert (d.name, d.rd, d.rs1, d.rs2) == ("add", 10, 10, 11)
+
+    def test_c_jr_jalr(self):
+        d = expand("c.jr ra")
+        assert (d.name, d.rd, d.rs1) == ("jalr", 0, 1)
+        d = expand("c.jalr a0")
+        assert (d.name, d.rd, d.rs1) == ("jalr", 1, 10)
+
+    def test_c_arith_prime(self):
+        d = expand("c.sub a0, a1")
+        assert (d.name, d.rd, d.rs1, d.rs2) == ("sub", 10, 10, 11)
+        d = expand("c.addw a4, a5")
+        assert (d.name, d.rd) == ("addw", 14)
+
+    def test_c_shifts(self):
+        assert expand("c.slli t0, 33").imm == 33
+        assert expand("c.srli a0, 60").imm == 60
+        assert expand("c.srai a0, 1").name == "srai"
+
+    def test_c_loads_stores(self):
+        d = expand("c.ld a0, 24(a1)")
+        assert (d.name, d.rd, d.rs1, d.imm) == ("ld", 10, 11, 24)
+        d = expand("c.sw a2, 12(a3)")
+        assert (d.name, d.rs2, d.rs1, d.imm) == ("sw", 12, 13, 12)
+        d = expand("c.ldsp t0, 40(sp)")
+        assert (d.name, d.rd, d.rs1, d.imm) == ("ld", 5, 2, 40)
+        d = expand("c.sdsp ra, 8(sp)")
+        assert (d.name, d.rs2, d.rs1, d.imm) == ("sd", 1, 2, 8)
+
+    def test_c_fld_fsd(self):
+        d = expand("c.fld f8, 16(a0)")
+        assert (d.name, d.rd, d.rs1, d.imm) == ("fld", 8, 10, 16)
+        d = expand("c.fsdsp f9, 24(sp)") if False else expand("c.fsd f9, 24(a0)")
+        assert d.name == "fsd"
+
+    def test_c_ebreak(self):
+        assert expand("c.ebreak").name == "ebreak"
+
+    def test_prime_register_rejected(self):
+        from repro.isa import AssemblerError
+
+        with pytest.raises(AssemblerError, match="x8-x15"):
+            assemble("c.sub t0, a1")
+
+
+class TestExecution:
+    def test_equivalence_with_full_width(self):
+        compressed, _ = run_src("""
+_start:
+    li sp, 0x80100000
+    c.li a0, 21
+    c.li a1, 2
+    c.add a0, a1
+    c.slli a0, 2
+    c.srli a0, 1
+    c.sdsp a0, 0(sp)
+    c.ldsp a2, 0(sp)
+    li a0, 0
+    ebreak
+""")
+        full, _ = run_src("""
+_start:
+    li sp, 0x80100000
+    addi a0, zero, 21
+    addi a1, zero, 2
+    add a0, a0, a1
+    slli a0, a0, 2
+    srli a0, a0, 1
+    sd a0, 0(sp)
+    ld a2, 0(sp)
+    li a0, 0
+    ebreak
+""")
+        assert compressed.xregs[11:13] == full.xregs[11:13]
+
+    def test_compressed_loop_with_branches(self):
+        state, _ = run_src("""
+_start:
+    c.li a0, 20
+    c.li a1, 0
+loop:
+    c.add a1, a0
+    c.addi a0, -1
+    c.bnez a0, loop
+    li a0, 0
+    ebreak
+""")
+        assert state.xregs[11] == 210
+
+    def test_c_j_forward(self):
+        state, _ = run_src("""
+_start:
+    c.li a1, 1
+    c.j skip
+    c.li a1, 31
+skip:
+    c.addi a1, 1
+    li a0, 0
+    ebreak
+""")
+        assert state.xregs[11] == 2  # the skipped c.li never executed
+
+    def test_c_jalr_links_pc_plus_2(self):
+        state, _ = run_src("""
+_start:
+    li sp, 0x80100000
+    la a0, fn
+    c.jalr a0
+    j done
+fn:
+    mv a1, ra
+    jr ra
+done:
+    li a0, 0
+    ebreak
+""")
+        # ra must point to the instruction AFTER the 2-byte c.jalr.
+        assert state.xregs[11] == state.xregs[1]
+
+    def test_mixed_alignment(self):
+        """2-byte instructions put 4-byte ones at odd word alignment."""
+        state, _ = run_src("""
+_start:
+    c.nop
+    li a1, 0x12345678
+    c.addi a1, 1
+    li a0, 0
+    ebreak
+""")
+        assert state.xregs[11] == 0x12345679
+
+
+class TestCosim:
+    def test_rvc_workload_all_configs(self):
+        from repro.core import CONFIG_BNSD, CONFIG_FIXED, CONFIG_Z, run_cosim
+        from repro.dut import XIANGSHAN_DEFAULT
+        from repro.workloads import build
+
+        workload = build("rvc_mix", iterations=60)
+        for config in (CONFIG_Z, CONFIG_FIXED, CONFIG_BNSD):
+            result = run_cosim(XIANGSHAN_DEFAULT, config, workload.image,
+                               max_cycles=workload.max_cycles)
+            assert result.passed, (config.name, result.mismatch)
+
+    def test_commit_events_flag_rvc(self):
+        import repro.events as EV
+        from repro.dut import DutSystem, XIANGSHAN_DEFAULT
+        from repro.workloads import build
+
+        workload = build("rvc_mix", iterations=10)
+        system = DutSystem(XIANGSHAN_DEFAULT)
+        system.load_image(workload.image)
+        rvc_commits = 0
+        full_commits = 0
+        for _ in range(workload.max_cycles):
+            (bundle,) = system.cycle()
+            for event in bundle.events:
+                if isinstance(event, EV.InstrCommit):
+                    if event.flags & EV.FLAG_IS_RVC:
+                        rvc_commits += 1
+                    else:
+                        full_commits += 1
+            if system.finished():
+                break
+        assert rvc_commits > 0 and full_commits > 0

@@ -1,0 +1,124 @@
+"""Tests for the CSR file: masks, view registers, snapshots, journaling."""
+
+import pytest
+
+from repro.isa import csr as CSR
+from repro.isa.csr import CsrFile, IllegalCsr
+
+
+@pytest.fixture()
+def csrs():
+    return CsrFile(hart_id=3)
+
+
+class TestBasics:
+    def test_reset_values(self, csrs):
+        assert csrs.read(CSR.MHARTID) == 3
+        assert csrs.read(CSR.MSTATUS) == 0
+        assert csrs.read(CSR.VLENB) == 32
+        assert csrs.read(CSR.MISA) >> 62 == 2  # MXL=64
+
+    def test_plain_write_read(self, csrs):
+        csrs.write(CSR.MSCRATCH, 0xDEAD)
+        assert csrs.read(CSR.MSCRATCH) == 0xDEAD
+
+    def test_unimplemented_raises(self, csrs):
+        with pytest.raises(IllegalCsr):
+            csrs.read(0x123)
+        with pytest.raises(IllegalCsr):
+            csrs.write(0x123, 1)
+
+    def test_readonly_mask_ignores_writes(self, csrs):
+        csrs.write(CSR.MISA, 0)
+        assert csrs.read(CSR.MISA) != 0
+        csrs.write(CSR.MHARTID, 9)
+        assert csrs.read(CSR.MHARTID) == 3
+
+    def test_counter_views_not_writable(self, csrs):
+        with pytest.raises(IllegalCsr):
+            csrs.write(CSR.CYCLE, 5)
+
+    def test_force_bypasses_masks(self, csrs):
+        csrs.force(CSR.MHARTID, 9)
+        assert csrs.peek(CSR.MHARTID) == 9
+
+
+class TestViews:
+    def test_sstatus_is_masked_mstatus(self, csrs):
+        csrs.write(CSR.MSTATUS, 0x8)  # MIE: machine-only bit
+        assert csrs.read(CSR.SSTATUS) & 0x8 == 0
+        csrs.write(CSR.SSTATUS, 0x2)  # SIE: shared bit
+        assert csrs.read(CSR.MSTATUS) & 0x2
+        assert csrs.read(CSR.SSTATUS) & 0x2
+
+    def test_sstatus_write_preserves_m_bits(self, csrs):
+        csrs.write(CSR.MSTATUS, 0x8)
+        csrs.write(CSR.SSTATUS, 0)
+        assert csrs.read(CSR.MSTATUS) & 0x8
+
+    def test_sie_aliases_mie(self, csrs):
+        csrs.write(CSR.SIE, 0x222)
+        assert csrs.read(CSR.MIE) == 0x222
+        csrs.write(CSR.MIE, 0xAAA)
+        assert csrs.read(CSR.SIE) == 0x222  # only S bits visible
+
+    def test_sie_cannot_touch_m_bits(self, csrs):
+        csrs.write(CSR.MIE, 0x888)  # M-level bits
+        csrs.write(CSR.SIE, 0)
+        assert csrs.read(CSR.MIE) == 0x888
+
+    def test_sip_only_ssip_writable(self, csrs):
+        csrs.write(CSR.SIP, 0x222)
+        assert csrs.peek(CSR.MIP) == 0x2  # only SSIP landed
+        csrs.force(CSR.MIP, 0x20)  # STIP set by hardware
+        assert csrs.read(CSR.SIP) & 0x20
+
+    def test_fflags_frm_slices_of_fcsr(self, csrs):
+        csrs.write(CSR.FCSR, 0xFF)
+        assert csrs.read(CSR.FFLAGS) == 0x1F
+        assert csrs.read(CSR.FRM) == 0x7
+        csrs.write(CSR.FRM, 0x3)
+        assert csrs.read(CSR.FCSR) == 0x7F
+        csrs.write(CSR.FFLAGS, 0)
+        assert csrs.read(CSR.FCSR) == 0x60
+
+
+class TestSnapshot:
+    def test_snapshot_resolves_views(self, csrs):
+        csrs.write(CSR.MIE, 0x222)
+        csrs.write(CSR.MSTATUS, 0x2)
+        snapshot = csrs.snapshot((CSR.SIE, CSR.SSTATUS))
+        assert snapshot == (0x222, 0x2)
+
+    def test_snapshot_pads(self, csrs):
+        assert len(csrs.snapshot((CSR.MSTATUS,), pad_to=8)) == 8
+
+    def test_checked_csrs_snapshot_stable_order(self, csrs):
+        a = csrs.snapshot(CSR.CHECKED_CSRS)
+        csrs.write(CSR.MSCRATCH, 7)
+        b = csrs.snapshot(CSR.CHECKED_CSRS)
+        index = CSR.CHECKED_CSRS.index(CSR.MSCRATCH)
+        assert a[index] == 0 and b[index] == 7
+        assert a[:index] == b[:index]
+
+
+class TestJournal:
+    class _Journal:
+        def __init__(self):
+            self.records = []
+
+        def record_csr(self, addr, old):
+            self.records.append((addr, old))
+
+    def test_writes_journaled_with_old_value(self, csrs):
+        journal = self._Journal()
+        csrs.journal = journal
+        csrs.write(CSR.MSCRATCH, 1)
+        csrs.write(CSR.MSCRATCH, 2)
+        assert journal.records == [(CSR.MSCRATCH, 0), (CSR.MSCRATCH, 1)]
+
+    def test_noop_writes_not_journaled(self, csrs):
+        journal = self._Journal()
+        csrs.journal = journal
+        csrs.write(CSR.MSCRATCH, 0)  # same as reset value
+        assert journal.records == []

@@ -1,0 +1,133 @@
+"""Decoder coverage: every implemented encoding decodes to the right
+operation, and malformed encodings raise.
+
+Uses the assembler as the encoding oracle and checks decoder output
+fields; a round-trip property then asserts assemble->decode is lossless
+for every register-register operation.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import assemble, decode
+from repro.isa.decode import IllegalInstruction
+
+
+def decode_one(source: str):
+    image = assemble(source)
+    return decode(int.from_bytes(image[:4], "little"))
+
+
+ALU_RR = ["add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or",
+          "and", "mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem",
+          "remu"]
+ALU_RR_W = ["addw", "subw", "sllw", "srlw", "sraw", "mulw", "divw", "divuw",
+            "remw", "remuw"]
+ALU_RI = ["addi", "slti", "sltiu", "xori", "ori", "andi"]
+LOADS = ["lb", "lh", "lw", "ld", "lbu", "lhu", "lwu"]
+STORES = ["sb", "sh", "sw", "sd"]
+BRANCHES = ["beq", "bne", "blt", "bge", "bltu", "bgeu"]
+AMOS = ["amoswap", "amoadd", "amoxor", "amoand", "amoor", "amomin",
+        "amomax", "amominu", "amomaxu"]
+
+
+@pytest.mark.parametrize("op", ALU_RR + ALU_RR_W)
+def test_alu_rr(op):
+    d = decode_one(f"{op} t0, t1, t2")
+    assert (d.name, d.rd, d.rs1, d.rs2) == (op, 5, 6, 7)
+
+
+@pytest.mark.parametrize("op", ALU_RI)
+def test_alu_ri(op):
+    d = decode_one(f"{op} a0, a1, 100")
+    assert (d.name, d.rd, d.rs1, d.imm) == (op, 10, 11, 100)
+
+
+@pytest.mark.parametrize("op", LOADS)
+def test_loads(op):
+    d = decode_one(f"{op} t0, -4(a0)")
+    assert (d.name, d.rd, d.rs1, d.imm) == (op, 5, 10, -4)
+
+
+@pytest.mark.parametrize("op", STORES)
+def test_stores(op):
+    d = decode_one(f"{op} t0, 8(a0)")
+    assert (d.name, d.rs2, d.rs1, d.imm) == (op, 5, 10, 8)
+
+
+@pytest.mark.parametrize("op", BRANCHES)
+def test_branches(op):
+    d = decode_one(f"{op} t0, t1, 16")
+    assert (d.name, d.rs1, d.rs2, d.imm) == (op, 5, 6, 16)
+
+
+@pytest.mark.parametrize("op", AMOS)
+@pytest.mark.parametrize("width", ["w", "d"])
+def test_amos(op, width):
+    d = decode_one(f"{op}.{width} t0, t1, (t2)")
+    assert d.name == f"{op}.{width}"
+    assert (d.rd, d.rs2, d.rs1) == (5, 6, 7)
+
+
+@pytest.mark.parametrize("op,f3", [("csrrw", 1), ("csrrs", 2), ("csrrc", 3)])
+def test_csr_ops(op, f3):
+    d = decode_one(f"{op} t0, mstatus, t1")
+    assert (d.name, d.rd, d.rs1, d.csr) == (op, 5, 6, 0x300)
+
+
+def test_csr_immediates_carry_uimm_in_rs1():
+    d = decode_one("csrrwi t0, mscratch, 21")
+    assert d.name == "csrrwi" and d.rs1 == 21
+
+
+def test_jal_j_imm_bits():
+    # Exercise all JAL immediate bit groups with a large offset.
+    image = assemble("jal ra, target\n.zero 2048\ntarget: nop")
+    d = decode(int.from_bytes(image[:4], "little"))
+    assert d.name == "jal" and d.imm == 2052
+
+
+def test_branch_imm_sign():
+    image = assemble("top:\n nop\n nop\n beq x0, x0, top")
+    d = decode(int.from_bytes(image[8:12], "little"))
+    assert d.imm == -8
+
+
+class TestIllegal:
+    @pytest.mark.parametrize("word", [
+        0xFFFFFFFF,           # all ones
+        0x0000007F,           # unused opcode space
+        0x00002063,           # branch funct3=2 (reserved)
+        0x0000F003,           # load funct3=7 (reserved)
+        0x00004023,           # store funct3=4 (reserved)
+        0x02007033,           # OP with M funct7 but funct3 of a non-M slot? (mul funct3=0 ok) -> use funct7=0x40
+        0x7FF00073,           # SYSTEM funct3=0, unknown funct12
+        0x00005073 & ~0x7000 | 0x4000,  # SYSTEM funct3=4 (reserved)
+    ])
+    def test_undefined_encodings(self, word):
+        if word == 0x02007033:
+            word = (0x40 << 25) | 0x33  # OP funct7=0x40 funct3=0 (reserved)
+        with pytest.raises(IllegalInstruction):
+            decode(word)
+
+    def test_reserved_shift_raises(self):
+        with pytest.raises(IllegalInstruction):
+            decode(0x4000_1013 | (1 << 26))  # slli with bad top bits
+
+
+@given(st.sampled_from(ALU_RR + ALU_RR_W), st.integers(0, 31),
+       st.integers(0, 31), st.integers(0, 31))
+@settings(max_examples=150, deadline=None)
+def test_rr_roundtrip_property(op, rd, rs1, rs2):
+    d = decode_one(f"{op} x{rd}, x{rs1}, x{rs2}")
+    assert (d.name, d.rd, d.rs1, d.rs2) == (op, rd, rs1, rs2)
+
+
+@given(st.sampled_from(LOADS + STORES), st.integers(1, 31),
+       st.integers(1, 31), st.integers(-2048, 2047))
+@settings(max_examples=150, deadline=None)
+def test_mem_roundtrip_property(op, reg, base, imm):
+    d = decode_one(f"{op} x{reg}, {imm}(x{base})")
+    assert d.imm == imm
+    assert d.rs1 == base

@@ -1,0 +1,178 @@
+"""Tests for physical memory, the bus, and devices."""
+
+import pytest
+
+from repro.isa import Bus, PhysicalMemory
+from repro.isa.devices import (
+    CLINT_BASE,
+    CLINT_MSIP,
+    CLINT_MTIME,
+    CLINT_MTIMECMP,
+    LSR_RX_READY,
+    LSR_TX_IDLE,
+    UART_LSR,
+    UART_THR,
+    Clint,
+    PlicLite,
+    Uart,
+    attach_standard_devices,
+)
+from repro.isa.memory import MemoryError64
+
+
+class TestPhysicalMemory:
+    def test_zero_initialised(self):
+        mem = PhysicalMemory()
+        assert mem.load(0x1234, 8) == 0
+
+    def test_store_load_roundtrip(self):
+        mem = PhysicalMemory()
+        mem.store(0x1000, 8, 0x1122334455667788)
+        assert mem.load(0x1000, 8) == 0x1122334455667788
+        assert mem.load(0x1000, 4) == 0x55667788
+
+    def test_little_endian(self):
+        mem = PhysicalMemory()
+        mem.store(0, 4, 0x11223344)
+        assert mem.load_bytes(0, 4) == bytes.fromhex("44332211")
+
+    def test_cross_page_access(self):
+        mem = PhysicalMemory()
+        mem.store(0xFFC, 8, 0xAABBCCDDEEFF0011)
+        assert mem.load(0xFFC, 8) == 0xAABBCCDDEEFF0011
+        assert mem.load(0x1000, 4) == 0xAABBCCDD
+
+    def test_store_truncates_to_width(self):
+        mem = PhysicalMemory()
+        mem.store(0, 1, 0x1FF)
+        assert mem.load(0, 1) == 0xFF
+
+    def test_load_words(self):
+        mem = PhysicalMemory()
+        for i in range(8):
+            mem.store(64 + 8 * i, 8, i + 1)
+        assert mem.load_words(64, 8) == (1, 2, 3, 4, 5, 6, 7, 8)
+
+    def test_sparse_allocation(self):
+        mem = PhysicalMemory()
+        mem.store(1 << 40, 1, 7)
+        assert mem.allocated_bytes() == 4096
+
+    def test_clone_is_independent(self):
+        mem = PhysicalMemory()
+        mem.store(0, 8, 42)
+        other = mem.clone()
+        other.store(0, 8, 99)
+        assert mem.load(0, 8) == 42
+
+
+class TestBus:
+    def test_memory_fallthrough(self):
+        bus = Bus()
+        bus.store(0x100, 8, 77)
+        value, mmio = bus.load(0x100, 8)
+        assert value == 77 and not mmio
+
+    def test_device_routing(self):
+        bus = Bus()
+        uart, _clint, _plic = attach_standard_devices(bus)
+        assert bus.is_mmio(0x1000_0000)
+        assert not bus.is_mmio(0x8000_0000)
+        bus.store(0x1000_0000 + UART_THR, 1, ord("x"))
+        assert uart.text() == "x"
+
+    def test_device_read_flags_mmio(self):
+        bus = Bus()
+        attach_standard_devices(bus)
+        _value, mmio = bus.load(0x1000_0000 + UART_LSR, 1)
+        assert mmio
+
+    def test_overlapping_devices_rejected(self):
+        bus = Bus()
+        bus.attach(0x1000, 0x100, Uart())
+        with pytest.raises(ValueError, match="overlaps"):
+            bus.attach(0x1080, 0x100, Uart())
+
+    def test_fetch_from_mmio_faults(self):
+        bus = Bus()
+        attach_standard_devices(bus)
+        with pytest.raises(MemoryError64):
+            bus.fetch(0x1000_0000)
+
+
+class TestUart:
+    def test_output_collects(self):
+        uart = Uart()
+        for ch in b"abc":
+            uart.write(UART_THR, 1, ch)
+        assert uart.text() == "abc"
+
+    def test_lsr_tx_always_idle(self):
+        uart = Uart()
+        assert uart.read(UART_LSR, 1) & LSR_TX_IDLE
+
+    def test_rx_from_input_script(self):
+        uart = Uart(input_script=b"hi")
+        assert uart.read(UART_LSR, 1) & LSR_RX_READY
+        assert uart.read(UART_THR, 1) == ord("h")
+        assert uart.read(UART_THR, 1) == ord("i")
+        assert not uart.read(UART_LSR, 1) & LSR_RX_READY
+
+    def test_reads_counted(self):
+        uart = Uart()
+        uart.read(UART_LSR, 1)
+        uart.read(UART_THR, 1)
+        assert uart.reads == 2
+
+
+class TestClint:
+    def test_tick_divides(self):
+        clint = Clint(divider=16)
+        clint.tick(15)
+        assert clint.mtime == 0
+        clint.tick(1)
+        assert clint.mtime == 1
+
+    def test_mtip_threshold(self):
+        clint = Clint(divider=1)
+        clint.mtimecmp[0] = 5
+        clint.tick(4)
+        assert not clint.mtip(0)
+        clint.tick(1)
+        assert clint.mtip(0)
+
+    def test_mtime_readable_via_bus_offset(self):
+        clint = Clint(divider=1)
+        clint.tick(0x1122)
+        assert clint.read(CLINT_MTIME, 8) == 0x1122
+
+    def test_mtimecmp_write_read(self):
+        clint = Clint(num_harts=2)
+        clint.write(CLINT_MTIMECMP + 8, 8, 999)  # hart 1
+        assert clint.mtimecmp[1] == 999
+        assert clint.read(CLINT_MTIMECMP + 8, 8) == 999
+        assert clint.mtimecmp[0] == (1 << 64) - 1
+
+    def test_msip(self):
+        clint = Clint(num_harts=2)
+        clint.write(CLINT_MSIP + 4, 4, 1)
+        assert clint.msip_pending(1)
+        assert not clint.msip_pending(0)
+
+
+class TestPlic:
+    def test_claim_pops_lowest(self):
+        plic = PlicLite()
+        plic.raise_irq(9)
+        plic.raise_irq(3)
+        assert plic.eip()
+        assert plic.read(0, 4) == 3
+        assert plic.read(0, 4) == 9
+        assert not plic.eip()
+
+    def test_duplicate_raise_ignored(self):
+        plic = PlicLite()
+        plic.raise_irq(5)
+        plic.raise_irq(5)
+        plic.read(0, 4)
+        assert not plic.eip()

@@ -1,0 +1,208 @@
+"""Tests for Sv39 address translation."""
+
+import pytest
+
+from repro.isa import PhysicalMemory, make_pte, make_satp, translate
+from repro.isa.const import (
+    ACCESS_FETCH,
+    ACCESS_LOAD,
+    ACCESS_STORE,
+    MSTATUS_MXR,
+    MSTATUS_SUM,
+    PAGE_SIZE,
+    PRIV_M,
+    PRIV_S,
+    PRIV_U,
+    PTE_A,
+    PTE_D,
+    PTE_R,
+    PTE_U,
+    PTE_V,
+    PTE_W,
+    PTE_X,
+)
+from repro.isa.mmu import PageFault, raw_walk, translation_active
+
+ROOT = 0x8100_0000
+L1 = 0x8100_1000
+L0 = 0x8100_2000
+SATP = make_satp(ROOT)
+
+RWX = PTE_V | PTE_R | PTE_W | PTE_X | PTE_A | PTE_D
+
+
+def build_tables(mem: PhysicalMemory, vaddr: int, paddr: int,
+                 flags: int = RWX, level: int = 0) -> None:
+    """Map one page (or superpage) for ``vaddr``."""
+    vpn2 = (vaddr >> 30) & 0x1FF
+    vpn1 = (vaddr >> 21) & 0x1FF
+    vpn0 = (vaddr >> 12) & 0x1FF
+    if level == 2:
+        mem.store(ROOT + vpn2 * 8, 8, make_pte(paddr >> 12, flags))
+        return
+    mem.store(ROOT + vpn2 * 8, 8, make_pte(L1 >> 12, PTE_V))
+    if level == 1:
+        mem.store(L1 + vpn1 * 8, 8, make_pte(paddr >> 12, flags))
+        return
+    mem.store(L1 + vpn1 * 8, 8, make_pte(L0 >> 12, PTE_V))
+    mem.store(L0 + vpn0 * 8, 8, make_pte(paddr >> 12, flags))
+
+
+class TestBasicTranslation:
+    def test_bare_mode_is_identity(self):
+        mem = PhysicalMemory()
+        t = translate(mem, 0, 0x1234, ACCESS_LOAD, PRIV_S)
+        assert t.paddr == 0x1234
+
+    def test_machine_mode_bypasses(self):
+        assert not translation_active(SATP, PRIV_M)
+        assert translation_active(SATP, PRIV_S)
+
+    def test_4k_page(self):
+        mem = PhysicalMemory()
+        build_tables(mem, 0x4000_0000, 0x8020_0000)
+        t = translate(mem, SATP, 0x4000_0123, ACCESS_LOAD, PRIV_S)
+        assert t.paddr == 0x8020_0123
+        assert t.level == 0
+
+    def test_2m_superpage(self):
+        mem = PhysicalMemory()
+        build_tables(mem, 0x4000_0000, 0x8020_0000, level=1)
+        t = translate(mem, SATP, 0x4008_1123, ACCESS_LOAD, PRIV_S)
+        assert t.paddr == 0x8028_1123
+        assert t.level == 1
+
+    def test_1g_superpage(self):
+        mem = PhysicalMemory()
+        build_tables(mem, 0x8000_0000, 0x8000_0000, level=2)
+        t = translate(mem, SATP, 0x8012_3456, ACCESS_FETCH, PRIV_S)
+        assert t.paddr == 0x8012_3456
+        assert t.level == 2
+
+    def test_misaligned_superpage_faults(self):
+        mem = PhysicalMemory()
+        # level-1 leaf whose ppn is not 2M-aligned
+        build_tables(mem, 0x4000_0000, 0x8020_1000, level=1)
+        with pytest.raises(PageFault):
+            translate(mem, SATP, 0x4000_0000, ACCESS_LOAD, PRIV_S)
+
+    def test_sign_extension_check(self):
+        mem = PhysicalMemory()
+        build_tables(mem, 0x4000_0000, 0x8020_0000)
+        with pytest.raises(PageFault):
+            translate(mem, SATP, 0x0000_8000_4000_0000, ACCESS_LOAD, PRIV_S)
+
+
+class TestPermissions:
+    def _mem(self, flags):
+        mem = PhysicalMemory()
+        build_tables(mem, 0x4000_0000, 0x8020_0000, flags=flags)
+        return mem
+
+    def test_invalid_pte_faults(self):
+        mem = self._mem(0)
+        with pytest.raises(PageFault) as info:
+            translate(mem, SATP, 0x4000_0000, ACCESS_LOAD, PRIV_S)
+        assert info.value.cause == 13  # load page fault
+
+    def test_write_to_readonly_faults(self):
+        mem = self._mem(PTE_V | PTE_R | PTE_A | PTE_D)
+        translate(mem, SATP, 0x4000_0000, ACCESS_LOAD, PRIV_S)
+        with pytest.raises(PageFault) as info:
+            translate(mem, SATP, 0x4000_0000, ACCESS_STORE, PRIV_S)
+        assert info.value.cause == 15  # store page fault
+
+    def test_fetch_needs_x(self):
+        mem = self._mem(PTE_V | PTE_R | PTE_A)
+        with pytest.raises(PageFault) as info:
+            translate(mem, SATP, 0x4000_0000, ACCESS_FETCH, PRIV_S)
+        assert info.value.cause == 12
+
+    def test_user_page_blocks_s_load_without_sum(self):
+        mem = self._mem(RWX | PTE_U)
+        with pytest.raises(PageFault):
+            translate(mem, SATP, 0x4000_0000, ACCESS_LOAD, PRIV_S)
+        # With SUM set, S-mode may read user pages.
+        t = translate(mem, SATP, 0x4000_0000, ACCESS_LOAD, PRIV_S,
+                      mstatus=MSTATUS_SUM)
+        assert t.paddr == 0x8020_0000
+
+    def test_s_fetch_from_user_page_always_faults(self):
+        mem = self._mem(RWX | PTE_U)
+        with pytest.raises(PageFault):
+            translate(mem, SATP, 0x4000_0000, ACCESS_FETCH, PRIV_S,
+                      mstatus=MSTATUS_SUM)
+
+    def test_user_needs_u_bit(self):
+        mem = self._mem(RWX)
+        with pytest.raises(PageFault):
+            translate(mem, SATP, 0x4000_0000, ACCESS_LOAD, PRIV_U)
+
+    def test_mxr_makes_x_readable(self):
+        mem = self._mem(PTE_V | PTE_X | PTE_A)
+        with pytest.raises(PageFault):
+            translate(mem, SATP, 0x4000_0000, ACCESS_LOAD, PRIV_S)
+        t = translate(mem, SATP, 0x4000_0000, ACCESS_LOAD, PRIV_S,
+                      mstatus=MSTATUS_MXR)
+        assert t.paddr == 0x8020_0000
+
+    def test_w_without_r_is_reserved(self):
+        mem = self._mem(PTE_V | PTE_W | PTE_A | PTE_D)
+        with pytest.raises(PageFault):
+            translate(mem, SATP, 0x4000_0000, ACCESS_LOAD, PRIV_S)
+
+
+class TestAccessedDirty:
+    def test_hardware_sets_a_on_load(self):
+        mem = PhysicalMemory()
+        build_tables(mem, 0x4000_0000, 0x8020_0000,
+                     flags=PTE_V | PTE_R | PTE_W)
+        t = translate(mem, SATP, 0x4000_0000, ACCESS_LOAD, PRIV_S)
+        assert t.perm & PTE_A
+        pte = mem.load(t.pte_addr, 8)
+        assert pte & PTE_A and not pte & PTE_D
+
+    def test_hardware_sets_d_on_store(self):
+        mem = PhysicalMemory()
+        build_tables(mem, 0x4000_0000, 0x8020_0000,
+                     flags=PTE_V | PTE_R | PTE_W)
+        t = translate(mem, SATP, 0x4000_0000, ACCESS_STORE, PRIV_S)
+        pte = mem.load(t.pte_addr, 8)
+        assert pte & PTE_A and pte & PTE_D
+
+    def test_svade_mode_faults_instead(self):
+        mem = PhysicalMemory()
+        build_tables(mem, 0x4000_0000, 0x8020_0000,
+                     flags=PTE_V | PTE_R | PTE_W)
+        with pytest.raises(PageFault):
+            translate(mem, SATP, 0x4000_0000, ACCESS_LOAD, PRIV_S,
+                      update_ad=False)
+
+
+class TestRawWalk:
+    def test_matches_translate(self):
+        mem = PhysicalMemory()
+        build_tables(mem, 0x4000_0000, 0x8020_0000)
+        t = translate(mem, SATP, 0x4000_0000, ACCESS_LOAD, PRIV_S)
+        walk = raw_walk(mem, SATP, 0x4000_0000)
+        assert walk is not None
+        assert walk.ppn == t.ppn
+
+    def test_unmapped_returns_none(self):
+        mem = PhysicalMemory()
+        assert raw_walk(mem, SATP, 0x5000_0000) is None
+
+    def test_ignores_permissions(self):
+        mem = PhysicalMemory()
+        build_tables(mem, 0x4000_0000, 0x8020_0000, flags=PTE_V | PTE_R)
+        walk = raw_walk(mem, SATP, 0x4000_0000)
+        assert walk is not None
+
+    def test_does_not_set_ad_bits(self):
+        mem = PhysicalMemory()
+        build_tables(mem, 0x4000_0000, 0x8020_0000, flags=PTE_V | PTE_R)
+        walk = raw_walk(mem, SATP, 0x4000_0000)
+        assert not mem.load(walk.pte_addr, 8) & PTE_A
+
+    def test_bare_mode_returns_none(self):
+        assert raw_walk(PhysicalMemory(), 0, 0x1000) is None

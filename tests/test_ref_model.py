@@ -1,0 +1,198 @@
+"""Tests for the reference model and its compensation log."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import assemble
+from repro.isa import csr as CSR
+from repro.isa.const import DRAM_BASE, IRQ_M_TIMER, INTERRUPT_BIT
+from repro.isa.devices import UART_BASE, UART_SIZE
+from repro.ref import RefModel
+
+
+def make_ref(source: str, mmio=((UART_BASE, UART_SIZE),)) -> RefModel:
+    ref = RefModel(mmio_ranges=mmio)
+    ref.load_image(assemble(source))
+    return ref
+
+
+def step_to(ref: RefModel, name: str, limit: int = 100, **kwargs):
+    """Step until just *before* the named instruction (pc points at it)."""
+    for _ in range(limit):
+        word = ref.memory.load(ref.pc(), 4)
+        from repro.isa import decode
+
+        if decode(word).name == name:
+            return
+        ref.step(**kwargs)
+    raise AssertionError(f"never reached {name}")
+
+
+class TestExecution:
+    def test_steps_instructions(self):
+        ref = make_ref("li t0, 5\n addi t0, t0, 2\n nop")
+        ref.step()
+        ref.step()
+        assert ref.state.xregs[5] == 7
+
+    def test_never_touches_devices(self):
+        ref = make_ref(f"li t0, {UART_BASE}\n lb t1, 0(t0)")
+        step_to(ref, "lb")
+        with pytest.raises(Exception):  # UnsynchronizedNde
+            ref.step()
+
+    def test_mmio_load_uses_synced_value(self):
+        ref = make_ref(f"li t0, {UART_BASE}\n lb t1, 0(t0)")
+        step_to(ref, "lb")
+        result = ref.step(mmio_load_value=0x42)
+        assert result.mmio_skip
+        assert ref.state.xregs[6] == 0x42
+
+    def test_sync_skip_advances_and_writes(self):
+        ref = make_ref("nop\n nop")
+        pc = ref.pc()
+        ref.sync_skip(next_pc=pc + 4, rd=7, wdata=0x99, rfwen=True)
+        assert ref.pc() == pc + 4
+        assert ref.state.xregs[7] == 0x99
+
+    def test_sync_interrupt_enters_handler(self):
+        ref = make_ref("""
+            la t0, handler
+            csrw mtvec, t0
+            nop
+        handler:
+            nop
+        """)
+        ref.step()
+        ref.step()
+        ref.step()
+        ref.sync_interrupt(IRQ_M_TIMER)
+        assert ref.state.csr.peek(CSR.MCAUSE) == INTERRUPT_BIT | IRQ_M_TIMER
+        assert ref.pc() == ref.state.csr.peek(CSR.MTVEC) & ~0x3
+
+    def test_sync_sc_failure_clears_reservation(self):
+        ref = make_ref("""
+            li sp, 0x80100000
+            lr.d t0, (sp)
+            sc.d t1, t0, (sp)
+        """)
+        step_to(ref, "sc.d")
+        ref.sync_sc_failure()
+        ref.step()  # the sc
+        assert ref.state.xregs[6] == 1  # failed, like the DUT
+
+
+class TestCompensationLog:
+    def test_revert_registers(self):
+        ref = make_ref("li t0, 1\n li t0, 2\n li t0, 3")
+        ref.step()
+        mark = ref.checkpoint()
+        ref.step()
+        ref.step()
+        assert ref.state.xregs[5] == 3
+        ref.revert(mark)
+        assert ref.state.xregs[5] == 1
+
+    def test_revert_memory(self):
+        ref = make_ref("""
+            li sp, 0x80100000
+            li t0, 0xAA
+            sd t0, 0(sp)
+            li t0, 0xBB
+            sd t0, 0(sp)
+            ebreak
+        """)
+        # Run through the first store, checkpoint, then the second.
+        step_to(ref, "sd")
+        ref.step()
+        mark = ref.checkpoint()
+        step_to(ref, "ebreak")
+        assert ref.memory.load(0x80100000, 8) == 0xBB
+        ref.revert(mark)
+        assert ref.memory.load(0x80100000, 8) == 0xAA
+
+    def test_revert_pc_and_csr(self):
+        ref = make_ref("csrwi mscratch, 5\n csrwi mscratch, 9\n nop")
+        ref.step()
+        mark = ref.checkpoint()
+        pc_before = ref.pc()
+        ref.step()
+        ref.revert(mark)
+        assert ref.pc() == pc_before
+        assert ref.state.csr.peek(CSR.MSCRATCH) == 5
+
+    def test_revert_count_reported(self):
+        ref = make_ref("li t0, 1\n li t1, 2")
+        mark = ref.checkpoint()
+        ref.step()
+        ref.step()
+        assert ref.revert(mark) > 0
+
+    def test_default_revert_uses_last_checkpoint(self):
+        ref = make_ref("li t0, 1\n li t0, 2")
+        ref.step()
+        ref.checkpoint()
+        ref.step()
+        ref.revert()
+        assert ref.state.xregs[5] == 1
+
+    def test_trim_log_bounds_memory(self):
+        ref = make_ref("\n".join(["addi t0, t0, 1"] * 50) + "\n nop")
+        for _ in range(50):
+            ref.step()
+        before = len(ref.journal)
+        ref.checkpoint()
+        ref.trim_log()
+        assert len(ref.journal) == 0
+        assert before > 0
+
+    def test_revert_not_journaled_again(self):
+        ref = make_ref("li t0, 1\n li t0, 2")
+        mark = ref.checkpoint()
+        ref.step()
+        ref.revert(mark)
+        assert len(ref.journal) == mark
+
+    def test_memory_bytes_accounting(self):
+        ref = make_ref("li sp, 0x80100000\n li t0, 5\n sd t0, 0(sp)")
+        for _ in range(3):
+            ref.step()
+        assert ref.journal.memory_bytes() > 0
+
+
+@given(st.integers(min_value=1, max_value=30), st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_revert_restores_exact_state(steps, seedval):
+    """Property: run N steps past a checkpoint, revert, and the full
+    architectural state equals a pristine clone taken at the checkpoint."""
+    source = f"""
+        li sp, 0x80100000
+        li t0, {seedval}
+        li t1, 0
+    loop:
+        add t1, t1, t0
+        sd t1, 0(sp)
+        csrw mscratch, t1
+        srli t0, t0, 1
+        addi sp, sp, 8
+        bnez t0, loop
+    idle:
+        addi t2, t2, 1
+        j idle
+    """
+    ref = make_ref(source)
+    for _ in range(5):
+        ref.step()
+    mark = ref.checkpoint()
+    snapshot = ref.state.clone()
+    mem_snapshot = ref.memory.clone()
+    for _ in range(steps):
+        ref.step()
+    ref.revert(mark)
+    assert ref.state.pc == snapshot.pc
+    assert ref.state.xregs == snapshot.xregs
+    assert ref.state.priv == snapshot.priv
+    assert dict(ref.state.csr.items()) == dict(snapshot.csr.items())
+    for addr in range(0x80100000, 0x80100000 + 64, 8):
+        assert ref.memory.load(addr, 8) == mem_snapshot.load(addr, 8)

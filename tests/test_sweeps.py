@@ -1,0 +1,96 @@
+"""Tests for the Equation-1 model-exploration sweeps."""
+
+import pytest
+
+from repro.analysis import (
+    nonblocking_gain,
+    required_reduction,
+    speed_vs_parameter,
+)
+from repro.comm import FPGA_VU19P, PALLADIUM, CommCounters
+from repro.core import CONFIG_B, CONFIG_BNSD, CONFIG_Z, run_cosim
+from repro.dut import XIANGSHAN_DEFAULT
+from repro.workloads import build
+
+GATES = XIANGSHAN_DEFAULT.gates_millions
+
+
+@pytest.fixture(scope="module")
+def counters():
+    workload = build("microbench", iterations=150)
+    result = run_cosim(XIANGSHAN_DEFAULT, CONFIG_B, workload.image,
+                       max_cycles=workload.max_cycles)
+    assert result.passed
+    return result.stats.counters
+
+
+class TestSpeedVsParameter:
+    def test_more_bandwidth_never_hurts(self, counters):
+        curve = speed_vs_parameter(PALLADIUM, GATES, counters,
+                                   "bw_bytes_per_us", [10, 50, 100, 1000])
+        speeds = [khz for _v, khz in curve]
+        assert speeds == sorted(speeds)
+
+    def test_higher_sync_latency_hurts_blocking(self, counters):
+        curve = speed_vs_parameter(PALLADIUM, GATES, counters, "t_sync_us",
+                                   [1, 10, 100], nonblocking=False)
+        speeds = [khz for _v, khz in curve]
+        assert speeds == sorted(speeds, reverse=True)
+
+    def test_unknown_parameter_rejected(self, counters):
+        with pytest.raises(ValueError, match="cannot sweep"):
+            speed_vs_parameter(PALLADIUM, GATES, counters, "name", [1])
+
+    def test_speed_bounded_by_dut_clock(self, counters):
+        curve = speed_vs_parameter(PALLADIUM, GATES, counters,
+                                   "check_byte_us", [0.0, 0.001])
+        for _value, khz in curve:
+            assert khz <= PALLADIUM.dut_clock_khz(GATES) + 1e-6
+
+
+class TestNonblockingGain:
+    def test_gain_at_least_one(self, counters):
+        info = nonblocking_gain(PALLADIUM, GATES, counters)
+        assert info["gain"] >= 1.0
+        assert info["critical_stage"] in ("dut", "link", "software")
+
+    def test_software_heavy_point_is_software_bound(self, counters):
+        from dataclasses import replace
+
+        slow_sw = replace(PALLADIUM, check_byte_us=10.0)
+        info = nonblocking_gain(slow_sw, GATES, counters)
+        assert info["critical_stage"] == "software"
+
+    def test_link_heavy_point_is_link_bound(self, counters):
+        from dataclasses import replace
+
+        slow_link = replace(PALLADIUM, bw_bytes_per_us=0.01, nb_factor=1.0)
+        info = nonblocking_gain(slow_link, GATES, counters)
+        assert info["critical_stage"] == "link"
+
+
+class TestRequiredReduction:
+    def test_baseline_needs_big_reductions(self):
+        workload = build("microbench", iterations=150)
+        result = run_cosim(XIANGSHAN_DEFAULT, CONFIG_Z, workload.image,
+                           max_cycles=workload.max_cycles)
+        needed = required_reduction(PALLADIUM, GATES, result.stats.counters,
+                                    target_fraction=0.9, nonblocking=False)
+        # No single knob suffices at the baseline (the paper's point:
+        # packing, fusion AND parallelism are all needed).
+        assert all(factor == float("inf") or factor > 2
+                   for factor in needed.values())
+
+    def test_optimized_point_already_meets_target(self):
+        workload = build("microbench", iterations=150)
+        result = run_cosim(XIANGSHAN_DEFAULT, CONFIG_BNSD, workload.image,
+                           max_cycles=workload.max_cycles)
+        needed = required_reduction(PALLADIUM, GATES, result.stats.counters,
+                                    target_fraction=0.45, nonblocking=True)
+        assert needed["software"] <= 1.1  # (almost) already fast enough
+
+    def test_reductions_are_scale_factors(self, counters):
+        needed = required_reduction(FPGA_VU19P, GATES, counters,
+                                    target_fraction=0.05)
+        for factor in needed.values():
+            assert factor >= 1.0

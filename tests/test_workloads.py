@@ -1,0 +1,163 @@
+"""Tests for the workload programs and synthetic streams."""
+
+import pytest
+
+import repro.events as EV
+from repro.core import CONFIG_BNSD, run_cosim
+from repro.dut import NUTSHELL, XIANGSHAN_DEFAULT
+from repro.workloads import (
+    KVM_IO,
+    LINUX_BOOT,
+    PROFILES,
+    RVV_TEST,
+    SPEC_COMPUTE,
+    SyntheticStream,
+    available,
+    build,
+)
+
+
+class TestPrograms:
+    def test_registry_lists_all(self):
+        names = available()
+        assert "microbench" in names
+        assert "linux_boot_like" in names
+        assert len(names) >= 11
+
+    @pytest.mark.parametrize("name", available())
+    def test_every_workload_passes_cosim(self, name):
+        workload = build(name)
+        result = run_cosim(XIANGSHAN_DEFAULT, CONFIG_BNSD, workload.image,
+                           max_cycles=workload.max_cycles)
+        assert result.passed, f"{name}: {result.mismatch} exit={result.exit_code}"
+
+    def test_workloads_parameterizable(self):
+        small = build("microbench", iterations=10)
+        large = build("microbench", iterations=100)
+        a = run_cosim(XIANGSHAN_DEFAULT, CONFIG_BNSD, small.image,
+                      max_cycles=small.max_cycles)
+        b = run_cosim(XIANGSHAN_DEFAULT, CONFIG_BNSD, large.image,
+                      max_cycles=large.max_cycles)
+        assert b.instructions > 3 * a.instructions
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            build("nonexistent")
+
+    def test_mmio_echo_produces_uart_text(self):
+        workload = build("mmio_echo", repeats=2)
+        result = run_cosim(XIANGSHAN_DEFAULT, CONFIG_BNSD, workload.image,
+                           max_cycles=workload.max_cycles)
+        assert result.uart_output.count("hello difftest-h") == 2
+
+    def test_timer_interrupt_takes_interrupts(self):
+        workload = build("timer_interrupt", interrupts=3)
+        result = run_cosim(XIANGSHAN_DEFAULT, CONFIG_BNSD, workload.image,
+                           max_cycles=workload.max_cycles)
+        assert result.passed
+        assert result.stats.profile.counts.get(
+            EV.ArchInterrupt.DESCRIPTOR.event_id, 0) >= 3
+
+    def test_virtual_memory_produces_tlb_events(self):
+        workload = build("virtual_memory")
+        result = run_cosim(XIANGSHAN_DEFAULT, CONFIG_BNSD, workload.image,
+                           max_cycles=workload.max_cycles)
+        assert result.passed
+        assert result.stats.profile.counts.get(
+            EV.L1TlbFill.DESCRIPTOR.event_id, 0) > 0
+
+    def test_vector_saxpy_produces_vector_events(self):
+        workload = build("vector_saxpy", iterations=5)
+        result = run_cosim(XIANGSHAN_DEFAULT, CONFIG_BNSD, workload.image,
+                           max_cycles=workload.max_cycles)
+        assert result.passed
+        counts = result.stats.profile.counts
+        assert counts.get(EV.VecWriteback.DESCRIPTOR.event_id, 0) > 0
+        assert counts.get(EV.VConfigEvent.DESCRIPTOR.event_id, 0) > 0
+
+    def test_atomics_produce_lrsc_and_amo_events(self):
+        workload = build("atomics", iterations=10)
+        result = run_cosim(XIANGSHAN_DEFAULT, CONFIG_BNSD, workload.image,
+                           max_cycles=workload.max_cycles)
+        assert result.passed
+        counts = result.stats.profile.counts
+        assert counts.get(EV.AtomicEvent.DESCRIPTOR.event_id, 0) > 0
+        assert counts.get(EV.LrScEvent.DESCRIPTOR.event_id, 0) > 0
+
+    def test_linux_boot_covers_many_event_types(self):
+        workload = build("linux_boot_like")
+        result = run_cosim(XIANGSHAN_DEFAULT, CONFIG_BNSD, workload.image,
+                           max_cycles=workload.max_cycles)
+        assert result.passed
+        active_types = sum(1 for n in result.stats.profile.counts.values()
+                           if n > 0)
+        assert active_types >= 15
+
+    def test_nutshell_runs_microbench(self):
+        workload = build("microbench", iterations=30)
+        result = run_cosim(NUTSHELL, CONFIG_BNSD, workload.image,
+                           max_cycles=workload.max_cycles * 3)
+        assert result.passed
+
+
+class TestSyntheticStreams:
+    def test_deterministic(self):
+        a = list(SyntheticStream(LINUX_BOOT, seed=3).cycles(50))
+        b = list(SyntheticStream(LINUX_BOOT, seed=3).cycles(50))
+        assert a == b
+
+    def test_seed_changes_stream(self):
+        a = list(SyntheticStream(LINUX_BOOT, seed=3).cycles(50))
+        b = list(SyntheticStream(LINUX_BOOT, seed=4).cycles(50))
+        assert a != b
+
+    def test_tags_monotonic(self):
+        stream = SyntheticStream(LINUX_BOOT)
+        tags = []
+        for cycle in stream.cycles(200):
+            tags.extend(e.order_tag for e in cycle
+                        if isinstance(e, EV.InstrCommit))
+        assert tags == sorted(tags)
+
+    def test_profile_rates_shape(self):
+        def rate(profile, cls, cycles=4000):
+            stream = SyntheticStream(profile, seed=1)
+            count = 0
+            instructions = 0
+            for cycle in stream.cycles(cycles):
+                for event in cycle:
+                    if isinstance(event, cls):
+                        count += 1
+                    if isinstance(event, EV.InstrCommit):
+                        instructions += 1
+            return count / max(instructions, 1)
+
+        # KVM profile is far more MMIO/interrupt heavy than SPEC.
+        assert rate(KVM_IO, EV.ArchInterrupt) > 5 * rate(
+            SPEC_COMPUTE, EV.ArchInterrupt)
+        # Only the RVV profile produces vector traffic.
+        assert rate(RVV_TEST, EV.VecWriteback) > 0
+        assert rate(SPEC_COMPUTE, EV.VecWriteback) == 0
+
+    def test_all_profiles_generate(self):
+        for profile in PROFILES:
+            events = [e for cycle in
+                      SyntheticStream(profile, seed=2).cycles(100)
+                      for e in cycle]
+            assert events
+
+    def test_stream_feeds_fuser_and_packer(self):
+        from repro.comm.fusion import SquashFuser
+        from repro.comm.packing import BatchPacker
+
+        stream = SyntheticStream(LINUX_BOOT, seed=9)
+        fuser = SquashFuser(window=32, differencing=True)
+        packer = BatchPacker()
+        transfers = 0
+        for cycle in stream.cycles(2000):
+            for transfer in packer.pack_cycle(fuser.on_cycle(cycle)):
+                transfers += 1
+        for transfer in packer.pack_cycle(fuser.flush()) + packer.flush():
+            transfers += 1
+        assert transfers > 0
+        assert fuser.stats.fusion_ratio > 2
