@@ -1,0 +1,79 @@
+"""Campaign-executor throughput: jobs/sec scaling across worker counts.
+
+ISAAC-style campaign parallelism only pays off if fan-out actually
+scales, so this bench runs the acceptance campaign of the parallel
+executor — a 32-seed fuzz sweep — at workers in {1, 2, 4}, records
+jobs/sec and wall time per point, and re-checks the determinism
+guarantee (every worker count must render a byte-identical aggregated
+report).  The recorded table gives future PRs a regression anchor for
+campaign scaling.
+
+The wall-clock speedup assertion is gated on the host actually having
+multiple cores: on a single-core CI box the pool still runs (and must
+still be deterministic), but cannot be faster than serial.
+"""
+
+import os
+
+import pytest
+from conftest import write_result
+
+from repro.workloads import fuzz_campaign
+
+SEEDS = range(32)
+LENGTH = 40
+WORKER_POINTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    points = []
+    for workers in WORKER_POINTS:
+        campaign = fuzz_campaign(SEEDS, length=LENGTH, workers=workers)
+        assert campaign.passed, campaign.render()
+        points.append(campaign)
+    return points
+
+
+@pytest.mark.campaign
+def test_campaign_throughput(sweep, benchmark):
+    def report() -> str:
+        lines = [
+            "Campaign throughput: 32-seed fuzz campaign "
+            f"(length {LENGTH}, host cores: {os.cpu_count()})",
+            f"{'workers':>8s} {'wall s':>8s} {'jobs/s':>8s} "
+            f"{'utilization':>12s} {'speedup':>8s}",
+        ]
+        serial_wall = sweep[0].stats.wall_time_s
+        for campaign in sweep:
+            stats = campaign.stats
+            lines.append(
+                f"{stats.workers:8d} {stats.wall_time_s:8.2f} "
+                f"{stats.jobs_per_sec:8.2f} "
+                f"{stats.worker_utilization:12.0%} "
+                f"{serial_wall / max(stats.wall_time_s, 1e-9):7.2f}x")
+        return "\n".join(lines)
+
+    text = benchmark(report)
+    write_result("campaign_throughput", text)
+    for campaign in sweep:
+        assert campaign.stats.jobs_total == 32
+        assert campaign.stats.jobs_per_sec > 0
+
+
+@pytest.mark.campaign
+def test_campaign_reports_byte_identical(sweep):
+    """The acceptance criterion: workers=4 report == workers=1 report."""
+    serial = sweep[0].render()
+    for campaign in sweep[1:]:
+        assert campaign.render() == serial
+
+
+@pytest.mark.campaign
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="speedup needs >= 4 physical cores")
+def test_campaign_speedup_on_multicore(sweep):
+    """On a 4-core machine the 4-worker campaign must halve wall time."""
+    serial_wall = sweep[0].stats.wall_time_s
+    four_wall = sweep[-1].stats.wall_time_s
+    assert four_wall < 0.5 * serial_wall, (serial_wall, four_wall)

@@ -13,12 +13,16 @@ Public API quick map:
 * :mod:`repro.comm` — LogGP model, platforms, Batch packing, Squash
   fusion, prior-work comparators.
 * :mod:`repro.workloads` — assembled RISC-V programs + synthetic streams.
+* :mod:`repro.parallel` — the campaign executor: fan independent runs
+  (fuzz seeds, fault injections, matrix cells) over a process pool with
+  deterministic aggregation.
 * :mod:`repro.analysis` — area and overhead models.
 * :mod:`repro.toolkit` — performance counters, SQL traces, trace replay.
 * :mod:`repro.isa` — the RV64 ISA substrate (decoder/executor/assembler).
 """
 
-from . import analysis, comm, core, dut, events, isa, ref, toolkit, workloads
+from . import analysis, comm, core, dut, events, isa, parallel, ref, \
+    toolkit, workloads
 from .core import (
     CONFIG_B,
     CONFIG_BN,
@@ -48,6 +52,7 @@ __all__ = [
     "dut",
     "events",
     "isa",
+    "parallel",
     "ref",
     "toolkit",
     "workloads",

@@ -7,9 +7,17 @@ from .overhead import (
     communication_fraction,
     render_table,
 )
-from .sweeps import nonblocking_gain, required_reduction, speed_vs_parameter
+from .sweeps import (
+    MeasuredPoint,
+    collect_measured_points,
+    nonblocking_gain,
+    required_reduction,
+    speed_vs_parameter,
+)
 
 __all__ = [
+    "MeasuredPoint",
+    "collect_measured_points",
     "nonblocking_gain",
     "required_reduction",
     "speed_vs_parameter",

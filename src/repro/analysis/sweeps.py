@@ -15,8 +15,8 @@ This module explores the model around a measured operating point:
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Callable, Dict, List, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..comm.loggp import CommCounters, model_overhead
 from ..comm.platform import PlatformSpec
@@ -24,6 +24,56 @@ from ..comm.platform import PlatformSpec
 _SWEEPABLE = ("t_sync_us", "bw_bytes_per_us", "ref_step_us",
               "check_event_us", "check_byte_us", "dispatch_us",
               "nb_factor", "gate_cycles")
+
+
+@dataclass(frozen=True)
+class MeasuredPoint:
+    """One measured operating point the analytical sweeps explore around."""
+
+    label: str
+    workload: str
+    config_name: str
+    summary: object  # repro.core.summary.RunSummary
+
+    @property
+    def counters(self) -> CommCounters:
+        return self.summary.counters
+
+
+def collect_measured_points(cells, workers: Optional[int] = None,
+                            job_timeout: Optional[float] = None):
+    """Co-simulate every (workload, dut, config) cell; return its counters.
+
+    ``cells`` is a sequence of ``(workload_name, dut_config, diff_config)``
+    triples.  Collection fans out over the campaign executor — each cell
+    is an independent run — and the returned list preserves cell order,
+    so downstream sweep tables are deterministic under any worker count.
+
+    Raises ``RuntimeError`` if any cell fails: an analytical sweep around
+    a failed (mismatching) operating point would model garbage.
+    """
+    from ..parallel import CampaignExecutor, JobSpec
+
+    specs = [
+        JobSpec(kind="workload", label=f"{workload}/{config.name}",
+                params={"workload": workload, "dut": dut, "config": config})
+        for workload, dut, config in cells
+    ]
+    executor = CampaignExecutor(workers=workers, job_timeout=job_timeout,
+                                retries=0)
+    campaign = executor.run(specs)
+    points: List[MeasuredPoint] = []
+    for (workload, _dut, config), job in zip(cells, campaign.jobs):
+        if not job.passed:
+            detail = (job.summary.mismatch.describe()
+                      if job.summary is not None and job.summary.mismatch
+                      else (job.error or "run failed"))
+            raise RuntimeError(
+                f"measured point {job.label} failed: {detail}")
+        points.append(MeasuredPoint(label=job.label, workload=workload,
+                                    config_name=config.name,
+                                    summary=job.summary))
+    return points
 
 
 def speed_vs_parameter(platform: PlatformSpec, gates: float,

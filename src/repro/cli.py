@@ -8,11 +8,17 @@ Mirrors the artifact's make-target workflow:
 * ``inject``   — seed a catalogue bug and show the Replay debug report.
 * ``fuzz``     — differential fuzzing with random programs.
 * ``workloads``/``faults``/``events`` — list the available inventory.
+
+Campaign commands (``fuzz``, ``ladder``, ``sweep``) accept ``--workers
+N`` to fan their independent runs out over a process pool (default: all
+cores); aggregation is deterministic, so the summary text is identical
+to ``--workers 1``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -37,7 +43,7 @@ from .dut import (
 )
 from .events import all_event_classes
 from .toolkit import render_event_profile, render_report
-from .workloads import available, build, fuzz_workload
+from .workloads import available, build
 
 _DUTS = {
     "nutshell": NUTSHELL,
@@ -58,6 +64,13 @@ _PLATFORMS = {
     "fpga": FPGA_VU19P,
     "verilator": VERILATOR_16T,
 }
+
+
+def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=os.cpu_count() or 1,
+        help="parallel campaign workers (1 = serial, in-process; "
+             "default: all cores)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -81,6 +94,7 @@ def _build_parser() -> argparse.ArgumentParser:
     ladder = sub.add_parser("ladder", help="Table 5 optimisation breakdown")
     ladder.add_argument("--dut", default="xiangshan", choices=sorted(_DUTS))
     ladder.add_argument("--workload", default="linux_boot_like")
+    _add_workers_flag(ladder)
 
     inject = sub.add_parser("inject", help="seed a bug and debug it")
     inject.add_argument("--fault", required=True,
@@ -95,14 +109,20 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--seeds", type=int, default=10)
     fuzz.add_argument("--length", type=int, default=100)
     fuzz.add_argument("--start", type=int, default=0)
+    fuzz.add_argument("--fail-fast", action="store_true",
+                      help="stop the campaign at the first failing seed")
+    _add_workers_flag(fuzz)
 
     sweep = sub.add_parser(
         "sweep", help="explore Equation 1 around a measured run")
     sweep.add_argument("--workload", default="microbench")
     sweep.add_argument("--dut", default="xiangshan", choices=sorted(_DUTS))
-    sweep.add_argument("--config", default="B", choices=sorted(_CONFIGS))
+    sweep.add_argument("--config", default="B",
+                       help="config name, or a comma-separated list to "
+                            "measure several operating points")
     sweep.add_argument("--platform", default="palladium",
                        choices=sorted(_PLATFORMS))
+    _add_workers_flag(sweep)
     sweep.add_argument("--parameter", default="bw_bytes_per_us",
                        help="platform constant to sweep")
     sweep.add_argument("--values", default="",
@@ -150,26 +170,34 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_ladder(args) -> int:
-    workload = build(args.workload)
+    from .parallel import ladder_campaign
+
     dut = _DUTS[args.dut]
+    names = ("Z", "B", "BIN", "EBINSD")
+    campaign = ladder_campaign(args.workload, dut,
+                               [_CONFIGS[name] for name in names],
+                               workers=args.workers)
     print(f"{'config':8s} {'invokes/cyc':>12s} {'bytes/cyc':>10s} "
           f"{'PLDM KHz':>9s} {'FPGA KHz':>9s}")
     baseline = None
-    for name in ("Z", "B", "BIN", "EBINSD"):
-        config = _CONFIGS[name]
-        result = run_cosim(dut, config, workload.image,
-                           max_cycles=workload.max_cycles)
-        if not result.passed:
-            print(f"{name}: FAILED ({result.mismatch})")
+    for name, job in zip(names, campaign.jobs):
+        if not job.passed:
+            detail = (job.summary.mismatch.describe()
+                      if job.ok and job.summary.mismatch else job.verdict())
+            print(f"{name}: FAILED ({detail})")
+            if not job.ok and job.error:
+                print("  " + job.error.strip().splitlines()[-1])
             return 1
-        pldm = result.breakdown(PALLADIUM, dut.gates_millions,
-                                config.nonblocking)
-        fpga = result.breakdown(FPGA_VU19P, dut.gates_millions,
-                                config.nonblocking)
+        config = _CONFIGS[name]
+        summary = job.summary
+        pldm = summary.breakdown(PALLADIUM, dut.gates_millions,
+                                 config.nonblocking)
+        fpga = summary.breakdown(FPGA_VU19P, dut.gates_millions,
+                                 config.nonblocking)
         if baseline is None:
             baseline = pldm.speed_khz
-        print(f"{name:8s} {result.stats.invokes_per_cycle:12.3f} "
-              f"{result.stats.bytes_per_cycle:10.1f} {pldm.speed_khz:9.1f} "
+        print(f"{name:8s} {summary.invokes_per_cycle:12.3f} "
+              f"{summary.bytes_per_cycle:10.1f} {pldm.speed_khz:9.1f} "
               f"{fpga.speed_khz:9.1f}  ({pldm.speed_khz/baseline:.1f}x)")
     return 0
 
@@ -193,56 +221,80 @@ def _cmd_inject(args) -> int:
 
 
 def _cmd_fuzz(args) -> int:
-    failures = 0
-    for seed in range(args.start, args.start + args.seeds):
-        workload = fuzz_workload(seed, length=args.length)
-        result = run_cosim(XIANGSHAN_DEFAULT, CONFIG_BNSD, workload.image,
-                           max_cycles=workload.max_cycles)
-        verdict = "ok" if result.passed else "FAIL"
-        print(f"seed {seed:6d}: {verdict}  ({result.instructions} instr)")
-        if not result.passed:
-            failures += 1
-            if result.mismatch:
-                print("  " + result.mismatch.describe())
-    print(f"\n{args.seeds - failures}/{args.seeds} passed")
+    from .workloads import fuzz_campaign
+
+    seeds = range(args.start, args.start + args.seeds)
+
+    def report(job) -> None:
+        seed = args.start + job.index
+        if not job.ok:
+            print(f"seed {seed:6d}: {job.verdict()}")
+            if job.error:
+                print("  " + job.error.strip().splitlines()[-1])
+            return
+        verdict = "ok" if job.summary.passed else "FAIL"
+        print(f"seed {seed:6d}: {verdict}  "
+              f"({job.summary.instructions} instr)")
+        if not job.summary.passed and job.summary.mismatch:
+            print("  " + job.summary.mismatch.describe())
+
+    campaign = fuzz_campaign(seeds, length=args.length,
+                             dut_config=XIANGSHAN_DEFAULT,
+                             diff_config=CONFIG_BNSD, workers=args.workers,
+                             fail_fast=args.fail_fast, on_result=report)
+    failures = len(campaign.failures)
+    total = len(campaign.jobs)
+    print(f"\n{total - failures}/{total} passed")
+    if campaign.stats.short_circuited:
+        print(f"(fail-fast: stopped after {total} of {args.seeds} seeds)")
     return 1 if failures else 0
 
 
 def _cmd_sweep(args) -> int:
-    from .analysis import nonblocking_gain, required_reduction, \
-        speed_vs_parameter
+    from .analysis import collect_measured_points, nonblocking_gain, \
+        required_reduction, speed_vs_parameter
 
-    workload = build(args.workload)
     dut = _DUTS[args.dut]
-    config = _CONFIGS[args.config]
     platform = _PLATFORMS[args.platform]
-    result = run_cosim(dut, config, workload.image,
-                       max_cycles=workload.max_cycles)
-    if not result.passed:
-        print(f"run failed: {result.mismatch}")
+    config_names = [name.strip() for name in args.config.split(",")]
+    unknown = [name for name in config_names if name not in _CONFIGS]
+    if unknown:
+        print(f"unknown config(s): {', '.join(unknown)} "
+              f"(choose from {', '.join(_CONFIGS)})")
         return 1
-    counters = result.stats.counters
+    configs = [_CONFIGS[name] for name in config_names]
+    cells = [(args.workload, dut, config) for config in configs]
+    try:
+        points = collect_measured_points(cells, workers=args.workers)
+    except RuntimeError as exc:
+        print(f"run failed: {exc}")
+        return 1
     if args.values:
         values = [float(v) for v in args.values.split(",")]
     else:
         base = getattr(platform, args.parameter)
         values = [base * scale for scale in (0.1, 0.3, 1.0, 3.0, 10.0)]
-    print(f"sweep of {args.parameter} on {platform.name} "
-          f"({workload.name}, {config.name}):")
-    for value, khz in speed_vs_parameter(platform, dut.gates_millions,
-                                         counters, args.parameter, values,
-                                         nonblocking=config.nonblocking):
-        print(f"  {args.parameter} = {value:12.4f} -> {khz:10.1f} KHz")
-    info = nonblocking_gain(platform, dut.gates_millions, counters)
-    print(f"\nnon-blocking gain: {info['gain']:.2f}x "
-          f"(critical stage: {info['critical_stage']})")
-    needed = required_reduction(platform, dut.gates_millions, counters,
-                                target_fraction=0.9,
-                                nonblocking=config.nonblocking)
-    print("reduction needed to reach 90% of DUT-only speed "
-          "(inf = this knob alone cannot):")
-    for knob, factor in needed.items():
-        print(f"  {knob:9s}: {factor:.2f}x")
+    for config, point in zip(configs, points):
+        counters = point.counters
+        print(f"sweep of {args.parameter} on {platform.name} "
+              f"({args.workload}, {config.name}):")
+        for value, khz in speed_vs_parameter(platform, dut.gates_millions,
+                                             counters, args.parameter,
+                                             values,
+                                             nonblocking=config.nonblocking):
+            print(f"  {args.parameter} = {value:12.4f} -> {khz:10.1f} KHz")
+        info = nonblocking_gain(platform, dut.gates_millions, counters)
+        print(f"\nnon-blocking gain: {info['gain']:.2f}x "
+              f"(critical stage: {info['critical_stage']})")
+        needed = required_reduction(platform, dut.gates_millions, counters,
+                                    target_fraction=0.9,
+                                    nonblocking=config.nonblocking)
+        print("reduction needed to reach 90% of DUT-only speed "
+              "(inf = this knob alone cannot):")
+        for knob, factor in needed.items():
+            print(f"  {knob:9s}: {factor:.2f}x")
+        if len(points) > 1 and point is not points[-1]:
+            print()
     return 0
 
 

@@ -2,10 +2,24 @@
 
 The channel carries :class:`~repro.comm.packing.base.Transfer` objects
 from the acceleration unit to the software checker, counting invocations
-and bytes for the LogGP model.  In non-blocking mode it models the
-send/receive queues of Section 4.5: the hardware keeps running while
-transfers are in flight, and a bounded queue applies backpressure when
-software falls behind (tracked as occupancy statistics).
+and bytes for the LogGP model.
+
+**Non-blocking mode** models the send/receive queues of Section 4.5: the
+hardware keeps running while transfers are in flight, and the bounded
+send queue (``queue_depth`` entries) applies backpressure when software
+falls behind.  A send that finds the queue at or above ``queue_depth``
+occupancy *after* enqueueing means the hardware produced into a full
+queue and would stall that cycle; every such send counts one
+``backpressure_events``.  (The queue itself never drops or blocks —
+backpressure is an accounting signal for the time model, not a transport
+limit.)
+
+**Blocking mode** is the step-and-compare handshake: every transfer is a
+synchronous round trip, so the hardware can never run ahead of software
+and a send queue cannot build up.  ``queue_depth`` is deliberately not
+applied and ``backpressure_events`` stays zero — the blocking cost is
+charged per-invocation by the LogGP model (``t_sync_us`` plus the
+per-cycle ``gate_cycles`` term), not as queue pressure.
 """
 
 from __future__ import annotations
@@ -30,14 +44,21 @@ class Channel:
 
     # ------------------------------------------------------------------
     def send(self, transfer: Transfer) -> None:
-        """Hardware side: enqueue one transfer."""
+        """Hardware side: enqueue one transfer.
+
+        In non-blocking mode, a post-append occupancy of ``queue_depth``
+        or more means the queue was already full when the hardware
+        produced this transfer — the send stalls and is counted in
+        ``backpressure_events``.  Occupancy exactly at depth *is* stall
+        pressure: a full queue leaves no room for the next producer.
+        """
         self.invokes += 1
         self.bytes_sent += transfer.size
         self._queue.append(transfer)
-        if len(self._queue) > self.max_occupancy:
-            self.max_occupancy = len(self._queue)
-        if self.nonblocking and len(self._queue) > self.queue_depth:
-            # The send queue is full: the hardware would stall this cycle.
+        occupancy = len(self._queue)
+        if occupancy > self.max_occupancy:
+            self.max_occupancy = occupancy
+        if self.nonblocking and occupancy >= self.queue_depth:
             self.backpressure_events += 1
 
     def send_all(self, transfers: List[Transfer]) -> None:

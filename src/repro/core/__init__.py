@@ -21,6 +21,12 @@ from .snapshot import (
     SnapshotRecord,
 )
 from .stats import EventProfile, RunStats
+from .summary import (
+    MismatchSummary,
+    RunSummary,
+    summarize_mismatch,
+    summarize_result,
+)
 
 __all__ = [
     "Checker",
@@ -46,4 +52,8 @@ __all__ = [
     "SnapshotRecord",
     "EventProfile",
     "RunStats",
+    "MismatchSummary",
+    "RunSummary",
+    "summarize_mismatch",
+    "summarize_result",
 ]

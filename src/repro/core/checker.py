@@ -78,6 +78,17 @@ class Checker:
         self._checks: Dict[int, List[EV.VerificationEvent]] = {}
         self.events_processed = 0
 
+    @property
+    def quiescent(self) -> bool:
+        """True when no pending checks, slot consumers or synchronisations
+        are buffered: everything up to ``ref_slot`` is fully verified.
+
+        This is the checkpoint-safety invariant — the REF may only be
+        imaged at a quiescent point, otherwise buffered events would be
+        compared against (or replayed onto) the wrong state.
+        """
+        return not (self._checks or self._consumers or self._syncs)
+
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------

@@ -42,6 +42,7 @@ from .config import DiffConfig
 from .replay import ReplayBuffer, ReplayUnit
 from .report import DebugReport, Mismatch
 from .stats import RunStats
+from .summary import RunSummary, summarize_result
 
 #: MMIO ranges stubbed into every REF bus (must mirror the DUT's devices).
 REF_MMIO_RANGES = (
@@ -70,6 +71,10 @@ class RunResult:
     def breakdown(self, platform, gates_millions: float,
                   nonblocking: bool) -> OverheadBreakdown:
         return self.stats.breakdown(platform, gates_millions, nonblocking)
+
+    def summarize(self) -> RunSummary:
+        """Compact, pickle-safe summary for campaign-level aggregation."""
+        return summarize_result(self)
 
 
 class CoSimulation:
@@ -189,8 +194,7 @@ class CoSimulation:
         unit = self.replay_units[core_id]
         if (checker.ref_slot - unit.checkpoint_slot
                 >= self.diff_config.checkpoint_interval
-                and not checker._checks and not checker._consumers
-                and not checker._syncs):
+                and checker.quiescent):
             unit.checkpoint(checker.ref_slot)
             self.stats.checkpoints += 1
 

@@ -115,7 +115,7 @@ class SnapshotCoSimulation(CoSimulation):
         for core, checker in zip(self.dut.cores, self.checkers):
             if checker.ref_slot != core.monitor.slot:
                 return False
-            if checker._checks or checker._consumers or checker._syncs:
+            if not checker.quiescent:
                 return False
         return len(self.channel) == 0
 

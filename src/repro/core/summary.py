@@ -1,0 +1,126 @@
+"""Pickle-safe run summaries for campaign-level execution.
+
+A full :class:`~repro.core.framework.RunResult` drags the whole
+:class:`~repro.core.stats.RunStats` object graph along — fine in-process,
+but wasteful (and fragile) when thousands of campaign jobs stream their
+outcomes across :mod:`concurrent.futures` process boundaries.  This
+module defines the compact value types that cross the wire instead:
+
+* :class:`MismatchSummary` — a mismatch reduced to plain strings/ints
+  (the live :class:`~repro.core.report.Mismatch` holds an event object
+  and arbitrary expected/actual values).
+* :class:`RunSummary` — everything campaign aggregation needs from one
+  run: pass/fail, the measured :class:`~repro.comm.loggp.CommCounters`,
+  the headline hardware counters, and the rendered debug report.
+
+Both are frozen dataclasses of primitives (plus ``CommCounters``, itself
+a dataclass of ints), so they pickle cheaply and compare by value —
+which is what makes deterministic serial-vs-parallel equivalence
+checking possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..comm.loggp import CommCounters, OverheadBreakdown, model_overhead
+
+
+@dataclass(frozen=True)
+class MismatchSummary:
+    """A :class:`~repro.core.report.Mismatch` flattened to primitives."""
+
+    core_id: int
+    slot: int
+    event_type: str
+    field_name: str
+    expected: str  # repr of the expected value
+    actual: str  # repr of the observed value
+    component: str
+    cycle: Optional[int] = None
+    description: str = ""
+
+    def describe(self) -> str:
+        return self.description
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """The picklable essence of one co-simulation run.
+
+    Mirrors the fields of :class:`~repro.core.framework.RunResult` /
+    :class:`~repro.core.stats.RunStats` that campaign reports consume;
+    build one with :meth:`RunResult.summarize`.
+    """
+
+    passed: bool
+    exit_code: Optional[int]
+    cycles: int
+    instructions: int
+    counters: CommCounters = field(default_factory=CommCounters)
+    mismatch: Optional[MismatchSummary] = None
+    debug_report_text: Optional[str] = None
+    uart_output: str = ""
+    # Headline RunStats counters (tuning-toolkit rollup).
+    events_captured: int = 0
+    events_transmitted: int = 0
+    fusion_ratio: float = 1.0
+    packet_utilization: float = 1.0
+    max_queue_occupancy: int = 0
+    backpressure_events: int = 0
+    checkpoints: int = 0
+
+    # -- derived quantities (same definitions as RunStats) -------------
+    @property
+    def invokes_per_cycle(self) -> float:
+        return self.counters.invokes / max(self.counters.cycles, 1)
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        return self.counters.bytes_sent / max(self.counters.cycles, 1)
+
+    def breakdown(self, platform, gates_millions: float,
+                  nonblocking: bool) -> OverheadBreakdown:
+        """Modeled time under ``platform`` (Equation 1)."""
+        return model_overhead(platform, gates_millions, self.counters,
+                              nonblocking)
+
+
+def summarize_mismatch(mismatch) -> MismatchSummary:
+    """Flatten a live :class:`~repro.core.report.Mismatch`."""
+    return MismatchSummary(
+        core_id=mismatch.core_id,
+        slot=mismatch.slot,
+        event_type=type(mismatch.event).__name__,
+        field_name=mismatch.field_name,
+        expected=repr(mismatch.expected),
+        actual=repr(mismatch.actual),
+        component=mismatch.component,
+        cycle=mismatch.cycle,
+        description=mismatch.describe(),
+    )
+
+
+def summarize_result(result) -> RunSummary:
+    """Flatten a :class:`~repro.core.framework.RunResult`."""
+    stats = result.stats
+    return RunSummary(
+        passed=result.passed,
+        exit_code=result.exit_code,
+        cycles=result.cycles,
+        instructions=result.instructions,
+        counters=stats.counters,
+        mismatch=(summarize_mismatch(result.mismatch)
+                  if result.mismatch is not None else None),
+        debug_report_text=(result.debug_report.render()
+                           if result.debug_report is not None else None),
+        uart_output=result.uart_output,
+        events_captured=stats.events_captured,
+        events_transmitted=stats.events_transmitted,
+        fusion_ratio=stats.fusion_ratio,
+        packet_utilization=stats.packet_utilization,
+        max_queue_occupancy=stats.max_queue_occupancy,
+        backpressure_events=stats.backpressure_events,
+        checkpoints=stats.checkpoints,
+    )

@@ -1,0 +1,33 @@
+"""Campaign-level parallelism: fan independent co-simulations out.
+
+The in-run DUT<->REF loop is inherently serial (every checked event
+mutates the shared REF state), but a *campaign* of runs is not.  This
+package provides the process-pool executor, the picklable job protocol,
+and canned campaign builders; see ``docs/architecture.md`` ("Campaign
+parallelism") for the determinism guarantee.
+"""
+
+from .campaigns import FaultCase, fault_campaign, ladder_campaign
+from .executor import (
+    CampaignExecutor,
+    CampaignResult,
+    CampaignStats,
+    JobTimeout,
+    execute_job,
+)
+from .jobs import JobResult, JobSpec, register_runner, runner_for
+
+__all__ = [
+    "CampaignExecutor",
+    "CampaignResult",
+    "CampaignStats",
+    "FaultCase",
+    "JobResult",
+    "JobSpec",
+    "JobTimeout",
+    "execute_job",
+    "fault_campaign",
+    "ladder_campaign",
+    "register_runner",
+    "runner_for",
+]

@@ -1,0 +1,299 @@
+"""The campaign executor: many independent co-simulations, all cores.
+
+DiffTest-H hides per-run checking cost behind hardware/software
+pipelining (NonBlock); this module applies the same shape one level up.
+A *campaign* — hundreds of fuzz seeds, the Table 6 fault catalogue, a
+workload x config matrix — is embarrassingly parallel across runs, so
+:class:`CampaignExecutor` fans :class:`~repro.parallel.jobs.JobSpec`\\ s
+out over a :class:`concurrent.futures.ProcessPoolExecutor` and folds the
+:class:`~repro.parallel.jobs.JobResult`\\ s back **in submission order**.
+
+Determinism guarantee
+---------------------
+Aggregation never depends on completion order: results are consumed
+strictly in submission order, per-result callbacks fire in submission
+order, and :meth:`CampaignResult.render` contains no wall-clock values.
+A campaign run with ``workers=4`` therefore produces a byte-identical
+aggregated report to ``workers=1`` — timing lives only in the separate
+:class:`CampaignStats` rollup.
+
+Failure handling
+----------------
+Each job gets a wall-clock ``job_timeout`` (enforced in the worker via
+``SIGALRM``) and up to ``retries`` extra attempts after a timeout or
+runner exception.  A run that merely *fails verification* (mismatch,
+bad exit code) is a completed job and is never retried.  With
+``short_circuit=True`` the campaign stops at the first failing job in
+submission order — later jobs may already have executed in parallel
+mode, but their results are discarded, so the report still matches
+serial execution.
+
+``workers=1`` runs every job in-process (no pool, no fork): the mode to
+use under a debugger or when a worker-side crash needs a real traceback.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from ..comm.loggp import CommCounters
+from .jobs import JobResult, JobSpec, runner_for
+
+#: Parent-side safety margin (seconds) on top of the worker-side alarm,
+#: covering process start-up and result pickling.
+_PARENT_TIMEOUT_GRACE = 30.0
+
+
+class JobTimeout(Exception):
+    """Raised inside a worker when a job attempt exceeds its budget."""
+
+
+def _alarm(_signum, _frame):
+    raise JobTimeout()
+
+
+def _attempt_with_timeout(runner, params, timeout: Optional[float]):
+    """Run one attempt, bounded by ``timeout`` seconds of wall clock.
+
+    Uses ``SIGALRM``, which only works on the main thread of a process;
+    pool workers and the serial in-process mode both qualify.  When no
+    timeout is set (or we are not on the main thread) the attempt runs
+    unbounded.
+    """
+    use_alarm = (timeout is not None and hasattr(signal, "setitimer")
+                 and threading.current_thread() is threading.main_thread())
+    if not use_alarm:
+        return runner(params)
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return runner(params)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def execute_job(spec: JobSpec, index: int, timeout: Optional[float],
+                retries: int) -> JobResult:
+    """Run one job (with retry-on-timeout/-error) and summarise it.
+
+    This is the function shipped to worker processes; it must stay
+    importable at module top level so it pickles by reference.
+    """
+    start = time.perf_counter()
+    attempts = 0
+    error: Optional[str] = None
+    timed_out = False
+    runner = runner_for(spec.kind)
+    while attempts <= retries:
+        attempts += 1
+        try:
+            summary = _attempt_with_timeout(runner, dict(spec.params),
+                                            timeout)
+        except JobTimeout:
+            timed_out = True
+            error = (f"attempt {attempts} timed out after {timeout:.3g}s")
+            continue
+        except Exception:
+            timed_out = False
+            error = traceback.format_exc(limit=10)
+            continue
+        return JobResult(index=index, label=spec.label, kind=spec.kind,
+                         ok=True, summary=summary, attempts=attempts,
+                         duration_s=time.perf_counter() - start)
+    return JobResult(index=index, label=spec.label, kind=spec.kind,
+                     ok=False, error=error, timed_out=timed_out,
+                     attempts=attempts,
+                     duration_s=time.perf_counter() - start)
+
+
+@dataclass
+class CampaignStats:
+    """The timing/throughput rollup of one campaign (not deterministic)."""
+
+    jobs_total: int = 0
+    jobs_ok: int = 0
+    jobs_failed: int = 0  # completed runs that failed verification
+    jobs_broken: int = 0  # jobs that errored/timed out after retries
+    jobs_timed_out: int = 0
+    retries_used: int = 0
+    short_circuited: bool = False
+    workers: int = 1
+    wall_time_s: float = 0.0
+    busy_time_s: float = 0.0
+
+    @property
+    def jobs_per_sec(self) -> float:
+        return self.jobs_total / max(self.wall_time_s, 1e-9)
+
+    @property
+    def worker_utilization(self) -> float:
+        """Fraction of worker-seconds spent inside jobs."""
+        capacity = self.workers * max(self.wall_time_s, 1e-9)
+        return min(self.busy_time_s / capacity, 1.0)
+
+    def rollup(self) -> str:
+        return (
+            f"campaign: {self.jobs_total} jobs on {self.workers} worker(s) "
+            f"in {self.wall_time_s:.2f}s ({self.jobs_per_sec:.2f} jobs/s, "
+            f"utilization {self.worker_utilization:.0%}); "
+            f"{self.jobs_ok} ok, {self.jobs_failed} failed, "
+            f"{self.jobs_broken} broken "
+            f"({self.jobs_timed_out} timeouts, "
+            f"{self.retries_used} retries)"
+        )
+
+
+@dataclass
+class CampaignResult:
+    """All job results (submission order) plus the aggregate rollups."""
+
+    jobs: List[JobResult] = field(default_factory=list)
+    stats: CampaignStats = field(default_factory=CampaignStats)
+
+    @property
+    def passed(self) -> bool:
+        return all(job.passed for job in self.jobs)
+
+    @property
+    def failures(self) -> List[JobResult]:
+        return [job for job in self.jobs if not job.passed]
+
+    def aggregate_counters(self) -> CommCounters:
+        """Sum of the measured communication counters across all runs."""
+        total = CommCounters()
+        for job in self.jobs:
+            if job.summary is not None:
+                total.merge(job.summary.counters)
+        return total
+
+    def render(self) -> str:
+        """The deterministic aggregated report.
+
+        Contains only values derived from the runs themselves (never
+        wall-clock time or worker count), in submission order — the
+        byte-identical artifact the determinism guarantee covers.
+        """
+        lines = []
+        for job in self.jobs:
+            suffix = ""
+            if job.summary is not None:
+                suffix = (f"  cycles={job.summary.cycles}"
+                          f" instr={job.summary.instructions}")
+                if job.summary.mismatch is not None:
+                    suffix += f"\n    {job.summary.mismatch.describe()}"
+            elif job.error is not None:
+                suffix = f"  [{job.error.strip().splitlines()[-1]}]"
+            lines.append(f"{job.label:24s} {job.verdict():7s}{suffix}")
+        counters = self.aggregate_counters()
+        ok = sum(1 for job in self.jobs if job.passed)
+        lines.append(
+            f"aggregate: {ok}/{len(self.jobs)} passed  "
+            f"cycles={counters.cycles} instr={counters.instructions} "
+            f"invokes={counters.invokes} bytes={counters.bytes_sent} "
+            f"events={counters.sw_events_checked}"
+        )
+        return "\n".join(lines)
+
+
+class CampaignExecutor:
+    """Deterministic fan-out of campaign jobs over a process pool."""
+
+    def __init__(self, workers: Optional[int] = None,
+                 job_timeout: Optional[float] = None, retries: int = 1,
+                 short_circuit: bool = False) -> None:
+        self.workers = max(1, workers if workers is not None
+                           else (os.cpu_count() or 1))
+        self.job_timeout = job_timeout
+        self.retries = max(0, retries)
+        self.short_circuit = short_circuit
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Iterable[JobSpec],
+            on_result: Optional[Callable[[JobResult], None]] = None
+            ) -> CampaignResult:
+        """Execute all jobs; fold results in submission order.
+
+        ``on_result`` is invoked once per consumed job, in submission
+        order regardless of worker count (this is what lets the CLI
+        stream identical per-job lines in serial and parallel modes).
+        """
+        spec_list: Sequence[JobSpec] = list(specs)
+        start = time.perf_counter()
+        if self.workers == 1:
+            jobs = self._run_serial(spec_list, on_result)
+        else:
+            jobs = self._run_pool(spec_list, on_result)
+        wall = time.perf_counter() - start
+        return CampaignResult(jobs=jobs,
+                              stats=self._rollup(spec_list, jobs, wall))
+
+    # ------------------------------------------------------------------
+    def _run_serial(self, specs, on_result) -> List[JobResult]:
+        jobs: List[JobResult] = []
+        for index, spec in enumerate(specs):
+            result = execute_job(spec, index, self.job_timeout, self.retries)
+            jobs.append(result)
+            if on_result is not None:
+                on_result(result)
+            if self.short_circuit and not result.passed:
+                break
+        return jobs
+
+    def _run_pool(self, specs, on_result) -> List[JobResult]:
+        parent_timeout = None
+        if self.job_timeout is not None:
+            parent_timeout = (self.job_timeout * (self.retries + 1)
+                              + _PARENT_TIMEOUT_GRACE)
+        jobs: List[JobResult] = []
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = [
+                pool.submit(execute_job, spec, index, self.job_timeout,
+                            self.retries)
+                for index, spec in enumerate(specs)
+            ]
+            for index, future in enumerate(futures):
+                try:
+                    result = future.result(timeout=parent_timeout)
+                except Exception:
+                    # Worker died or the safety timeout fired: synthesise
+                    # a broken-job result so aggregation stays total.
+                    spec = specs[index]
+                    result = JobResult(
+                        index=index, label=spec.label, kind=spec.kind,
+                        ok=False, error=traceback.format_exc(limit=5),
+                        timed_out=True, attempts=self.retries + 1)
+                jobs.append(result)
+                if on_result is not None:
+                    on_result(result)
+                if self.short_circuit and not result.passed:
+                    for pending in futures[index + 1:]:
+                        pending.cancel()
+                    break
+        return jobs
+
+    # ------------------------------------------------------------------
+    def _rollup(self, specs, jobs, wall: float) -> CampaignStats:
+        stats = CampaignStats(workers=self.workers, wall_time_s=wall)
+        stats.jobs_total = len(jobs)
+        stats.short_circuited = (self.short_circuit
+                                 and len(jobs) < len(specs))
+        for job in jobs:
+            stats.busy_time_s += job.duration_s
+            stats.retries_used += job.attempts - 1
+            if not job.ok:
+                stats.jobs_broken += 1
+                if job.timed_out:
+                    stats.jobs_timed_out += 1
+            elif job.passed:
+                stats.jobs_ok += 1
+            else:
+                stats.jobs_failed += 1
+        return stats

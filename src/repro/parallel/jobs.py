@@ -1,0 +1,107 @@
+"""The picklable job protocol of the campaign executor.
+
+A campaign is a list of independent co-simulation jobs (fuzz seeds,
+fault injections, workload x config matrix cells, sweep points).  Each
+job crosses the process boundary twice:
+
+* down, as a :class:`JobSpec` — a *kind* string naming a registered
+  runner plus a plain ``params`` dict.  Specs deliberately carry
+  descriptions of work (seed numbers, workload names, config objects)
+  rather than live simulation state, so they pickle in microseconds.
+* up, as a :class:`JobResult` — the runner's
+  :class:`~repro.core.summary.RunSummary` plus execution metadata
+  (attempts, timeout flag, error traceback, wall time).
+
+Runners are looked up by name in a module-level registry so the worker
+process — which shares no objects with the parent — can dispatch a spec
+after importing :mod:`repro.parallel.runners`.  Campaign code registers
+extra kinds with :func:`register_runner` (the registration must happen
+at import time, or before the executor forks, to be visible in workers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..core.summary import RunSummary
+
+#: A runner takes a spec's ``params`` dict and returns a RunSummary.
+JobRunner = Callable[[Dict[str, object]], RunSummary]
+
+_RUNNERS: Dict[str, JobRunner] = {}
+
+
+def register_runner(kind: str, runner: Optional[JobRunner] = None):
+    """Register a job runner under ``kind`` (usable as a decorator)."""
+    def install(fn: JobRunner) -> JobRunner:
+        if kind in _RUNNERS and _RUNNERS[kind] is not fn:
+            raise ValueError(f"job kind {kind!r} already registered")
+        _RUNNERS[kind] = fn
+        return fn
+
+    if runner is not None:
+        return install(runner)
+    return install
+
+
+def runner_for(kind: str) -> JobRunner:
+    """Look up a registered runner (importing the built-ins on demand)."""
+    if kind not in _RUNNERS:
+        # The built-in kinds live in .runners; import lazily to avoid a
+        # cycle with the workload/campaign modules they build on.
+        from . import runners  # noqa: F401
+    try:
+        return _RUNNERS[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown job kind {kind!r}; registered: {sorted(_RUNNERS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of campaign work, cheap to pickle.
+
+    ``params`` values must themselves be picklable — config dataclasses,
+    image bytes, seed ints and name strings all qualify.
+    """
+
+    kind: str
+    label: str
+    params: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of one campaign job, in submission order.
+
+    ``ok`` means the runner completed and produced a summary — a run
+    that *detected a mismatch* is still ``ok`` (detection is a valid,
+    deterministic outcome); ``ok=False`` means the job itself broke
+    (timeout after all retries, or an exception in the runner).
+
+    ``duration_s`` is wall-clock and therefore excluded from the
+    deterministic campaign report; it only feeds the stats rollup.
+    """
+
+    index: int
+    label: str
+    kind: str
+    ok: bool
+    summary: Optional[RunSummary] = None
+    error: Optional[str] = None
+    timed_out: bool = False
+    attempts: int = 1
+    duration_s: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        """The job completed *and* the run itself passed."""
+        return self.ok and self.summary is not None and self.summary.passed
+
+    def verdict(self) -> str:
+        """One deterministic word for report lines."""
+        if not self.ok:
+            return "TIMEOUT" if self.timed_out else "ERROR"
+        return "ok" if self.summary.passed else "FAIL"

@@ -4,6 +4,7 @@ from .fuzz import (
     FuzzProfile,
     ProgramGenerator,
     RandomProgram,
+    fuzz_campaign,
     fuzz_workload,
     generate,
 )
@@ -22,6 +23,7 @@ __all__ = [
     "FuzzProfile",
     "ProgramGenerator",
     "RandomProgram",
+    "fuzz_campaign",
     "fuzz_workload",
     "generate",
     "Workload",

@@ -253,3 +253,39 @@ def fuzz_workload(seed: int, length: int = 120,
     return Workload(f"fuzz_{seed}", program.image,
                     max_cycles=length * 60 + 20_000,
                     description=f"random program (seed {seed})")
+
+
+def fuzz_campaign(seeds, length: int = 120, dut_config=None,
+                  diff_config=None, workers=None, job_timeout=None,
+                  retries: int = 1, fail_fast: bool = False,
+                  on_result=None):
+    """Run one fuzzing job per seed across all available cores.
+
+    Each worker regenerates its program from the seed (specs carry only
+    the seed and the config objects, never the image), so a campaign is
+    bit-reproducible regardless of worker count.  With ``fail_fast``
+    the campaign stops at the first failing seed *in seed order* — the
+    executor discards any later results, keeping the aggregated report
+    identical to a serial run.
+
+    Returns a :class:`repro.parallel.CampaignResult`.
+    """
+    # Imported lazily: repro.parallel's built-in runners build on this
+    # module, so a top-level import would be circular.
+    from ..parallel import CampaignExecutor, JobSpec
+
+    if dut_config is None or diff_config is None:
+        from ..core.config import CONFIG_BNSD
+        from ..dut.config import XIANGSHAN_DEFAULT
+        dut_config = dut_config or XIANGSHAN_DEFAULT
+        diff_config = diff_config or CONFIG_BNSD
+
+    specs = [
+        JobSpec(kind="fuzz", label=f"seed {seed}",
+                params={"seed": seed, "length": length,
+                        "dut": dut_config, "config": diff_config})
+        for seed in seeds
+    ]
+    executor = CampaignExecutor(workers=workers, job_timeout=job_timeout,
+                                retries=retries, short_circuit=fail_fast)
+    return executor.run(specs, on_result=on_result)

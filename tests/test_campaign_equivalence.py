@@ -1,0 +1,154 @@
+"""Serial vs parallel equivalence of real campaigns.
+
+A campaign must be a pure function of its job list: running the same
+fuzz seeds or the same fault injections under ``workers=1`` and
+``workers=4`` has to produce identical mismatch sets, identical
+counters, and a byte-identical aggregated report.  Also hosts the
+regression tests for the two invariants the campaign work exposed:
+the Channel backpressure boundary and ``Checker.quiescent``.
+"""
+
+import pytest
+
+from repro.comm import Channel
+from repro.comm.packing.base import Transfer
+from repro.core import CONFIG_BNSD, CoSimulation
+from repro.dut import XIANGSHAN_DEFAULT
+from repro.isa import assemble
+from repro.parallel import FaultCase, fault_campaign
+from repro.workloads import build, fuzz_campaign
+
+from tests.test_faults_campaign import INT_LOOP, MEM_WALK
+
+
+@pytest.mark.campaign
+class TestFuzzEquivalence:
+    def test_small_fuzz_campaign(self):
+        seeds = range(100, 106)
+        serial = fuzz_campaign(seeds, length=40, workers=1)
+        parallel = fuzz_campaign(seeds, length=40, workers=4)
+        assert serial.render() == parallel.render()
+        assert serial.aggregate_counters() == parallel.aggregate_counters()
+        mismatches = lambda c: [job.summary.mismatch for job in c.jobs]  # noqa: E731
+        assert mismatches(serial) == mismatches(parallel)
+        assert serial.passed and parallel.passed
+
+
+@pytest.mark.campaign
+class TestFaultEquivalence:
+    def _cases(self):
+        int_image = assemble(INT_LOOP)
+        mem_image = assemble(MEM_WALK)
+        return [
+            FaultCase("store_queue_mismatch", int_image, trigger=200),
+            FaultCase("cache_line_corruption", mem_image, trigger=100),
+            FaultCase("control_flow_wdata", int_image, trigger=200),
+        ]
+
+    def test_three_fault_campaign_identical(self):
+        serial = fault_campaign(self._cases(), XIANGSHAN_DEFAULT,
+                                CONFIG_BNSD, workers=1)
+        parallel = fault_campaign(self._cases(), XIANGSHAN_DEFAULT,
+                                  CONFIG_BNSD, workers=4)
+        assert serial.render() == parallel.render()
+        assert serial.aggregate_counters() == parallel.aggregate_counters()
+        for sjob, pjob in zip(serial.jobs, parallel.jobs):
+            assert sjob.summary.mismatch == pjob.summary.mismatch
+            assert sjob.summary.mismatch is not None, sjob.label
+            assert sjob.summary.debug_report_text == \
+                pjob.summary.debug_report_text
+
+    def test_fault_campaign_matches_direct_run(self):
+        """A campaign job reproduces the in-process run bit-for-bit."""
+        case = self._cases()[0]
+        campaign = fault_campaign([case], XIANGSHAN_DEFAULT, CONFIG_BNSD,
+                                  workers=2)
+        from repro.dut import fault_by_name
+        cosim = CoSimulation(XIANGSHAN_DEFAULT, CONFIG_BNSD, case.image)
+        fault_by_name(case.fault).install(cosim.dut.cores[0], case.trigger)
+        direct = cosim.run(max_cycles=case.max_cycles).summarize()
+        assert campaign.jobs[0].summary == direct
+
+
+class TestChannelBackpressureBoundary:
+    """The send queue applies stall pressure *at* depth, not past it."""
+
+    def _fill(self, channel, count):
+        for i in range(count):
+            channel.send(Transfer(bytes([i])))
+
+    def test_below_depth_no_pressure(self):
+        channel = Channel(nonblocking=True, queue_depth=4)
+        self._fill(channel, 3)
+        assert channel.backpressure_events == 0
+
+    def test_exactly_at_depth_registers_stall(self):
+        channel = Channel(nonblocking=True, queue_depth=4)
+        self._fill(channel, 4)
+        assert channel.backpressure_events == 1
+
+    def test_every_send_beyond_depth_counts(self):
+        channel = Channel(nonblocking=True, queue_depth=2)
+        self._fill(channel, 5)  # occupancies 1..5 -> stalls at 2,3,4,5
+        assert channel.backpressure_events == 4
+
+    def test_draining_resets_pressure_accounting(self):
+        channel = Channel(nonblocking=True, queue_depth=2)
+        self._fill(channel, 2)
+        assert channel.backpressure_events == 1
+        channel.receive()
+        channel.send(Transfer(b"x"))  # occupancy back to 2 -> stalls again
+        assert channel.backpressure_events == 2
+
+    def test_blocking_mode_never_counts_backpressure(self):
+        channel = Channel(nonblocking=False, queue_depth=2)
+        self._fill(channel, 10)
+        assert channel.backpressure_events == 0
+        assert channel.max_occupancy == 10  # occupancy still tracked
+
+
+class TestCheckerQuiescent:
+    def _run_and_sample(self, source: str):
+        """Drive a co-simulation, sampling quiescence after each drain."""
+        cosim = CoSimulation(XIANGSHAN_DEFAULT, CONFIG_BNSD,
+                             assemble(source))
+        result = cosim.run(max_cycles=80_000)
+        return cosim, result
+
+    def test_quiescent_after_clean_run(self):
+        cosim, result = self._run_and_sample(INT_LOOP)
+        assert result.passed
+        for checker in cosim.checkers:
+            assert checker.quiescent
+
+    def test_fresh_checker_is_quiescent(self):
+        from repro.core.checker import Checker
+        from repro.core.framework import REF_MMIO_RANGES
+        from repro.ref import RefModel
+        checker = Checker(RefModel(mmio_ranges=REF_MMIO_RANGES))
+        assert checker.quiescent
+
+    def test_buffered_check_breaks_quiescence(self):
+        import repro.events as EV
+        from repro.core.checker import Checker
+        from repro.core.framework import REF_MMIO_RANGES
+        from repro.ref import RefModel
+        checker = Checker(RefModel(mmio_ranges=REF_MMIO_RANGES))
+        # A check event tagged ahead of ref_slot is buffered, not compared.
+        checker.process(EV.IntWriteback(order_tag=5, addr=1, data=0))
+        assert not checker.quiescent
+
+    def test_pending_consumer_breaks_quiescence(self):
+        import repro.events as EV
+        from repro.core.checker import Checker
+        from repro.core.framework import REF_MMIO_RANGES
+        from repro.ref import RefModel
+        checker = Checker(RefModel(mmio_ranges=REF_MMIO_RANGES))
+        checker.process(EV.ArchInterrupt(order_tag=3, cause=7))
+        assert not checker.quiescent
+
+    def test_checkpoints_only_at_quiescent_points(self):
+        """The framework's checkpoint gate is exactly `quiescent`."""
+        cosim, result = self._run_and_sample(MEM_WALK)
+        assert result.passed
+        assert cosim.stats.checkpoints > 0  # gate did open during the run

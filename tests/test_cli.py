@@ -70,6 +70,56 @@ class TestFuzz:
         assert "3/3 passed" in out
 
 
+@pytest.mark.campaign
+class TestWorkersFlag:
+    """`--workers N` must parse, run, and emit byte-identical summaries."""
+
+    def _capture(self, capsys, argv):
+        code = main(argv)
+        return code, capsys.readouterr().out
+
+    def test_fuzz_workers_matches_serial(self, capsys):
+        base = ["fuzz", "--seeds", "4", "--length", "40"]
+        code1, serial = self._capture(capsys, base + ["--workers", "1"])
+        code2, parallel = self._capture(capsys, base + ["--workers", "2"])
+        assert code1 == code2 == 0
+        assert serial == parallel
+        assert "4/4 passed" in serial
+
+    def test_fuzz_fail_fast_flag_parses(self, capsys):
+        code, out = self._capture(
+            capsys, ["fuzz", "--seeds", "2", "--length", "40",
+                     "--fail-fast", "--workers", "2"])
+        assert code == 0
+        assert "2/2 passed" in out
+
+    def test_ladder_workers_matches_serial(self, capsys):
+        base = ["ladder", "--workload", "microbench"]
+        code1, serial = self._capture(capsys, base + ["--workers", "1"])
+        code2, parallel = self._capture(capsys, base + ["--workers", "2"])
+        assert code1 == code2 == 0
+        assert serial == parallel
+        for name in ("Z", "B", "BIN", "EBINSD"):
+            assert name in serial
+
+    def test_sweep_workers_matches_serial(self, capsys):
+        base = ["sweep", "--workload", "microbench"]
+        code1, serial = self._capture(capsys, base + ["--workers", "1"])
+        code2, parallel = self._capture(capsys, base + ["--workers", "2"])
+        assert code1 == code2 == 0
+        assert serial == parallel
+        assert "sweep of bw_bytes_per_us" in serial
+
+    def test_sweep_multi_config(self, capsys):
+        code, out = self._capture(
+            capsys, ["sweep", "--workload", "microbench",
+                     "--config", "B,EBINSD", "--workers", "2"])
+        assert code == 0
+        assert out.count("sweep of bw_bytes_per_us") == 2
+        assert "(microbench, B)" in out
+        assert "(microbench, EBINSD)" in out
+
+
 class TestListings:
     def test_workloads(self, capsys):
         assert main(["workloads"]) == 0

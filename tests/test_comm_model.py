@@ -118,7 +118,20 @@ class TestChannel:
         for i in range(4):
             channel.send(Transfer(bytes([i])))
         assert channel.max_occupancy == 4
-        assert channel.backpressure_events == 2
+        # Sends landing at occupancy 2 (exactly full), 3 and 4 all stall.
+        assert channel.backpressure_events == 3
+
+    def test_backpressure_fires_exactly_at_depth(self):
+        channel = Channel(nonblocking=True, queue_depth=3)
+        for i in range(3):
+            channel.send(Transfer(bytes([i])))
+        assert channel.backpressure_events == 1
+
+    def test_blocking_mode_ignores_queue_depth(self):
+        channel = Channel(nonblocking=False, queue_depth=1)
+        for i in range(5):
+            channel.send(Transfer(bytes([i])))
+        assert channel.backpressure_events == 0
 
     def test_drain(self):
         channel = Channel()

@@ -16,6 +16,8 @@ EXPECT = {
                     "available fault catalogue"],
     "optimization_sweep.py": ["Baseline (Z)", "+Squash (EBINSD)",
                               "paper reference"],
+    "parallel_fuzz.py": ["deterministic campaign report",
+                         "reports identical: True", "throughput rollup"],
     "trace_workflow.py": ["top event types", "what-if fusion",
                           "trace-driven checking: PASSED"],
     "mini_os_boot.py": ["clean shutdown", "optimisation ladder"],
