@@ -1,0 +1,105 @@
+"""Observability overhead: disabled instrumentation must be ~free.
+
+The framework hot loop is instrumented (spans around capture / fuse /
+pack / transfer / dispatch / ref-step / compare, live counters on the
+channel), but a run without an :class:`repro.obs.ObsContext` must not
+pay for it: ``run()`` selects the uninstrumented cycle/drain methods
+once, and the remaining cost is a handful of ``if self._obs_on``
+boolean guards on the cold(er) paths.
+
+This benchmark bounds that cost two ways:
+
+1. **Measured guard model** — count every guard a disabled run executes
+   (sends, ref-steps, compares), measure the real cost of one such
+   attribute-check branch, and assert the product is under 5% of the
+   measured run time.
+2. **Direct comparison** — time the same workload disabled vs enabled;
+   recorded for the results file (enabled tracing is allowed to cost
+   real time, so only the disabled bound is asserted).
+"""
+
+import statistics
+import time
+
+import pytest
+from conftest import write_result
+
+from repro.core import CONFIG_BNSD, run_cosim
+from repro.dut import XIANGSHAN_DEFAULT
+from repro.obs import ObsContext
+from repro.workloads import build
+
+pytestmark = pytest.mark.obs
+
+#: Maximum fraction of hot-loop time the disabled guards may cost.
+BUDGET = 0.05
+
+
+def _time_run(obs=None, repeats: int = 3):
+    workload = build("microbench")
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        context = ObsContext() if obs else None
+        t0 = time.perf_counter()
+        result = run_cosim(XIANGSHAN_DEFAULT, CONFIG_BNSD, workload.image,
+                           max_cycles=workload.max_cycles, obs=context)
+        best = min(best, time.perf_counter() - t0)
+    assert result.passed
+    return best, result
+
+
+def _guard_cost_ns(iterations: int = 200_000) -> float:
+    """Measured cost of one ``if self._obs_on`` attribute-check branch."""
+
+    class Guarded:
+        __slots__ = ("_obs_on",)
+
+        def __init__(self):
+            self._obs_on = False
+
+    obj = Guarded()
+    samples = []
+    for _ in range(5):
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            if obj._obs_on:
+                pass
+        samples.append((time.perf_counter() - t0) / iterations)
+    return statistics.median(samples) * 1e9
+
+
+def test_disabled_obs_overhead_under_budget():
+    disabled_s, result = _time_run(obs=False)
+    enabled_s, _ = _time_run(obs=True)
+
+    counters = result.stats.counters
+    # Every disabled-path guard the run executed: channel send (per
+    # transfer), ref-step and compare (per checked event), plus one
+    # method-pair selection and the per-cycle bundle bookkeeping that
+    # existed before instrumentation (counted conservatively anyway).
+    guards = (counters.cycles + counters.invokes + counters.sw_ref_steps
+              + counters.sw_events_checked + counters.sw_dispatches + 1)
+    per_guard_ns = _guard_cost_ns()
+    guard_cost_s = guards * per_guard_ns * 1e-9
+    overhead = guard_cost_s / disabled_s
+
+    lines = [
+        "Observability overhead on the run hot loop (microbench)",
+        f"disabled run (best of 3)   : {disabled_s * 1e3:9.2f} ms",
+        f"enabled run  (best of 3)   : {enabled_s * 1e3:9.2f} ms "
+        f"({enabled_s / disabled_s:.2f}x)",
+        f"disabled guards executed   : {guards}",
+        f"cost per guard             : {per_guard_ns:9.1f} ns",
+        f"total disabled guard cost  : {guard_cost_s * 1e3:9.4f} ms",
+        f"disabled overhead fraction : {overhead:9.2%}  "
+        f"(budget {BUDGET:.0%})",
+    ]
+    write_result("obs_overhead", "\n".join(lines))
+
+    assert overhead < BUDGET, (
+        f"disabled observability costs {overhead:.1%} of the hot loop "
+        f"(budget {BUDGET:.0%})")
+    # Sanity: the instrumented run actually produced telemetry, so the
+    # comparison above is between genuinely different modes.
+    assert result.metrics is None

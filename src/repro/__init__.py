@@ -17,11 +17,14 @@ Public API quick map:
   (fuzz seeds, fault injections, matrix cells) over a process pool with
   deterministic aggregation.
 * :mod:`repro.analysis` — area and overhead models.
+* :mod:`repro.obs` — observability: metric registry, span tracer,
+  Chrome-trace / JSONL exporters (the telemetry every layer reports
+  through).
 * :mod:`repro.toolkit` — performance counters, SQL traces, trace replay.
 * :mod:`repro.isa` — the RV64 ISA substrate (decoder/executor/assembler).
 """
 
-from . import analysis, comm, core, dut, events, isa, parallel, ref, \
+from . import analysis, comm, core, dut, events, isa, obs, parallel, ref, \
     toolkit, workloads
 from .core import (
     CONFIG_B,
@@ -52,6 +55,7 @@ __all__ = [
     "dut",
     "events",
     "isa",
+    "obs",
     "parallel",
     "ref",
     "toolkit",

@@ -41,7 +41,8 @@ class MeasuredPoint:
 
 
 def collect_measured_points(cells, workers: Optional[int] = None,
-                            job_timeout: Optional[float] = None):
+                            job_timeout: Optional[float] = None,
+                            collect_metrics: bool = False, obs=None):
     """Co-simulate every (workload, dut, config) cell; return its counters.
 
     ``cells`` is a sequence of ``(workload_name, dut_config, diff_config)``
@@ -60,7 +61,8 @@ def collect_measured_points(cells, workers: Optional[int] = None,
         for workload, dut, config in cells
     ]
     executor = CampaignExecutor(workers=workers, job_timeout=job_timeout,
-                                retries=0)
+                                retries=0, collect_metrics=collect_metrics,
+                                obs=obs)
     campaign = executor.run(specs)
     points: List[MeasuredPoint] = []
     for (workload, _dut, config), job in zip(cells, campaign.jobs):

@@ -7,7 +7,13 @@ Mirrors the artifact's make-target workflow:
 * ``ladder``   — the Table 5 optimisation breakdown for one DUT.
 * ``inject``   — seed a catalogue bug and show the Replay debug report.
 * ``fuzz``     — differential fuzzing with random programs.
+* ``profile``  — instrumented run: per-stage span breakdown plus the
+                 registry counter report (``repro.obs``).
 * ``workloads``/``faults``/``events`` — list the available inventory.
+
+``run``, ``profile``, ``fuzz`` and ``sweep`` accept ``--trace-out FILE``
+(Chrome trace-event JSON, Perfetto-loadable) and ``--metrics-out FILE``
+(JSONL metric snapshot) to export the observability telemetry.
 
 Campaign commands (``fuzz``, ``ladder``, ``sweep``) accept ``--workers
 N`` to fan their independent runs out over a process pool (default: all
@@ -42,7 +48,10 @@ from .dut import (
     fault_by_name,
 )
 from .events import all_event_classes
-from .toolkit import render_event_profile, render_report
+from .obs import MetricsSnapshot, ObsContext, render_profile, \
+    write_chrome_trace, write_metrics_jsonl
+from .toolkit import render_event_profile, render_report, \
+    render_snapshot_report
 from .workloads import available, build
 
 _DUTS = {
@@ -73,6 +82,29 @@ def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
              "default: all cores)")
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write a Chrome trace-event JSON (open in Perfetto / "
+             "chrome://tracing)")
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the metric-registry snapshot as JSONL "
+             "(one metric per line)")
+
+
+def _export_obs(obs: Optional[ObsContext], snapshot, args) -> None:
+    """Write the --trace-out / --metrics-out files requested on ``args``."""
+    if args.trace_out and obs is not None:
+        with open(args.trace_out, "w", encoding="utf-8") as sink:
+            write_chrome_trace(obs.tracer, sink)
+        print(f"trace written to {args.trace_out}")
+    if args.metrics_out and snapshot is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as sink:
+            write_metrics_jsonl(snapshot, sink)
+        print(f"metrics written to {args.metrics_out}")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -90,6 +122,19 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-cycles", type=int, default=None)
     run.add_argument("--profile", action="store_true",
                      help="print the per-event-type profile (Figure 4)")
+    _add_obs_flags(run)
+
+    profile = sub.add_parser(
+        "profile", help="instrumented run: per-stage latency breakdown")
+    profile.add_argument("--workload", default="microbench",
+                         help=f"one of: {', '.join(available())}")
+    profile.add_argument("--dut", default="xiangshan",
+                         choices=sorted(_DUTS))
+    profile.add_argument("--config", default="EBINSD",
+                         choices=sorted(_CONFIGS))
+    profile.add_argument("--seed", type=int, default=2025)
+    profile.add_argument("--max-cycles", type=int, default=None)
+    _add_obs_flags(profile)
 
     ladder = sub.add_parser("ladder", help="Table 5 optimisation breakdown")
     ladder.add_argument("--dut", default="xiangshan", choices=sorted(_DUTS))
@@ -112,6 +157,7 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--fail-fast", action="store_true",
                       help="stop the campaign at the first failing seed")
     _add_workers_flag(fuzz)
+    _add_obs_flags(fuzz)
 
     sweep = sub.add_parser(
         "sweep", help="explore Equation 1 around a measured run")
@@ -128,6 +174,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--values", default="",
                        help="comma-separated values (default: x0.1..x10 of "
                             "the platform's constant)")
+    _add_obs_flags(sweep)
 
     sub.add_parser("workloads", help="list available workloads")
     sub.add_parser("faults", help="list the Table 6 fault catalogue")
@@ -141,9 +188,11 @@ def _cmd_run(args) -> int:
     dut = _DUTS[args.dut]
     config = _CONFIGS[args.config]
     platform = _PLATFORMS[args.platform]
+    obs = ObsContext() if (args.trace_out or args.metrics_out) else None
     result = run_cosim(dut, config, workload.image,
                        max_cycles=args.max_cycles or workload.max_cycles,
-                       seed=args.seed, uart_input=workload.uart_input)
+                       seed=args.seed, uart_input=workload.uart_input,
+                       obs=obs)
     print(f"workload : {workload.name} ({workload.description})")
     print(f"dut      : {dut.name}   config: {config.name}")
     status = "HIT GOOD TRAP" if result.passed else (
@@ -160,12 +209,35 @@ def _cmd_run(args) -> int:
           f"on {platform.name} "
           f"(communication {breakdown.communication_fraction:.1%})")
     print()
-    print(render_report(result.stats))
+    print(render_report(result.stats, snapshot=result.metrics))
     if args.profile:
         print()
         print(render_event_profile(result.stats))
     if result.uart_output:
         print(f"\nUART output:\n{result.uart_output}")
+    _export_obs(obs, result.metrics, args)
+    return 0 if result.passed else 1
+
+
+def _cmd_profile(args) -> int:
+    workload = build(args.workload)
+    dut = _DUTS[args.dut]
+    config = _CONFIGS[args.config]
+    obs = ObsContext()
+    result = run_cosim(dut, config, workload.image,
+                       max_cycles=args.max_cycles or workload.max_cycles,
+                       seed=args.seed, uart_input=workload.uart_input,
+                       obs=obs)
+    status = "HIT GOOD TRAP" if result.passed else (
+        "MISMATCH" if result.mismatch else f"exit={result.exit_code}")
+    print(f"profiled {workload.name} on {dut.name} ({config.name}): "
+          f"{status} after {result.cycles} cycles / "
+          f"{result.instructions} instructions")
+    print()
+    print(render_profile(obs.tracer))
+    print()
+    print(render_snapshot_report(result.metrics))
+    _export_obs(obs, result.metrics, args)
     return 0 if result.passed else 1
 
 
@@ -238,15 +310,19 @@ def _cmd_fuzz(args) -> int:
         if not job.summary.passed and job.summary.mismatch:
             print("  " + job.summary.mismatch.describe())
 
+    obs = ObsContext() if args.trace_out else None
     campaign = fuzz_campaign(seeds, length=args.length,
                              dut_config=XIANGSHAN_DEFAULT,
                              diff_config=CONFIG_BNSD, workers=args.workers,
-                             fail_fast=args.fail_fast, on_result=report)
+                             fail_fast=args.fail_fast, on_result=report,
+                             collect_metrics=bool(args.metrics_out),
+                             obs=obs)
     failures = len(campaign.failures)
     total = len(campaign.jobs)
     print(f"\n{total - failures}/{total} passed")
     if campaign.stats.short_circuited:
         print(f"(fail-fast: stopped after {total} of {args.seeds} seeds)")
+    _export_obs(obs, campaign.aggregate_metrics(), args)
     return 1 if failures else 0
 
 
@@ -264,8 +340,11 @@ def _cmd_sweep(args) -> int:
         return 1
     configs = [_CONFIGS[name] for name in config_names]
     cells = [(args.workload, dut, config) for config in configs]
+    obs = ObsContext() if args.trace_out else None
     try:
-        points = collect_measured_points(cells, workers=args.workers)
+        points = collect_measured_points(
+            cells, workers=args.workers,
+            collect_metrics=bool(args.metrics_out), obs=obs)
     except RuntimeError as exc:
         print(f"run failed: {exc}")
         return 1
@@ -295,6 +374,8 @@ def _cmd_sweep(args) -> int:
             print(f"  {knob:9s}: {factor:.2f}x")
         if len(points) > 1 and point is not points[-1]:
             print()
+    _export_obs(obs, MetricsSnapshot.merge_all(
+        point.summary.metrics for point in points), args)
     return 0
 
 
@@ -325,6 +406,7 @@ def _cmd_events(_args) -> int:
 
 _COMMANDS = {
     "run": _cmd_run,
+    "profile": _cmd_profile,
     "ladder": _cmd_ladder,
     "inject": _cmd_inject,
     "fuzz": _cmd_fuzz,

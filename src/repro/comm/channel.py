@@ -27,13 +27,15 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, List, Optional
 
+from ..obs import ObsContext, resolve_obs
 from .packing.base import Transfer
 
 
 class Channel:
     """A counted, optionally non-blocking transfer queue."""
 
-    def __init__(self, nonblocking: bool = False, queue_depth: int = 64) -> None:
+    def __init__(self, nonblocking: bool = False, queue_depth: int = 64,
+                 obs: Optional[ObsContext] = None) -> None:
         self.nonblocking = nonblocking
         self.queue_depth = queue_depth
         self._queue: Deque[Transfer] = deque()
@@ -41,6 +43,10 @@ class Channel:
         self.bytes_sent = 0
         self.max_occupancy = 0
         self.backpressure_events = 0
+        obs = resolve_obs(obs)
+        self._obs_on = obs.enabled
+        self._h_transfer_bytes = obs.registry.histogram("comm.transfer_bytes")
+        self._g_occupancy = obs.registry.gauge("comm.queue_occupancy")
 
     # ------------------------------------------------------------------
     def send(self, transfer: Transfer) -> None:
@@ -60,6 +66,9 @@ class Channel:
             self.max_occupancy = occupancy
         if self.nonblocking and occupancy >= self.queue_depth:
             self.backpressure_events += 1
+        if self._obs_on:
+            self._h_transfer_bytes.observe(transfer.size)
+            self._g_occupancy.set_max(occupancy)
 
     def send_all(self, transfers: List[Transfer]) -> None:
         for transfer in transfers:

@@ -55,6 +55,16 @@ class FusionStats:
             return 1.0
         return self.events_in / self.events_out
 
+    def fold_into(self, registry) -> None:
+        """Publish the fusion-unit counters into a metric registry
+        (:class:`repro.obs.MetricRegistry`) under ``fusion.*`` names not
+        already covered by the run-stats mapping."""
+        registry.set_counter("fusion.events_in", self.events_in)
+        registry.set_counter("fusion.events_out", self.events_out)
+        registry.set_counter("fusion.commits_in", self.commits_in)
+        registry.set_counter("fusion.fused_commits_out",
+                             self.fused_commits_out)
+
 
 class SquashFuser:
     """The order-decoupled fusion unit."""

@@ -85,6 +85,15 @@ class PackingStats:
             return 0.0
         return 1.0 - self.bubble_bytes / self.bytes_sent
 
+    def fold_into(self, registry) -> None:
+        """Publish the packer-side counters into a metric registry
+        (:class:`repro.obs.MetricRegistry`) under ``pack.*`` names not
+        already covered by the run-stats mapping."""
+        registry.set_counter("pack.transfers", self.transfers)
+        registry.set_counter("pack.bytes_sent", self.bytes_sent)
+        registry.set_counter("pack.payload_bytes", self.payload_bytes)
+        registry.set_counter("pack.events", self.events)
+
 
 class Packer:
     """Interface: turn per-cycle wire items into transfers."""

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 from .. import events as EV
 from ..comm.loggp import CommCounters
+from ..obs import ObsContext, resolve_obs
 from ..isa import csr as CSR
 from ..isa.const import PTE_A, PTE_D
 from ..isa.mmu import raw_walk
@@ -63,10 +64,14 @@ class Checker:
     """Checks one core's event stream against its reference model."""
 
     def __init__(self, ref: RefModel, core_id: int = 0,
-                 counters: Optional[CommCounters] = None) -> None:
+                 counters: Optional[CommCounters] = None,
+                 obs: Optional[ObsContext] = None) -> None:
         self.ref = ref
         self.core_id = core_id
         self.counters = counters if counters is not None else CommCounters()
+        self._obs = resolve_obs(obs)
+        self._obs_on = self._obs.enabled
+        self._tracer = self._obs.tracer
         self.ref_slot = 0
         self.mismatch: Optional[Mismatch] = None
         self.finished: Optional[int] = None
@@ -133,6 +138,16 @@ class Checker:
     # ------------------------------------------------------------------
     # Slot machinery
     # ------------------------------------------------------------------
+    def _ref_step(self):
+        """Advance the REF one instruction (traced when observed)."""
+        if self._obs_on:
+            with self._tracer.span("ref_step"):
+                result = self.ref.step()
+        else:
+            result = self.ref.step()
+        self.counters.sw_ref_steps += 1
+        return result
+
     def _enqueue_consumer(self, tag: int, event) -> None:
         if tag == self.ref_slot:
             self._consume(event)
@@ -153,8 +168,7 @@ class Checker:
             self.counters.sw_ref_steps += 1
         elif isinstance(event, EV.ArchException):
             self._apply_syncs(slot)
-            result = self.ref.step()
-            self.counters.sw_ref_steps += 1
+            result = self._ref_step()
             if result.exception is None:
                 self._fail(event, "exception",
                            expected=(event.cause, event.tval), actual=None)
@@ -191,8 +205,7 @@ class Checker:
                 self._consume(pending)
                 continue
             self._apply_syncs(slot)
-            result = self.ref.step()
-            self.counters.sw_ref_steps += 1
+            result = self._ref_step()
             self.ref_slot += 1
             remaining -= 1
             last_result = result
@@ -246,6 +259,13 @@ class Checker:
             self._fail(event, field_name, expected, actual)
 
     def _check(self, event: EV.VerificationEvent) -> None:
+        if self._obs_on:
+            with self._tracer.span("compare"):
+                self._check_impl(event)
+        else:
+            self._check_impl(event)
+
+    def _check_impl(self, event: EV.VerificationEvent) -> None:
         self.counters.sw_events_checked += 1
         self.counters.sw_bytes_checked += event.payload_size()
         ref = self.ref

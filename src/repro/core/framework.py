@@ -36,6 +36,7 @@ from ..events import all_event_classes
 from ..isa.const import DRAM_BASE
 from ..isa.devices import CLINT_BASE, CLINT_SIZE, PLIC_BASE, PLIC_SIZE, \
     UART_BASE, UART_SIZE
+from ..obs import MetricsSnapshot, ObsContext, record_run_stats, resolve_obs
 from ..ref.model import RefModel
 from .checker import Checker
 from .config import DiffConfig
@@ -63,6 +64,8 @@ class RunResult:
     uart_output: str
     cycles: int
     instructions: int
+    #: Registry snapshot when the run was observed (None when obs is off).
+    metrics: Optional[MetricsSnapshot] = None
 
     @property
     def passed(self) -> bool:
@@ -88,9 +91,14 @@ class CoSimulation:
         seed: int = 2025,
         uart_input: bytes = b"",
         base: int = DRAM_BASE,
+        obs: Optional[ObsContext] = None,
     ) -> None:
         self.dut_config = dut_config
         self.diff_config = diff_config
+        self.obs = resolve_obs(obs)
+        self._obs_on = self.obs.enabled
+        self._tracer = self.obs.tracer
+        self._m_events_captured = self.obs.registry.counter("capture.events")
         self.dut = DutSystem(dut_config, seed=seed, uart_input=uart_input)
         self.dut.load_image(image, base)
 
@@ -103,7 +111,8 @@ class CoSimulation:
             ref = RefModel(core_id, mmio_ranges=REF_MMIO_RANGES)
             ref.load_image(image, base)
             self.refs.append(ref)
-            self.checkers.append(Checker(ref, core_id, self.stats.counters))
+            self.checkers.append(Checker(ref, core_id, self.stats.counters,
+                                         obs=self.obs))
             buffer = ReplayBuffer(diff_config.replay_buffer_slots)
             self.replay_buffers.append(buffer)
             self.replay_units.append(ReplayUnit(ref, buffer, core_id))
@@ -129,7 +138,8 @@ class CoSimulation:
             self.packer = DpicPacker()
             self.unpacker = DpicUnpacker()
 
-        self.channel = Channel(nonblocking=diff_config.nonblocking)
+        self.channel = Channel(nonblocking=diff_config.nonblocking,
+                               obs=self.obs)
         self.completer = Completer()
         self.mismatch: Optional[Mismatch] = None
         self.debug_report: Optional[DebugReport] = None
@@ -138,25 +148,54 @@ class CoSimulation:
     # ------------------------------------------------------------------
     # Hardware side of one cycle
     # ------------------------------------------------------------------
+    def _record_bundle(self, bundle) -> None:
+        """Account one core's captured events (profile + replay buffer)."""
+        self.stats.events_captured += len(bundle.events)
+        for event in bundle.events:
+            self.stats.profile.record(event)
+        if self.diff_config.replay:
+            buffer = self.replay_buffers[bundle.core_id]
+            buffer.push(bundle.events)
+            if len(buffer) > self.stats.replay_buffer_peak:
+                self.stats.replay_buffer_peak = len(buffer)
+
     def _hardware_cycle(self) -> None:
         bundles = self.dut.cycle()
         for bundle in bundles:
             if not bundle.events:
                 continue
-            self.stats.events_captured += len(bundle.events)
-            for event in bundle.events:
-                self.stats.profile.record(event)
-            if self.diff_config.replay:
-                buffer = self.replay_buffers[bundle.core_id]
-                buffer.push(bundle.events)
-                if len(buffer) > self.stats.replay_buffer_peak:
-                    self.stats.replay_buffer_peak = len(buffer)
+            self._record_bundle(bundle)
             if self.fuser is not None:
                 items = self.fuser.on_cycle(bundle.events)
             else:
                 items = [WireItem.from_event(event) for event in bundle.events]
             if items:
                 self.channel.send_all(self.packer.pack_cycle(items))
+
+    def _hardware_cycle_obs(self) -> None:
+        """Traced twin of :meth:`_hardware_cycle` (same semantics, plus
+        spans around each pipeline stage); :meth:`run` selects it once
+        when observability is enabled, so the plain path stays free of
+        per-cycle instrumentation."""
+        tracer = self._tracer
+        cycle = self._cycle
+        with tracer.span("capture", cycle=cycle):
+            bundles = self.dut.cycle()
+        for bundle in bundles:
+            if not bundle.events:
+                continue
+            self._record_bundle(bundle)
+            self._m_events_captured.inc(len(bundle.events))
+            if self.fuser is not None:
+                with tracer.span("fuse", cycle=cycle):
+                    items = self.fuser.on_cycle(bundle.events)
+            else:
+                items = [WireItem.from_event(event) for event in bundle.events]
+            if items:
+                with tracer.span("pack", cycle=cycle):
+                    transfers = self.packer.pack_cycle(items)
+                with tracer.span("transfer", cycle=cycle):
+                    self.channel.send_all(transfers)
 
     def _flush_hardware(self) -> None:
         if self.fuser is not None:
@@ -176,6 +215,29 @@ class CoSimulation:
             self.stats.counters.sw_dispatches += 1
             for item in self.unpacker.unpack(transfer):
                 event = self.completer.complete(item)
+                self.stats.events_transmitted += 1
+                checker = self.checkers[event.core_id]
+                mismatch = checker.process(event)
+                if mismatch is not None:
+                    self._on_mismatch(mismatch)
+                    return
+                self._maybe_checkpoint(event.core_id)
+
+    def _software_drain_obs(self) -> None:
+        """Traced twin of :meth:`_software_drain`: the dispatch span
+        covers reception, unpacking and event completion; the checker
+        adds its own ``ref_step``/``compare`` spans inside ``process``."""
+        tracer = self._tracer
+        while self.mismatch is None:
+            with tracer.span("dispatch", cycle=self._cycle):
+                transfer = self.channel.receive()
+                if transfer is not None:
+                    self.stats.counters.sw_dispatches += 1
+                    events = [self.completer.complete(item)
+                              for item in self.unpacker.unpack(transfer)]
+            if transfer is None:
+                return
+            for event in events:
                 self.stats.events_transmitted += 1
                 checker = self.checkers[event.core_id]
                 mismatch = checker.process(event)
@@ -208,13 +270,21 @@ class CoSimulation:
     # ------------------------------------------------------------------
     def run(self, max_cycles: int = 1_000_000) -> RunResult:
         """Run until every core traps, a mismatch fires, or the budget ends."""
+        # Select the traced or plain loop bodies once, so a run without
+        # observability pays nothing per cycle for the instrumentation.
+        if self._obs_on:
+            hardware_cycle = self._hardware_cycle_obs
+            software_drain = self._software_drain_obs
+        else:
+            hardware_cycle = self._hardware_cycle
+            software_drain = self._software_drain
         while (not self.dut.finished() and self._cycle < max_cycles
                and self.mismatch is None):
             self._cycle += 1
-            self._hardware_cycle()
-            self._software_drain()
+            hardware_cycle()
+            software_drain()
         self._flush_hardware()
-        self._software_drain()
+        software_drain()
         return self._finish()
 
     def _finish(self) -> RunResult:
@@ -234,6 +304,14 @@ class CoSimulation:
             self.stats.nde_sent_ahead = self.fuser.stats.nde_sent_ahead
             if self.fuser.differencer is not None:
                 self.stats.diff_bytes_saved = self.fuser.differencer.bytes_saved
+        metrics: Optional[MetricsSnapshot] = None
+        if self._obs_on:
+            registry = self.obs.registry
+            record_run_stats(registry, self.stats)
+            self.packer.stats.fold_into(registry)
+            if self.fuser is not None:
+                self.fuser.stats.fold_into(registry)
+            metrics = registry.snapshot()
         return RunResult(
             exit_code=self.dut.exit_code(),
             stats=self.stats,
@@ -242,13 +320,15 @@ class CoSimulation:
             uart_output=self.dut.uart.text() if self.dut.uart else "",
             cycles=self._cycle,
             instructions=counters.instructions,
+            metrics=metrics,
         )
 
 
 def run_cosim(dut_config: DutConfig, diff_config: DiffConfig, image: bytes,
               max_cycles: int = 1_000_000, seed: int = 2025,
-              uart_input: bytes = b"") -> RunResult:
+              uart_input: bytes = b"",
+              obs: Optional[ObsContext] = None) -> RunResult:
     """Convenience wrapper: build and run one co-simulation."""
     cosim = CoSimulation(dut_config, diff_config, image, seed=seed,
-                         uart_input=uart_input)
+                         uart_input=uart_input, obs=obs)
     return cosim.run(max_cycles)

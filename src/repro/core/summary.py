@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..comm.loggp import CommCounters, OverheadBreakdown, model_overhead
+from ..obs import MetricsSnapshot
 
 
 @dataclass(frozen=True)
@@ -70,6 +71,9 @@ class RunSummary:
     max_queue_occupancy: int = 0
     backpressure_events: int = 0
     checkpoints: int = 0
+    #: Registry snapshot when the job ran under observability (else None);
+    #: campaign aggregation folds these with MetricsSnapshot.merge.
+    metrics: Optional[MetricsSnapshot] = None
 
     # -- derived quantities (same definitions as RunStats) -------------
     @property
@@ -123,4 +127,5 @@ def summarize_result(result) -> RunSummary:
         max_queue_occupancy=stats.max_queue_occupancy,
         backpressure_events=stats.backpressure_events,
         checkpoints=stats.checkpoints,
+        metrics=result.metrics,
     )

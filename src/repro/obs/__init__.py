@@ -1,0 +1,144 @@
+"""Unified observability: metric registry, span tracer, exporters.
+
+The subsystem every layer reports through:
+
+* :class:`MetricRegistry` (``metrics``) — typed Counter / Gauge /
+  Histogram instruments under hierarchical names, with picklable
+  :class:`MetricsSnapshot`\\ s that merge deterministically across
+  campaign workers.
+* :class:`Tracer` (``tracer``) — nested pipeline spans (capture → pack →
+  transfer → dispatch → ref-step → compare, plus campaign job lanes) on
+  wall-clock and modeled-cycle timelines.
+* ``export`` — Chrome trace-event JSON (Perfetto-loadable), JSONL
+  metrics, and the text renderers behind ``repro profile``.
+
+An :class:`ObsContext` bundles one registry and one tracer and is the
+single handle instrumented code takes.  The default is :data:`NULL_OBS`,
+a shared disabled context whose instruments are no-ops — the framework
+hot loop pays one branch per cycle when observability is off.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .export import (
+    chrome_trace,
+    chrome_trace_events,
+    metrics_lines,
+    render_metrics,
+    render_profile,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+from .metrics import (
+    DEFAULT_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRecord,
+    MetricRegistry,
+    MetricsSnapshot,
+)
+from .tracer import (
+    DEFAULT_MAX_RECORDS,
+    NULL_TRACER,
+    PhaseStat,
+    SpanRecord,
+    Tracer,
+)
+
+
+class ObsContext:
+    """One registry + one tracer: the handle instrumented code takes."""
+
+    def __init__(self, enabled: bool = True,
+                 max_trace_records: int = DEFAULT_MAX_RECORDS) -> None:
+        self.enabled = enabled
+        self.registry = MetricRegistry(enabled=enabled)
+        self.tracer = Tracer(enabled=enabled,
+                             max_records=max_trace_records)
+
+    @classmethod
+    def disabled(cls) -> "ObsContext":
+        """The shared no-op context (also available as ``NULL_OBS``)."""
+        return NULL_OBS
+
+
+#: Shared disabled context: the default for every instrumented layer.
+NULL_OBS = ObsContext(enabled=False)
+
+
+def resolve_obs(obs: Optional[ObsContext]) -> ObsContext:
+    """``None``-tolerant accessor used by instrumented constructors."""
+    return obs if obs is not None else NULL_OBS
+
+
+def record_run_stats(registry: MetricRegistry, stats) -> None:
+    """Fold a finished run's :class:`~repro.core.stats.RunStats` into the
+    registry under the canonical metric names.
+
+    This is the single mapping between the legacy counter fields and the
+    metric namespace — the text report, the JSONL exporter and campaign
+    aggregation all read these names.  (Duck-typed on purpose: ``obs``
+    must not import ``repro.core``.)
+    """
+    counters = stats.counters
+    set_counter = registry.set_counter
+    set_gauge = registry.set_gauge
+    set_counter("run.cycles", counters.cycles)
+    set_counter("run.instructions", counters.instructions)
+    set_counter("run.events_captured", stats.events_captured)
+    set_counter("run.events_transmitted", stats.events_transmitted)
+    set_counter("comm.invokes", counters.invokes)
+    set_counter("comm.bytes_sent", counters.bytes_sent)
+    set_counter("comm.backpressure_events", stats.backpressure_events)
+    set_gauge("comm.max_queue_occupancy", stats.max_queue_occupancy)
+    set_gauge("pack.utilization", stats.packet_utilization)
+    set_counter("pack.bubble_bytes", stats.bubble_bytes)
+    set_counter("pack.meta_bytes", stats.meta_bytes)
+    set_gauge("fusion.ratio", stats.fusion_ratio)
+    set_counter("fusion.breaks", stats.fusion_breaks)
+    set_counter("fusion.nde_sent_ahead", stats.nde_sent_ahead)
+    set_counter("fusion.diff_bytes_saved", stats.diff_bytes_saved)
+    set_counter("checker.compares", counters.sw_events_checked)
+    set_counter("checker.bytes_checked", counters.sw_bytes_checked)
+    set_counter("checker.ref_steps", counters.sw_ref_steps)
+    set_counter("checker.dispatches", counters.sw_dispatches)
+    set_gauge("replay.buffer_peak", stats.replay_buffer_peak)
+    set_counter("replay.checkpoints", stats.checkpoints)
+
+
+def snapshot_from_stats(stats) -> MetricsSnapshot:
+    """A standalone snapshot of one run's stats (no live registry needed)."""
+    registry = MetricRegistry()
+    record_run_stats(registry, stats)
+    return registry.snapshot()
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BOUNDS",
+    "DEFAULT_MAX_RECORDS",
+    "Gauge",
+    "Histogram",
+    "MetricRecord",
+    "MetricRegistry",
+    "MetricsSnapshot",
+    "NULL_OBS",
+    "NULL_TRACER",
+    "ObsContext",
+    "PhaseStat",
+    "SpanRecord",
+    "Tracer",
+    "chrome_trace",
+    "chrome_trace_events",
+    "metrics_lines",
+    "record_run_stats",
+    "render_metrics",
+    "render_profile",
+    "resolve_obs",
+    "snapshot_from_stats",
+    "write_chrome_trace",
+    "write_metrics_jsonl",
+]

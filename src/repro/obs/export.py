@@ -1,0 +1,158 @@
+"""Exporters: Chrome trace-event JSON, JSONL metrics, text renderers.
+
+Two machine formats and two human ones:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event format (``chrome://tracing`` / Perfetto "load legacy
+  trace").  Wall-clock spans land in one process, modeled-cycle spans in
+  a second, so both timelines are visible side by side.
+* :func:`metrics_lines` / :func:`write_metrics_jsonl` — one JSON object
+  per metric per line, deterministically ordered by name; the campaign
+  telemetry format later PRs report through.
+* :func:`render_profile` — the per-stage breakdown table behind
+  ``repro profile``.
+* :func:`render_metrics` — a plain text dump of a snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import BinaryIO, Dict, List, TextIO, Union
+
+from .metrics import MetricsSnapshot
+from .tracer import Tracer
+
+#: Chrome-trace process ids for the two timelines.
+PID_WALL = 0
+PID_CYCLES = 1
+
+
+def chrome_trace_events(tracer: Tracer,
+                        process_name: str = "repro") -> List[dict]:
+    """Flatten a tracer into Chrome trace-event dicts.
+
+    Every span becomes a complete ("ph": "X") event on the wall-clock
+    process; spans that carry a modeled cycle are mirrored onto the
+    cycle-timeline process, one named track per phase, with one cycle
+    rendered as one microsecond.
+    """
+    events: List[dict] = [
+        {"ph": "M", "pid": PID_WALL, "tid": 0, "name": "process_name",
+         "args": {"name": f"{process_name} (wall clock)"}},
+        {"ph": "M", "pid": PID_CYCLES, "tid": 0, "name": "process_name",
+         "args": {"name": f"{process_name} (modeled cycles)"}},
+    ]
+    cycle_tids: Dict[str, int] = {}
+    for record in tracer.records:
+        args = {}
+        if record.cycle is not None:
+            args["cycle"] = record.cycle
+        events.append({
+            "name": record.name, "ph": "X", "pid": PID_WALL,
+            "tid": record.tid, "ts": round(record.ts_us, 3),
+            "dur": round(record.dur_us, 3), "cat": "wall", "args": args,
+        })
+        if record.cycle is not None:
+            tid = cycle_tids.get(record.name)
+            if tid is None:
+                tid = cycle_tids[record.name] = len(cycle_tids)
+                events.append({
+                    "ph": "M", "pid": PID_CYCLES, "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": record.name}})
+            events.append({
+                "name": record.name, "ph": "X", "pid": PID_CYCLES,
+                "tid": tid, "ts": float(record.cycle), "dur": 1.0,
+                "cat": "cycles", "args": {},
+            })
+    return events
+
+
+def chrome_trace(tracer: Tracer, process_name: str = "repro") -> dict:
+    """The complete Chrome-trace JSON object."""
+    return {
+        "traceEvents": chrome_trace_events(tracer, process_name),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "dropped_span_records": tracer.dropped_records,
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, sink: Union[str, TextIO],
+                       process_name: str = "repro") -> None:
+    document = chrome_trace(tracer, process_name)
+    if isinstance(sink, str):
+        with open(sink, "w") as handle:
+            json.dump(document, handle)
+    else:
+        json.dump(document, sink)
+
+
+# ----------------------------------------------------------------------
+def metrics_lines(snapshot: MetricsSnapshot) -> List[str]:
+    """One compact JSON object per metric, sorted by name."""
+    return [json.dumps(record.to_dict(), sort_keys=True)
+            for record in snapshot.records()]
+
+
+def write_metrics_jsonl(snapshot: MetricsSnapshot,
+                        sink: Union[str, TextIO]) -> None:
+    text = "\n".join(metrics_lines(snapshot))
+    if text:
+        text += "\n"
+    if isinstance(sink, str):
+        with open(sink, "w") as handle:
+            handle.write(text)
+    else:
+        sink.write(text)
+
+
+# ----------------------------------------------------------------------
+def render_profile(tracer: Tracer,
+                   title: str = "pipeline profile") -> str:
+    """Per-stage breakdown: where the run's wall-clock time went.
+
+    ``share`` is each phase's fraction of the summed *top-level* time
+    budget; nested phases (``ref_step``/``compare`` run inside the
+    software drain) mean shares need not sum to 100%.
+    """
+    aggregate = tracer.aggregate()
+    if not aggregate:
+        return f"=== {title} ===\n(no spans recorded)"
+    total_us = sum(stat.total_us for stat in aggregate.values())
+    lines = [f"=== {title} ===",
+             f"{'stage':16s} {'count':>9s} {'total ms':>10s} "
+             f"{'mean us':>9s} {'max us':>9s} {'share':>7s}"]
+    ranked = sorted(aggregate.items(), key=lambda kv: -kv[1].total_us)
+    for name, stat in ranked:
+        share = stat.total_us / total_us if total_us else 0.0
+        lines.append(f"{name:16s} {stat.count:9d} "
+                     f"{stat.total_us / 1000.0:10.3f} "
+                     f"{stat.mean_us:9.2f} {stat.max_us:9.2f} "
+                     f"{share:6.1%}")
+    slowest = ranked[0][0]
+    lines.append(f"slowest stage: {slowest}")
+    if tracer.dropped_records:
+        lines.append(f"(span records capped: {tracer.dropped_records} "
+                     f"dropped from the trace, aggregates complete)")
+    return "\n".join(lines)
+
+
+def render_metrics(snapshot: MetricsSnapshot,
+                   title: str = "metrics") -> str:
+    """Plain text dump of every metric in a snapshot."""
+    lines = [f"=== {title} ==="]
+    for record in snapshot.records():
+        if record.kind == "histogram":
+            mean = record.total / record.count if record.count else 0.0
+            lines.append(
+                f"{record.name:28s} count={record.count} "
+                f"mean={mean:.1f} min={record.minimum} "
+                f"max={record.maximum}")
+        else:
+            value = record.value
+            shown = f"{value:.4f}" if isinstance(value, float) else str(value)
+            lines.append(f"{record.name:28s} {shown}  [{record.kind}]")
+    return "\n".join(lines)

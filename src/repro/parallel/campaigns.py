@@ -29,7 +29,8 @@ class FaultCase:
 def fault_campaign(cases: Sequence[FaultCase], dut_config, diff_config,
                    workers: Optional[int] = None,
                    job_timeout: Optional[float] = None, retries: int = 1,
-                   on_result: Optional[Callable[[JobResult], None]] = None
+                   on_result: Optional[Callable[[JobResult], None]] = None,
+                   collect_metrics: bool = False, obs=None
                    ) -> CampaignResult:
     """Inject every fault case in parallel; aggregation is deterministic.
 
@@ -46,7 +47,8 @@ def fault_campaign(cases: Sequence[FaultCase], dut_config, diff_config,
         for case in cases
     ]
     executor = CampaignExecutor(workers=workers, job_timeout=job_timeout,
-                                retries=retries)
+                                retries=retries,
+                                collect_metrics=collect_metrics, obs=obs)
     return executor.run(specs, on_result=on_result)
 
 
@@ -54,7 +56,8 @@ def ladder_campaign(workload_name: str, dut_config, diff_configs,
                     workers: Optional[int] = None,
                     job_timeout: Optional[float] = None,
                     build_kwargs: Optional[dict] = None,
-                    on_result: Optional[Callable[[JobResult], None]] = None
+                    on_result: Optional[Callable[[JobResult], None]] = None,
+                    collect_metrics: bool = False, obs=None
                     ) -> CampaignResult:
     """Measure one workload under each config of an optimisation ladder.
 
@@ -68,5 +71,6 @@ def ladder_campaign(workload_name: str, dut_config, diff_configs,
                         "build_kwargs": dict(build_kwargs or {})})
         for config in diff_configs
     ]
-    executor = CampaignExecutor(workers=workers, job_timeout=job_timeout)
+    executor = CampaignExecutor(workers=workers, job_timeout=job_timeout,
+                                collect_metrics=collect_metrics, obs=obs)
     return executor.run(specs, on_result=on_result)

@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence
 
 from ..comm.loggp import CommCounters
+from ..obs import MetricsSnapshot, ObsContext
 from .jobs import JobResult, JobSpec, runner_for
 
 #: Parent-side safety margin (seconds) on top of the worker-side alarm,
@@ -174,6 +175,17 @@ class CampaignResult:
                 total.merge(job.summary.counters)
         return total
 
+    def aggregate_metrics(self) -> MetricsSnapshot:
+        """Merge per-job registry snapshots into one campaign snapshot.
+
+        Jobs that ran without observability contribute nothing.  Merge
+        rules are commutative and associative, so the aggregate is
+        independent of worker count and completion order.
+        """
+        return MetricsSnapshot.merge_all(
+            job.summary.metrics for job in self.jobs
+            if job.summary is not None)
+
     def render(self) -> str:
         """The deterministic aggregated report.
 
@@ -208,12 +220,20 @@ class CampaignExecutor:
 
     def __init__(self, workers: Optional[int] = None,
                  job_timeout: Optional[float] = None, retries: int = 1,
-                 short_circuit: bool = False) -> None:
+                 short_circuit: bool = False,
+                 collect_metrics: bool = False,
+                 obs: Optional[ObsContext] = None) -> None:
         self.workers = max(1, workers if workers is not None
                            else (os.cpu_count() or 1))
         self.job_timeout = job_timeout
         self.retries = max(0, retries)
         self.short_circuit = short_circuit
+        #: Ask each runner to build its run under an enabled registry so
+        #: job summaries carry mergeable MetricsSnapshots.
+        self.collect_metrics = collect_metrics
+        #: Parent-side observability: each consumed job is recorded as a
+        #: ``job:<label>`` span (one trace lane per worker slot).
+        self.obs = obs
 
     # ------------------------------------------------------------------
     def run(self, specs: Iterable[JobSpec],
@@ -226,14 +246,43 @@ class CampaignExecutor:
         stream identical per-job lines in serial and parallel modes).
         """
         spec_list: Sequence[JobSpec] = list(specs)
+        if self.collect_metrics:
+            spec_list = [
+                JobSpec(kind=spec.kind, label=spec.label,
+                        params={**spec.params, "collect_metrics": True})
+                for spec in spec_list
+            ]
         start = time.perf_counter()
+        consume = self._wrap_on_result(on_result, start)
         if self.workers == 1:
-            jobs = self._run_serial(spec_list, on_result)
+            jobs = self._run_serial(spec_list, consume)
         else:
-            jobs = self._run_pool(spec_list, on_result)
+            jobs = self._run_pool(spec_list, consume)
         wall = time.perf_counter() - start
         return CampaignResult(jobs=jobs,
                               stats=self._rollup(spec_list, jobs, wall))
+
+    def _wrap_on_result(self, on_result, start: float):
+        """Chain parent-side job-span recording in front of the user's
+        callback.  Spans are placed at consumption time minus the job's
+        measured duration — an approximation of the worker's schedule
+        that keeps the trace meaningful without shipping clocks across
+        the process boundary."""
+        if self.obs is None or not self.obs.enabled:
+            return on_result
+        tracer = self.obs.tracer
+
+        def consume(result):
+            dur_us = result.duration_s * 1e6
+            now_us = (time.perf_counter() - start) * 1e6
+            tracer.add_complete(f"job:{result.label}",
+                                ts_us=max(now_us - dur_us, 0.0),
+                                dur_us=dur_us,
+                                tid=result.index % self.workers)
+            if on_result is not None:
+                on_result(result)
+
+        return consume
 
     # ------------------------------------------------------------------
     def _run_serial(self, specs, on_result) -> List[JobResult]:

@@ -36,12 +36,15 @@ from .jobs import register_runner
 
 def _run(dut_config, diff_config, image: bytes, max_cycles: int,
          seed: int = 2025, uart_input: bytes = b"",
-         fault: str = "", trigger: int = 0) -> RunSummary:
+         fault: str = "", trigger: int = 0,
+         collect_metrics: bool = False) -> RunSummary:
     from ..core.framework import CoSimulation
     from ..dut import fault_by_name
+    from ..obs import ObsContext
 
+    obs = ObsContext() if collect_metrics else None
     cosim = CoSimulation(dut_config, diff_config, image, seed=seed,
-                         uart_input=uart_input)
+                         uart_input=uart_input, obs=obs)
     if fault:
         fault_by_name(fault).install(cosim.dut.cores[0], trigger)
     return cosim.run(max_cycles=max_cycles).summarize()
@@ -53,7 +56,8 @@ def run_fuzz_job(params: Dict[str, object]) -> RunSummary:
 
     workload = fuzz_workload(params["seed"], length=params["length"])
     return _run(params["dut"], params["config"], workload.image,
-                params.get("max_cycles") or workload.max_cycles)
+                params.get("max_cycles") or workload.max_cycles,
+                collect_metrics=params.get("collect_metrics", False))
 
 
 @register_runner("workload")
@@ -64,17 +68,20 @@ def run_workload_job(params: Dict[str, object]) -> RunSummary:
     return _run(params["dut"], params["config"], workload.image,
                 params.get("max_cycles") or workload.max_cycles,
                 seed=params.get("seed", 2025),
-                uart_input=workload.uart_input)
+                uart_input=workload.uart_input,
+                collect_metrics=params.get("collect_metrics", False))
 
 
 @register_runner("image")
 def run_image_job(params: Dict[str, object]) -> RunSummary:
     return _run(params["dut"], params["config"], params["image"],
-                params["max_cycles"], seed=params.get("seed", 2025))
+                params["max_cycles"], seed=params.get("seed", 2025),
+                collect_metrics=params.get("collect_metrics", False))
 
 
 @register_runner("fault")
 def run_fault_job(params: Dict[str, object]) -> RunSummary:
     return _run(params["dut"], params["config"], params["image"],
                 params["max_cycles"], fault=params["fault"],
-                trigger=params["trigger"])
+                trigger=params["trigger"],
+                collect_metrics=params.get("collect_metrics", False))

@@ -1,7 +1,8 @@
 """Tuning toolkit: performance counters, SQL analysis, trace dump/reload."""
 
 from .compare import compare_runs, load_stats_dict, stats_to_dict, stats_to_json
-from .perfcounters import render_event_profile, render_report
+from .perfcounters import render_event_profile, render_report, \
+    render_snapshot_report
 from .sqltrace import TraceDb
 from .tracedump import TraceCheckResult, TraceReader, TraceWriter, replay_trace
 
@@ -12,6 +13,7 @@ __all__ = [
     "stats_to_json",
     "render_event_profile",
     "render_report",
+    "render_snapshot_report",
     "TraceDb",
     "TraceCheckResult",
     "TraceReader",

@@ -61,7 +61,12 @@ class TraceWriter:
 
 
 class TraceReader:
-    """Iterates (cycle, events) records from a binary trace."""
+    """Iterates (cycle, events) records from a binary trace.
+
+    Malformed input — an empty file, a truncated header, a cycle record
+    cut off mid-event — raises :class:`ValueError` naming the byte
+    offset and what was expected there, never a bare ``struct.error``.
+    """
 
     def __init__(self, source: Union[str, bytes, BinaryIO]) -> None:
         if isinstance(source, str):
@@ -73,23 +78,46 @@ class TraceReader:
         else:
             self._file = source
             self._owns = False
-        magic, version, _flags = _HEADER.unpack(
-            self._file.read(_HEADER.size))
+        self._offset = 0
+        header = self._read_exact(_HEADER.size, "trace header")
+        magic, version, _flags = _HEADER.unpack(header)
         if magic != _MAGIC:
             raise ValueError("not a DiffTest-H trace")
         if version != _VERSION:
             raise ValueError(f"unsupported trace version {version}")
 
+    def _read_exact(self, size: int, what: str) -> bytes:
+        """Read exactly ``size`` bytes or fail with offset context."""
+        data = self._file.read(size)
+        if len(data) != size:
+            raise ValueError(
+                f"truncated trace: expected {size} bytes for {what} at "
+                f"byte offset {self._offset}, got {len(data)}")
+        self._offset += size
+        return data
+
     def __iter__(self) -> Iterator[Tuple[int, List[VerificationEvent]]]:
         while True:
             header = self._file.read(_CYCLE.size)
+            if not header:
+                return  # clean end of trace (cycle boundary)
             if len(header) < _CYCLE.size:
-                return
+                raise ValueError(
+                    f"truncated trace: expected {_CYCLE.size} bytes for "
+                    f"cycle record at byte offset {self._offset}, got "
+                    f"{len(header)}")
+            self._offset += _CYCLE.size
             cycle, count = _CYCLE.unpack(header)
             events = []
-            for _ in range(count):
-                (length,) = _EVENT.unpack(self._file.read(_EVENT.size))
-                events.append(VerificationEvent.decode(self._file.read(length)))
+            for index in range(count):
+                length_bytes = self._read_exact(
+                    _EVENT.size, f"event {index + 1}/{count} length of "
+                                 f"cycle {cycle}")
+                (length,) = _EVENT.unpack(length_bytes)
+                payload = self._read_exact(
+                    length, f"event {index + 1}/{count} payload of "
+                            f"cycle {cycle}")
+                events.append(VerificationEvent.decode(payload))
             yield cycle, events
 
     def close(self) -> None:

@@ -258,7 +258,8 @@ def fuzz_workload(seed: int, length: int = 120,
 def fuzz_campaign(seeds, length: int = 120, dut_config=None,
                   diff_config=None, workers=None, job_timeout=None,
                   retries: int = 1, fail_fast: bool = False,
-                  on_result=None):
+                  on_result=None, collect_metrics: bool = False,
+                  obs=None):
     """Run one fuzzing job per seed across all available cores.
 
     Each worker regenerates its program from the seed (specs carry only
@@ -287,5 +288,6 @@ def fuzz_campaign(seeds, length: int = 120, dut_config=None,
         for seed in seeds
     ]
     executor = CampaignExecutor(workers=workers, job_timeout=job_timeout,
-                                retries=retries, short_circuit=fail_fast)
+                                retries=retries, short_circuit=fail_fast,
+                                collect_metrics=collect_metrics, obs=obs)
     return executor.run(specs, on_result=on_result)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -38,6 +40,60 @@ class TestRun:
         with pytest.raises(KeyError):
             main(["run", "--workload", "nope"])
 
+    def test_run_exports_trace_and_metrics(self, capsys, tmp_path):
+        trace = tmp_path / "run.trace.json"
+        metrics = tmp_path / "run.metrics.jsonl"
+        code = main(["run", "--workload", "microbench",
+                     "--trace-out", str(trace),
+                     "--metrics-out", str(metrics)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"trace written to {trace}" in out
+        assert f"metrics written to {metrics}" in out
+        doc = json.loads(trace.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+        names = [json.loads(line)["name"]
+                 for line in metrics.read_text().splitlines()]
+        assert "comm.bytes_sent" in names
+
+    def test_run_report_identical_with_obs(self, capsys, tmp_path):
+        code1 = main(["run", "--workload", "microbench"])
+        plain = capsys.readouterr().out
+        code2 = main(["run", "--workload", "microbench",
+                      "--metrics-out", str(tmp_path / "m.jsonl")])
+        observed = capsys.readouterr().out
+        assert code1 == code2 == 0
+        # Same counter report, modulo the export confirmation line.
+        trimmed = "\n".join(line for line in observed.splitlines()
+                            if not line.startswith("metrics written"))
+        assert plain.strip() == trimmed.strip()
+
+
+class TestProfile:
+    def test_profile_prints_stage_breakdown(self, capsys):
+        code = main(["profile", "--workload", "microbench"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pipeline profile" in out
+        for stage in ("capture", "pack", "transfer", "dispatch",
+                      "ref_step", "compare"):
+            assert stage in out
+        assert "slowest stage:" in out
+        assert "DiffTest-H counters" in out
+
+    def test_profile_exports(self, capsys, tmp_path):
+        trace = tmp_path / "p.json"
+        metrics = tmp_path / "p.jsonl"
+        code = main(["profile", "--workload", "microbench",
+                     "--trace-out", str(trace),
+                     "--metrics-out", str(metrics)])
+        assert code == 0
+        doc = json.loads(trace.read_text())
+        phases = {e["name"] for e in doc["traceEvents"]
+                  if e["ph"] == "X"}
+        assert {"capture", "compare"} <= phases
+        assert metrics.read_text().strip()
+
 
 class TestLadder:
     def test_ladder_prints_four_rows(self, capsys):
@@ -68,6 +124,24 @@ class TestFuzz:
         out = capsys.readouterr().out
         assert code == 0
         assert "3/3 passed" in out
+
+    def test_fuzz_exports_campaign_telemetry(self, capsys, tmp_path):
+        trace = tmp_path / "fuzz.json"
+        metrics = tmp_path / "fuzz.jsonl"
+        code = main(["fuzz", "--seeds", "2", "--length", "40",
+                     "--workers", "1", "--trace-out", str(trace),
+                     "--metrics-out", str(metrics)])
+        assert code == 0
+        doc = json.loads(trace.read_text())
+        job_names = [e["name"] for e in doc["traceEvents"]
+                     if e["ph"] == "X"]
+        assert len(job_names) == 2
+        assert all(name.startswith("job:") for name in job_names)
+        by_name = {json.loads(line)["name"]: json.loads(line)
+                   for line in metrics.read_text().splitlines()}
+        # Aggregated over both seeds' runs.
+        assert by_name["run.cycles"]["value"] > 0
+        assert by_name["comm.invokes"]["kind"] == "counter"
 
 
 @pytest.mark.campaign
@@ -165,3 +239,14 @@ class TestSweep:
         out = capsys.readouterr().out
         assert code == 0
         assert out.count("KHz") >= 3
+
+    def test_sweep_exports_metrics(self, capsys, tmp_path):
+        metrics = tmp_path / "sweep.jsonl"
+        code = main(["sweep", "--workload", "microbench",
+                     "--config", "B,EBINSD", "--workers", "1",
+                     "--metrics-out", str(metrics)])
+        assert code == 0
+        names = [json.loads(line)["name"]
+                 for line in metrics.read_text().splitlines()]
+        assert "run.cycles" in names
+        assert names == sorted(names)

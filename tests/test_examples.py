@@ -21,6 +21,8 @@ EXPECT = {
     "trace_workflow.py": ["top event types", "what-if fusion",
                           "trace-driven checking: PASSED"],
     "mini_os_boot.py": ["clean shutdown", "optimisation ladder"],
+    "profile_run.py": ["instrumented run", "slowest stage:",
+                       "Chrome trace", "metrics JSONL"],
 }
 
 

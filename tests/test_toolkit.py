@@ -121,6 +121,57 @@ class TestTraceDump:
         with pytest.raises(ValueError, match="not a DiffTest-H trace"):
             TraceReader(b"XXXX\x01\x00\x00\x00")
 
+    def test_empty_file_rejected(self):
+        with pytest.raises(ValueError, match=r"trace header at byte "
+                                             r"offset 0"):
+            TraceReader(b"")
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(ValueError, match=r"truncated trace: expected "
+                                             r"8 bytes for trace header"):
+            TraceReader(b"DTHT\x01")
+
+    def test_truncated_cycle_header_rejected(self, small_image):
+        trace = collect_trace(small_image)
+        sink = io.BytesIO()
+        writer = TraceWriter(sink)
+        for cycle, events in trace:
+            writer.write_cycle(cycle, events)
+        # Chop mid-way through the last cycle record's header.
+        blob = sink.getvalue()[:-1]
+        reader = TraceReader(blob)
+        with pytest.raises(ValueError, match="byte offset"):
+            list(reader)
+
+    def test_truncated_event_payload_rejected(self, small_image):
+        trace = collect_trace(small_image)
+        sink = io.BytesIO()
+        writer = TraceWriter(sink)
+        cycle, events = next((c, e) for c, e in trace if e)
+        writer.write_cycle(cycle, events)
+        # Drop the tail of the final event's payload: the reader must
+        # name the event and the offset, not raise a bare struct.error.
+        blob = sink.getvalue()[:-3]
+        reader = TraceReader(blob)
+        with pytest.raises(ValueError,
+                           match=rf"event {len(events)}/{len(events)} "
+                                 rf"payload of cycle {cycle} at byte "
+                                 rf"offset \d+"):
+            list(reader)
+
+    def test_truncated_event_length_rejected(self, small_image):
+        trace = collect_trace(small_image)
+        cycle, events = next((c, e) for c, e in trace if e)
+        sink = io.BytesIO()
+        writer = TraceWriter(sink)
+        writer.write_cycle(cycle, [])
+        # Claim one event but provide only half its length prefix.
+        blob = sink.getvalue()
+        import struct
+        blob = (blob[:8] + struct.pack("<IH", cycle, 1) + b"\x05")
+        with pytest.raises(ValueError, match="event 1/1 length of cycle"):
+            list(TraceReader(blob))
+
     def test_replay_trace_drives_checker(self, small_image):
         trace = collect_trace(small_image)
         sink = io.BytesIO()
