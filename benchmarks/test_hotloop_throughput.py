@@ -1,0 +1,656 @@
+"""Hot-loop throughput: before/after the compiled-codec fast path.
+
+This benchmark quantifies the PR-4 hot-loop optimisations and records the
+numbers in ``BENCH_hotloop.json`` (repo root) plus
+``benchmarks/results/hotloop_throughput.txt``:
+
+1. **Codec microbenchmark** — encode+decode round-trips over a *real*
+   event stream captured from a co-simulation run, compiled codecs vs
+   the generic (interpreted) reference codecs.
+2. **End-to-end before/after** — ``run_cosim`` cycles/sec with the fast
+   path on, against an in-process "legacy shim" that reinstates the
+   pre-optimisation hot loop on the same commit: generic codecs,
+   dataclass wire items, the list-of-blocks batch packer, the
+   double-copy unpacker, the eager completer, the uncached CSR
+   snapshot/memory/differencer/monitor paths and
+   ``fast_compare=False``.  Both sides must produce byte-identical
+   counters (asserted).
+3. **Batch+squash vs baseline config** — CONFIG_BNSD (batch,
+   non-blocking, squash, differencing, fast compare) against CONFIG_Z
+   (per-event blocking DPI-C), the end-to-end win of the full ladder.
+4. **Packer matrix** — cycles/sec, events/sec and MB/s for each packer
+   (dpic / fixed / batch) in blocking and non-blocking mode.
+
+Quick mode (the default) uses short runs and few repeats so the suite is
+CI-friendly; set ``HOTLOOP_BENCH_FULL=1`` for the full measurement.
+
+Run with: ``PYTHONPATH=src python -m pytest benchmarks/test_hotloop_throughput.py -q``
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import pathlib
+import struct
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import pytest
+from conftest import write_result
+
+import repro.events as EV
+from repro.comm.fusion.differencing import (
+    _UNIT_PACKERS,
+    _encode_units,
+    Differencer,
+)
+from repro.comm.fusion.squash import (
+    FusionRule,
+    InstrCommit,
+    SquashFuser,
+    TrapFinish,
+)
+from repro.comm.packing.base import (
+    ENC_DIFF,
+    ENC_FULL,
+    Packer,
+    Transfer,
+    Unpacker,
+)
+from repro.core import CONFIG_BNSD, CONFIG_Z, CoSimulation
+from repro.core.framework import CoSimulation as _CS
+from repro.dut import XIANGSHAN_DEFAULT
+from repro.dut.monitor import Monitor
+from repro.events.base import (
+    generic_decode_payload,
+    generic_encode_payload,
+    generic_flatten,
+    generic_from_units,
+    generic_init,
+)
+from repro.isa.csr import CsrFile
+from repro.isa.memory import PAGE_SIZE, Bus, PhysicalMemory
+from repro.workloads import build
+
+pytestmark = pytest.mark.bench
+
+FULL = os.environ.get("HOTLOOP_BENCH_FULL", "") not in ("", "0")
+REPEATS = 4 if FULL else 2
+E2E_CYCLES = 500_000
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_JSON = ROOT / "BENCH_hotloop.json"
+
+#: Results accumulated by the tests and flushed once per session.
+_RESULTS: dict = {}
+
+
+# ----------------------------------------------------------------------
+# The legacy shim: the pre-optimisation hot loop, reinstated in-process.
+#
+# Everything below mirrors the code this PR replaced, so "before" numbers
+# are measured on the same commit, same interpreter, same machine.  (The
+# one pre-optimisation cost a monkeypatch cannot reproduce is dict-based
+# event instances — ``__slots__`` are baked into the classes — so the
+# shim slightly *understates* the true before/after gap.)
+# ----------------------------------------------------------------------
+
+_FRAME_HEADER = struct.Struct("<H")
+_BLOCK_HEADER = struct.Struct("<BBH")
+_EVENT_HEADER = struct.Struct("<IBH")
+_FH, _BH, _EH = _FRAME_HEADER.size, _BLOCK_HEADER.size, _EVENT_HEADER.size
+
+
+@dataclass
+class LegacyWireItem:
+    type_id: int
+    core_id: int
+    order_tag: int
+    payload: bytes
+    encoding: int = ENC_FULL
+
+    def to_event(self):
+        klass = EV.event_class(self.type_id)
+        return klass.decode_payload(self.payload, core_id=self.core_id,
+                                    order_tag=self.order_tag)
+
+    @classmethod
+    def from_event(cls, event):
+        return cls(type(event).DESCRIPTOR.event_id, event.core_id,
+                   event.order_tag, event.encode_payload(), ENC_FULL)
+
+
+class _LegacyBlock:
+    def __init__(self, type_id, core_id):
+        self.type_id = type_id
+        self.core_id = core_id
+        self.items = []
+
+    def add(self, item):
+        self.items.append(item)
+
+    def serialize(self, out):
+        out += _BLOCK_HEADER.pack(self.type_id, self.core_id, len(self.items))
+        for item in self.items:
+            out += _EVENT_HEADER.pack(item.order_tag, item.encoding,
+                                      len(item.payload))
+            out += item.payload
+
+
+class LegacyBatchPacker(Packer):
+    name = "batch"
+
+    def __init__(self, frame_size=4096):
+        super().__init__()
+        self.frame_size = frame_size
+        self._blocks = []
+        self._frame_bytes = _FH
+
+    def pack_cycle(self, items):
+        transfers = []
+        for item in items:
+            self.stats.payload_bytes += len(item.payload)
+            self._append(item, transfers)
+        return transfers
+
+    def _append(self, item, transfers):
+        needed = _EH + len(item.payload)
+        block = self._blocks[-1] if self._blocks else None
+        same_run = (block is not None and block.type_id == item.type_id
+                    and block.core_id == item.core_id)
+        if not same_run:
+            needed += _BH
+        if (self._frame_bytes + needed > self.frame_size
+                and self._frame_bytes > _FH):
+            transfers.append(self._close_frame())
+            same_run = False
+            needed = _BH + _EH + len(item.payload)
+        if not same_run:
+            self._blocks.append(_LegacyBlock(item.type_id, item.core_id))
+        self._blocks[-1].add(item)
+        self._frame_bytes += needed
+
+    def _close_frame(self):
+        out = bytearray(_FRAME_HEADER.pack(len(self._blocks)))
+        payload = 0
+        carried = 0
+        for block in self._blocks:
+            block.serialize(out)
+            carried += len(block.items)
+            payload += sum(len(i.payload) for i in block.items)
+        transfer = Transfer(bytes(out), items=carried)
+        self.stats.on_transfer(transfer)
+        self.stats.meta_bytes += len(out) - payload
+        self._blocks = []
+        self._frame_bytes = _FH
+        return transfer
+
+    def flush(self):
+        return [self._close_frame()] if self._blocks else []
+
+
+class LegacyBatchUnpacker(Unpacker):
+    def unpack(self, transfer):
+        data = transfer.data
+        (block_count,) = _FRAME_HEADER.unpack_from(data, 0)
+        offset = _FH
+        items = []
+        for _ in range(block_count):
+            type_id, core_id, count = _BLOCK_HEADER.unpack_from(data, offset)
+            offset += _BH
+            for _ in range(count):
+                tag, encoding, length = _EVENT_HEADER.unpack_from(data, offset)
+                offset += _EH
+                items.append(LegacyWireItem(
+                    type_id, core_id, tag,
+                    bytes(data[offset:offset + length]), encoding))
+                offset += length
+        return items
+
+
+class LegacyCompleter:
+    def __init__(self):
+        self._last = {}
+
+    def complete(self, item):
+        cls = EV.event_class(item.type_id)
+        key = (item.type_id, item.core_id)
+        if item.encoding == ENC_FULL:
+            event = item.to_event()
+            self._last[key] = event.to_units()
+            return event
+        last = self._last[key]
+        sizes = cls.unit_sizes()
+        bitmap_len = (len(last) + 7) // 8
+        bitmap = item.payload[:bitmap_len]
+        units = list(last)
+        offset = bitmap_len
+        for index in range(len(units)):
+            if bitmap[index // 8] & (1 << (index % 8)):
+                fmt = _UNIT_PACKERS[sizes[index]]
+                (units[index],) = struct.unpack_from(fmt, item.payload, offset)
+                offset += sizes[index]
+        self._last[key] = units
+        return cls.from_units(units, core_id=item.core_id,
+                              order_tag=item.order_tag)
+
+
+def _legacy_diff_encode(self, event):
+    cls = type(event)
+    full_size = cls.payload_size()
+    key = (cls.DESCRIPTOR.event_id, event.core_id)
+    units = event.to_units()
+    last = self._last.get(key)
+    if full_size < self.min_payload or last is None:
+        self._last[key] = units
+        self.full_sent += 1
+        return LegacyWireItem.from_event(event)
+    changed = [i for i, (new, old) in enumerate(zip(units, last))
+               if new != old]
+    sizes = cls.unit_sizes()
+    bitmap_len = (len(units) + 7) // 8
+    diff_size = bitmap_len + sum(sizes[i] for i in changed)
+    if diff_size >= full_size:
+        self._last[key] = units
+        self.full_sent += 1
+        return LegacyWireItem.from_event(event)
+    bitmap = bytearray(bitmap_len)
+    for index in changed:
+        bitmap[index // 8] |= 1 << (index % 8)
+    payload = bytes(bitmap) + _encode_units(units, sizes, changed)
+    self._last[key] = units
+    self.diff_sent += 1
+    self.bytes_saved += full_size - len(payload)
+    return LegacyWireItem(cls.DESCRIPTOR.event_id, event.core_id,
+                          event.order_tag, payload, ENC_DIFF)
+
+
+def _legacy_emit(self, sink, cls, tag=None, **fields):
+    if not self._enabled(cls.__name__):
+        return
+    sink.append(cls(core_id=self.core_id,
+                    order_tag=self.slot if tag is None else tag, **fields))
+
+
+def _legacy_record_bundle(self, bundle):
+    self.stats.events_captured += len(bundle.events)
+    for event in bundle.events:
+        self.stats.profile.record(event)
+    if self.diff_config.replay:
+        buffer = self.replay_buffers[bundle.core_id]
+        buffer.push(bundle.events)
+        if len(buffer) > self.stats.replay_buffer_peak:
+            self.stats.replay_buffer_peak = len(buffer)
+
+
+def _legacy_snapshot(self, addrs, pad_to=None):
+    values = [self.read(a) if a in self._VIEW_CSRS
+              else self._values.get(a, 0) for a in addrs]
+    if pad_to is not None:
+        values.extend([0] * (pad_to - len(values)))
+    return tuple(values)
+
+
+def _legacy_load_bytes(self, addr, size):
+    out = bytearray()
+    while size > 0:
+        offset = addr & (PAGE_SIZE - 1)
+        chunk = min(size, PAGE_SIZE - offset)
+        out += self._page(addr)[offset:offset + chunk]
+        addr += chunk
+        size -= chunk
+    return bytes(out)
+
+
+def _legacy_store_bytes(self, addr, data):
+    if self.journal is not None:
+        self.journal.record_mem(addr, self.load_bytes(addr, len(data)))
+    offset = 0
+    while offset < len(data):
+        page_offset = (addr + offset) & (PAGE_SIZE - 1)
+        chunk = min(len(data) - offset, PAGE_SIZE - page_offset)
+        self._page(addr + offset)[page_offset:page_offset + chunk] = data[
+            offset:offset + chunk]
+        offset += chunk
+
+
+def _legacy_device_at(self, addr):
+    for base, size, device in self._devices:
+        if base <= addr < base + size:
+            return base, device
+    return None
+
+
+def _legacy_squash_on_cycle(self, events):
+    out = []
+    for event in events:
+        self.stats.events_in += 1
+        if event.is_nde():
+            self.stats.nde_sent_ahead += 1
+            self._emit(event, out)
+            if isinstance(event, InstrCommit):
+                self._note_gap(event.core_id, out)
+            continue
+        rule = event.DESCRIPTOR.fusion_rule
+        if rule is FusionRule.COLLAPSE and isinstance(event, InstrCommit):
+            self.stats.commits_in += 1
+            self._fuse_commit(event, out)
+        elif rule is FusionRule.KEEP_LATEST:
+            self._latest[(event.DESCRIPTOR.event_id, event.core_id)] = event
+        elif rule is FusionRule.ACCUMULATE:
+            key = (event.DESCRIPTOR.event_id, event.core_id, event.addr)
+            self._accumulated[key] = event
+        else:
+            if isinstance(event, TrapFinish):
+                out.extend(self.flush())
+                self._emit(event, out)
+            else:
+                self._passthrough.append(event)
+    if self._flush_pending:
+        out.extend(self.flush())
+    return out
+
+
+_PATCHES = [
+    (Differencer, "encode", _legacy_diff_encode),
+    (Monitor, "_emit", _legacy_emit),
+    (_CS, "_record_bundle", _legacy_record_bundle),
+    (CsrFile, "snapshot", _legacy_snapshot),
+    (PhysicalMemory, "load_bytes", _legacy_load_bytes),
+    (PhysicalMemory, "store_bytes", _legacy_store_bytes),
+    (Bus, "device_at", _legacy_device_at),
+    (SquashFuser, "on_cycle", _legacy_squash_on_cycle),
+]
+
+
+@contextmanager
+def legacy_hotpath():
+    """Swap the pre-optimisation hot loop back in, restoring on exit."""
+    saved_codecs = {}
+    for cls in EV.all_event_classes():
+        saved_codecs[cls] = (
+            cls.__init__, cls._flatten, cls.to_units, cls.encode_payload,
+            cls.decode_payload, cls.from_units)
+        cls.__init__ = generic_init
+        cls._flatten = generic_flatten
+        cls.to_units = generic_flatten
+        cls.encode_payload = generic_encode_payload
+        cls.decode_payload = classmethod(generic_decode_payload)
+        cls.from_units = classmethod(generic_from_units)
+    saved_fns = [(owner, name, owner.__dict__[name])
+                 for owner, name, _ in _PATCHES]
+    for owner, name, fn in _PATCHES:
+        setattr(owner, name, fn)
+    try:
+        yield
+    finally:
+        for cls, (i, fl, tu, enc, dec, fu) in saved_codecs.items():
+            cls.__init__ = i
+            cls._flatten = fl
+            cls.to_units = tu
+            cls.encode_payload = enc
+            cls.decode_payload = dec
+            cls.from_units = fu
+        for owner, name, fn in saved_fns:
+            setattr(owner, name, fn)
+
+
+def _legacy_cosim(config, image):
+    """Build a CoSimulation wired with the legacy pipeline objects.
+
+    Must be called inside :func:`legacy_hotpath`.
+    """
+    cosim = CoSimulation(XIANGSHAN_DEFAULT,
+                         config.with_(fast_compare=False), image)
+    if config.packing == "batch":
+        cosim.packer = LegacyBatchPacker(config.frame_size)
+        cosim.unpacker = LegacyBatchUnpacker(zero_copy=False)
+    cosim.completer = LegacyCompleter()
+    return cosim
+
+
+# ----------------------------------------------------------------------
+# Measurement helpers
+# ----------------------------------------------------------------------
+
+def _capture_stream(limit=3000):
+    """Real verification events from a memory_churn run, capture order."""
+    cosim = CoSimulation(XIANGSHAN_DEFAULT, CONFIG_BNSD,
+                         build("memory_churn", array_kb=32, passes=2).image)
+    events = []
+    original = cosim._record_bundle
+
+    def record(bundle):
+        if len(events) < limit:
+            events.extend(bundle.events)
+        original(bundle)
+
+    cosim._record_bundle = record
+    result = cosim.run(E2E_CYCLES)
+    assert result.passed
+    return events[:limit]
+
+
+def _bench_roundtrip(events, rounds):
+    """encode+decode ops/sec over an event stream (GC parked)."""
+    payloads = [(type(e), e.encode_payload()) for e in events]
+    gc.collect()
+    gc.disable()
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        for e in events:
+            e.encode_payload()
+        for cls, p in payloads:
+            cls.decode_payload(p)
+    dt = time.perf_counter() - t0
+    gc.enable()
+    return rounds * len(events) * 2 / dt
+
+
+def _counters_key(result):
+    c = result.stats.counters
+    return (result.cycles, result.instructions, result.exit_code,
+            result.mismatch is None, c.bytes_sent, c.invokes,
+            c.sw_events_checked, c.sw_ref_steps, c.sw_dispatches,
+            result.stats.events_transmitted, result.stats.meta_bytes,
+            result.stats.checkpoints)
+
+
+def _timed_run(config, image, legacy=False):
+    """cycles/sec of one co-simulation run (construction excluded)."""
+    if legacy:
+        with legacy_hotpath():
+            cosim = _legacy_cosim(config, image)
+            t0 = time.perf_counter()
+            result = cosim.run(E2E_CYCLES)
+            dt = time.perf_counter() - t0
+    else:
+        cosim = CoSimulation(XIANGSHAN_DEFAULT, config, image)
+        t0 = time.perf_counter()
+        result = cosim.run(E2E_CYCLES)
+        dt = time.perf_counter() - t0
+    return result.cycles / dt, dt, result
+
+
+def _best_of(config, image, legacy=False, repeats=REPEATS):
+    _timed_run(config, image, legacy)  # warm-up
+    best_cps = 0.0
+    best_dt = 0.0
+    result = None
+    for _ in range(repeats):
+        cps, dt, result = _timed_run(config, image, legacy)
+        if cps > best_cps:
+            best_cps, best_dt = cps, dt
+    return best_cps, best_dt, result
+
+
+def _flush_results():
+    if not _RESULTS:
+        return
+    existing = {}
+    if BENCH_JSON.exists():
+        try:
+            existing = json.loads(BENCH_JSON.read_text())
+        except ValueError:
+            existing = {}
+    existing.update(_RESULTS)
+    existing["mode"] = "full" if FULL else "quick"
+    BENCH_JSON.write_text(json.dumps(existing, indent=2, sort_keys=True)
+                          + "\n")
+    lines = [f"hotloop throughput ({existing['mode']} mode)"]
+    micro = existing.get("microbench")
+    if micro:
+        lines.append(
+            f"  codec roundtrip: {micro['compiled_ops_per_sec']:,.0f} ops/s "
+            f"compiled vs {micro['generic_ops_per_sec']:,.0f} generic "
+            f"= {micro['speedup']:.2f}x")
+    e2e = existing.get("end_to_end", {})
+    shim = e2e.get("batch_squash_fastpath_vs_legacy_shim", {})
+    for workload, row in sorted(shim.items()):
+        if not isinstance(row, dict):
+            continue
+        lines.append(
+            f"  e2e {workload}: {row['after_cycles_per_sec']:,.0f} cyc/s "
+            f"fast vs {row['before_cycles_per_sec']:,.0f} legacy shim "
+            f"= {row['speedup']:.2f}x")
+    ladder = e2e.get("batch_squash_vs_baseline_config")
+    if ladder:
+        lines.append(
+            f"  e2e EBINSD vs Z: {ladder['bnsd_cycles_per_sec']:,.0f} vs "
+            f"{ladder['z_cycles_per_sec']:,.0f} cyc/s "
+            f"= {ladder['speedup']:.2f}x")
+    for packer, modes in sorted(existing.get("packers", {}).items()):
+        for mode, row in sorted(modes.items()):
+            lines.append(
+                f"  {packer:5s} {mode:11s}: "
+                f"{row['cycles_per_sec']:>9,.0f} cyc/s  "
+                f"{row['events_per_sec']:>9,.0f} ev/s  "
+                f"{row['mb_per_sec']:6.2f} MB/s")
+    write_result("hotloop_throughput", "\n".join(lines))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _persist_results():
+    yield
+    _flush_results()
+
+
+# ----------------------------------------------------------------------
+# 1. Codec microbenchmark
+# ----------------------------------------------------------------------
+
+def test_codec_roundtrip_speedup():
+    stream = _capture_stream()
+    rounds = 40 if FULL else 12
+    passes = 5 if FULL else 3
+    fast = slow = 0.0
+    for _ in range(passes):
+        fast = max(fast, _bench_roundtrip(stream, rounds))
+        with legacy_hotpath():
+            slow = max(slow, _bench_roundtrip(stream, rounds))
+    speedup = fast / slow
+    _RESULTS["microbench"] = {
+        "workload": "memory_churn(array_kb=32, passes=2)",
+        "stream_events": len(stream),
+        "compiled_ops_per_sec": round(fast),
+        "generic_ops_per_sec": round(slow),
+        "speedup": round(speedup, 3),
+    }
+    # The compiled codecs measure >=2x on a quiet machine; the assertion
+    # keeps CI headroom for noisy neighbours on shared runners.
+    floor = 2.0 if FULL else 1.4
+    assert speedup >= floor, (fast, slow)
+
+
+# ----------------------------------------------------------------------
+# 2. End-to-end before/after (legacy shim, same commit)
+# ----------------------------------------------------------------------
+
+def test_end_to_end_fastpath_speedup():
+    shim_rows = {}
+    for workload, kwargs in (
+        ("memory_churn", dict(array_kb=32, passes=2)),
+        ("vector_saxpy", {}),
+    ):
+        image = build(workload, **kwargs).image
+        after_cps, _, after = _best_of(CONFIG_BNSD, image)
+        before_cps, _, before = _best_of(CONFIG_BNSD, image, legacy=True)
+        # Semantics guard: both paths must agree on every counter.
+        assert _counters_key(after) == _counters_key(before)
+        shim_rows[workload] = {
+            "after_cycles_per_sec": round(after_cps),
+            "before_cycles_per_sec": round(before_cps),
+            "speedup": round(after_cps / before_cps, 3),
+        }
+    best = max(row["speedup"] for row in shim_rows.values())
+    shim_rows["best_speedup"] = best
+    _RESULTS.setdefault("end_to_end", {})[
+        "batch_squash_fastpath_vs_legacy_shim"] = shim_rows
+    # The fast path must never lose to the legacy path; the shim also
+    # understates the true gap (it cannot undo __slots__), so the floor
+    # is deliberately conservative.
+    assert best >= 1.05, shim_rows
+
+
+# ----------------------------------------------------------------------
+# 3. Batch+squash config vs the per-event baseline config
+# ----------------------------------------------------------------------
+
+def test_batch_squash_vs_baseline_config():
+    image = build("memory_churn", array_kb=32, passes=2).image
+    bnsd_cps, _, bnsd = _best_of(CONFIG_BNSD, image)
+    z_cps, _, z = _best_of(CONFIG_Z, image)
+    assert bnsd.passed and z.passed
+    speedup = bnsd_cps / z_cps
+    _RESULTS.setdefault("end_to_end", {})[
+        "batch_squash_vs_baseline_config"] = {
+        "workload": "memory_churn(array_kb=32, passes=2)",
+        "bnsd_cycles_per_sec": round(bnsd_cps),
+        "z_cycles_per_sec": round(z_cps),
+        "speedup": round(speedup, 3),
+    }
+    assert speedup >= 1.3, (bnsd_cps, z_cps)
+
+
+# ----------------------------------------------------------------------
+# 4. Packer matrix
+# ----------------------------------------------------------------------
+
+def test_packer_matrix():
+    image = build("memory_churn", array_kb=32, passes=2).image
+    cells = [(packing, nonblocking)
+             for packing in ("dpic", "fixed", "batch")
+             for nonblocking in (False, True)]
+    configs = {
+        cell: CONFIG_BNSD.with_(name=f"bench-{cell[0]}", packing=cell[0],
+                                nonblocking=cell[1])
+        for cell in cells}
+    # Interleaved rounds (round 0 is warm-up): a host-contention spike
+    # hits one round of *every* cell instead of sinking a single cell,
+    # and best-of filters the dip.
+    best = {cell: None for cell in cells}
+    for round_index in range(REPEATS + 1):
+        for cell in cells:
+            cps, dt, result = _timed_run(configs[cell], image)
+            if round_index and (best[cell] is None or cps > best[cell][0]):
+                best[cell] = (cps, dt, result)
+    matrix = {}
+    for (packing, nonblocking), (cps, dt, result) in best.items():
+        matrix.setdefault(packing, {})[
+            "nonblocking" if nonblocking else "blocking"] = {
+            "cycles_per_sec": round(cps),
+            "events_per_sec": round(result.stats.events_transmitted / dt),
+            "mb_per_sec": round(
+                result.stats.counters.bytes_sent / dt / 1e6, 3),
+        }
+    _RESULTS["packers"] = matrix
+    # The wall-clock spread between packers is below machine noise on a
+    # loaded host, so the guard is the *deterministic* efficiency
+    # property: batching amortises channel invokes that per-event DPI-C
+    # pays one by one.
+    for cell, (cps, dt, result) in best.items():
+        assert result.passed, cell
+    assert (best[("batch", True)][2].stats.counters.invokes
+            < best[("dpic", True)][2].stats.counters.invokes / 10)

@@ -48,17 +48,22 @@ class Differencer:
     def encode(self, event: VerificationEvent) -> WireItem:
         """Encode ``event`` as a diff against its predecessor if profitable."""
         cls = type(event)
-        full_size = cls.payload_size()
+        full_size = cls._STRUCT.size
+        if full_size < self.min_payload:
+            # Never differenced: skip the unit decomposition entirely (the
+            # chain state is only ever read for diff-eligible types).
+            self.full_sent += 1
+            return WireItem.from_event(event)
         key = (cls.DESCRIPTOR.event_id, event.core_id)
         units = event.to_units()
         last = self._last.get(key)
-        if full_size < self.min_payload or last is None:
+        if last is None:
             self._last[key] = units
             self.full_sent += 1
             return WireItem.from_event(event)
         changed = [i for i, (new, old) in enumerate(zip(units, last))
                    if new != old]
-        sizes = cls.unit_sizes()
+        sizes = cls._UNIT_SIZES
         bitmap_len = (len(units) + 7) // 8
         diff_size = bitmap_len + sum(sizes[i] for i in changed)
         if diff_size >= full_size:
@@ -77,36 +82,60 @@ class Differencer:
 
 
 class Completer:
-    """Software-side reconstruction of differenced events."""
+    """Software-side reconstruction of differenced events.
+
+    The chain state (``_last``) stores, per (type, core), either the raw
+    full-encoding payload (kept *lazily* — it is only decoded into units
+    when a subsequent diff actually arrives against it) or the unit list
+    produced by applying a diff.  This keeps the common
+    all-full / never-diffed stream free of unit decomposition work while
+    preserving chain order exactly: ``reconstruct`` must be called in
+    transmission order, like ``complete`` always had to be.
+    """
 
     def __init__(self) -> None:
-        self._last: Dict[Tuple[int, int], List[int]] = {}
+        self._last: Dict[Tuple[int, int], object] = {}
 
-    def complete(self, item: WireItem) -> VerificationEvent:
-        """Reconstruct the full event from a wire item (diffed or full)."""
+    def reconstruct(self, item: WireItem):
+        """Advance the diff chain for ``item`` without materialising events.
+
+        Returns ``(cls, units)`` where ``units`` is ``None`` for a
+        full-encoded item (its ``item.payload`` is the authoritative
+        encoding) and the reconstructed unit list for a diffed item.
+        """
         cls = event_class(item.type_id)
         key = (item.type_id, item.core_id)
         if item.encoding == ENC_FULL:
-            event = item.to_event()
-            self._last[key] = event.to_units()
-            return event
+            self._last[key] = item.payload
+            return cls, None
         last = self._last.get(key)
         if last is None:
             raise ValueError(
                 f"diffed {cls.__name__} received with no prior full event"
             )
-        sizes = cls.unit_sizes()
+        if type(last) is not list:
+            # Lazily decode the stored full payload into units.
+            last = list(cls._STRUCT.unpack(last))
+        sizes = cls._UNIT_SIZES
         bitmap_len = (len(last) + 7) // 8
-        bitmap = item.payload[:bitmap_len]
+        payload = item.payload
+        bitmap = payload[:bitmap_len]
         units = list(last)
         offset = bitmap_len
         for index in range(len(units)):
             if bitmap[index // 8] & (1 << (index % 8)):
                 fmt = _UNIT_PACKERS[sizes[index]]
-                (units[index],) = struct.unpack_from(fmt, item.payload, offset)
+                (units[index],) = struct.unpack_from(fmt, payload, offset)
                 offset += sizes[index]
-        if offset != len(item.payload):
+        if offset != len(payload):
             raise ValueError("diff payload length mismatch")
         self._last[key] = units
+        return cls, units
+
+    def complete(self, item: WireItem) -> VerificationEvent:
+        """Reconstruct the full event from a wire item (diffed or full)."""
+        cls, units = self.reconstruct(item)
+        if units is None:
+            return item.to_event()
         return cls.from_units(units, core_id=item.core_id,
                               order_tag=item.order_tag)

@@ -90,30 +90,33 @@ class SquashFuser:
     def on_cycle(self, events: List[VerificationEvent]) -> List[WireItem]:
         """Consume one cycle's events; return items ready to transmit."""
         out: List[WireItem] = []
+        stats = self.stats
+        emit = self._emit
+        stats.events_in += len(events)
         for event in events:
-            self.stats.events_in += 1
+            desc = type(event).DESCRIPTOR
             if event.is_nde():
                 # Order semantics: transmit ahead, tagged; fusion continues.
-                self.stats.nde_sent_ahead += 1
-                self._emit(event, out)
+                stats.nde_sent_ahead += 1
+                emit(event, out)
                 if isinstance(event, InstrCommit):
                     # An MMIO commit consumes its slot outside any fused run.
                     self._note_gap(event.core_id, out)
                 continue
-            rule = event.DESCRIPTOR.fusion_rule
+            rule = desc.fusion_rule
             if rule is FusionRule.COLLAPSE and isinstance(event, InstrCommit):
-                self.stats.commits_in += 1
+                stats.commits_in += 1
                 self._fuse_commit(event, out)
             elif rule is FusionRule.KEEP_LATEST:
-                self._latest[(event.DESCRIPTOR.event_id, event.core_id)] = event
+                self._latest[(desc.event_id, event.core_id)] = event
             elif rule is FusionRule.ACCUMULATE:
-                key = (event.DESCRIPTOR.event_id, event.core_id, event.addr)
+                key = (desc.event_id, event.core_id, event.addr)
                 self._accumulated[key] = event
             else:  # PASS_THROUGH
                 if isinstance(event, TrapFinish):
                     # End of simulation: drain the window, then the trap.
                     out.extend(self.flush())
-                    self._emit(event, out)
+                    emit(event, out)
                 else:
                     self._passthrough.append(event)
         if self._flush_pending:

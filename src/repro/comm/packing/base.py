@@ -5,12 +5,19 @@ type/core/order-tag plus an encoded payload (full, or differenced by
 Squash).  A :class:`Transfer` is one hardware->software communication — a
 DPI-C call on the emulator, a DMA descriptor on the FPGA — whose count and
 size drive the LogGP model.
+
+Both classes sit on the per-event hot loop (one ``WireItem`` per captured
+event, both sides of the channel), so they are hand-written ``__slots__``
+classes rather than dataclasses: no per-instance ``__dict__``, no
+generated-method indirection.  ``WireItem.payload`` may be ``bytes`` or a
+``memoryview`` slice of the transfer buffer (the zero-copy unpack path);
+equality treats the two interchangeably because ``memoryview`` compares by
+content.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Union
 
 from ...events import VerificationEvent, event_class
 
@@ -18,16 +25,22 @@ from ...events import VerificationEvent, event_class
 ENC_FULL = 0
 ENC_DIFF = 1
 
+#: A wire payload: owned bytes, or a zero-copy view into a transfer buffer.
+PayloadLike = Union[bytes, memoryview]
 
-@dataclass
+
 class WireItem:
     """One event as it crosses the hardware/software interface."""
 
-    type_id: int
-    core_id: int
-    order_tag: int
-    payload: bytes
-    encoding: int = ENC_FULL
+    __slots__ = ("type_id", "core_id", "order_tag", "payload", "encoding")
+
+    def __init__(self, type_id: int, core_id: int, order_tag: int,
+                 payload: PayloadLike, encoding: int = ENC_FULL) -> None:
+        self.type_id = type_id
+        self.core_id = core_id
+        self.order_tag = order_tag
+        self.payload = payload
+        self.encoding = encoding
 
     @classmethod
     def from_event(cls, event: VerificationEvent) -> "WireItem":
@@ -47,31 +60,76 @@ class WireItem:
             self.payload, core_id=self.core_id, order_tag=self.order_tag
         )
 
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not WireItem:
+            return NotImplemented
+        return (
+            self.type_id == other.type_id
+            and self.core_id == other.core_id
+            and self.order_tag == other.order_tag
+            and self.payload == other.payload
+            and self.encoding == other.encoding
+        )
 
-@dataclass
+    __hash__ = None  # mutable value object, like the dataclass it replaces
+
+    def __repr__(self) -> str:
+        return (
+            f"WireItem(type_id={self.type_id!r}, core_id={self.core_id!r}, "
+            f"order_tag={self.order_tag!r}, payload={self.payload!r}, "
+            f"encoding={self.encoding!r})"
+        )
+
+
 class Transfer:
-    """One hardware->software communication."""
+    """One hardware->software communication.
 
-    data: bytes
-    items: int = 0  # events carried (0 for pure control transfers)
-    bubbles: int = 0  # padding bytes carried (fixed-offset schemes)
+    ``data`` is immutable ``bytes`` — unpackers hand out ``memoryview``
+    slices of it as zero-copy payloads, which stay valid for as long as
+    the ``bytes`` object is referenced (packers always build the next
+    frame in their own scratch buffer, never in a previous transfer).
+    """
+
+    __slots__ = ("data", "items", "bubbles")
+
+    def __init__(self, data: bytes, items: int = 0, bubbles: int = 0) -> None:
+        self.data = data
+        self.items = items  # events carried (0 for pure control transfers)
+        self.bubbles = bubbles  # padding bytes carried (fixed-offset schemes)
 
     @property
     def size(self) -> int:
         return len(self.data)
 
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not Transfer:
+            return NotImplemented
+        return (self.data == other.data and self.items == other.items
+                and self.bubbles == other.bubbles)
 
-@dataclass
+    __hash__ = None
+
+    def __repr__(self) -> str:
+        return (f"Transfer(data={self.data!r}, items={self.items!r}, "
+                f"bubbles={self.bubbles!r})")
+
+
 class PackingStats:
     """Instrumentation shared by all packers (Batch packet utilisation,
     bubble counts, ... — the paper's hardware performance counters)."""
 
-    transfers: int = 0
-    bytes_sent: int = 0
-    payload_bytes: int = 0
-    bubble_bytes: int = 0
-    meta_bytes: int = 0
-    events: int = 0
+    __slots__ = ("transfers", "bytes_sent", "payload_bytes", "bubble_bytes",
+                 "meta_bytes", "events")
+
+    def __init__(self, transfers: int = 0, bytes_sent: int = 0,
+                 payload_bytes: int = 0, bubble_bytes: int = 0,
+                 meta_bytes: int = 0, events: int = 0) -> None:
+        self.transfers = transfers
+        self.bytes_sent = bytes_sent
+        self.payload_bytes = payload_bytes
+        self.bubble_bytes = bubble_bytes
+        self.meta_bytes = meta_bytes
+        self.events = events
 
     def on_transfer(self, transfer: Transfer) -> None:
         self.transfers += 1
@@ -94,6 +152,23 @@ class PackingStats:
         registry.set_counter("pack.payload_bytes", self.payload_bytes)
         registry.set_counter("pack.events", self.events)
 
+    def __repr__(self) -> str:
+        return (f"PackingStats(transfers={self.transfers!r}, "
+                f"bytes_sent={self.bytes_sent!r}, "
+                f"payload_bytes={self.payload_bytes!r}, "
+                f"bubble_bytes={self.bubble_bytes!r}, "
+                f"meta_bytes={self.meta_bytes!r}, events={self.events!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not PackingStats:
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name)
+            for name in PackingStats.__slots__
+        )
+
+    __hash__ = None
+
 
 class Packer:
     """Interface: turn per-cycle wire items into transfers."""
@@ -113,7 +188,16 @@ class Packer:
 
 
 class Unpacker:
-    """Interface: reconstruct wire items from received transfers."""
+    """Interface: reconstruct wire items from received transfers.
+
+    ``zero_copy=True`` (default) makes unpackers return payloads as
+    ``memoryview`` slices of ``transfer.data``; ``zero_copy=False``
+    restores the copying behaviour (one owned ``bytes`` per payload) for
+    benchmarking and for consumers that outlive the transfer.
+    """
+
+    def __init__(self, zero_copy: bool = True) -> None:
+        self.zero_copy = zero_copy
 
     def unpack(self, transfer: Transfer) -> List[WireItem]:
         raise NotImplementedError

@@ -21,7 +21,12 @@ def encode_item(item: WireItem) -> bytes:
                         item.encoding) + item.payload
 
 
-def decode_item(data: bytes, offset: int, payload_len: int) -> WireItem:
+def decode_item(data, offset: int, payload_len: int) -> WireItem:
+    """Decode one item from ``data`` (``bytes`` or ``memoryview``).
+
+    The payload is sliced from ``data`` as-is — pass a ``memoryview`` for
+    a zero-copy payload, ``bytes`` for an owned copy.
+    """
     type_id, core_id, tag, encoding = _HEADER.unpack_from(data, offset)
     start = offset + _HEADER.size
     return WireItem(type_id, core_id, tag, data[start : start + payload_len],
@@ -50,5 +55,8 @@ class DpicUnpacker(Unpacker):
     """Each transfer holds exactly one item."""
 
     def unpack(self, transfer: Transfer) -> List[WireItem]:
-        payload_len = len(transfer.data) - ITEM_HEADER_SIZE
-        return [decode_item(transfer.data, 0, payload_len)]
+        data = transfer.data
+        payload_len = len(data) - ITEM_HEADER_SIZE
+        if self.zero_copy:
+            data = memoryview(data)
+        return [decode_item(data, 0, payload_len)]

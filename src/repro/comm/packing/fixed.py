@@ -126,12 +126,14 @@ class FixedPacker(Packer):
 class FixedUnpacker(Unpacker):
     """Reads every region at its fixed offset, extracting valid slots."""
 
-    def __init__(self, layout: FixedLayout) -> None:
+    def __init__(self, layout: FixedLayout, zero_copy: bool = True) -> None:
+        super().__init__(zero_copy=zero_copy)
         self.layout = layout
 
     def unpack(self, transfer: Transfer) -> List[WireItem]:
         layout = self.layout
         data = transfer.data
+        view = memoryview(data) if self.zero_copy else data
         items: List[WireItem] = []
         for type_id, core_id, offset, slots in layout.regions:
             slot_size = layout.slot_size(type_id)
@@ -142,7 +144,7 @@ class FixedUnpacker(Unpacker):
                     continue
                 start = base + SLOT_HEADER_SIZE
                 items.append(WireItem(type_id, core_id, tag,
-                                      bytes(data[start : start + length]),
+                                      view[start : start + length],
                                       encoding))
         # Restore checking order: by tag, with the slot-consuming event
         # (commit/exception/interrupt) after the checks that share its tag

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 from .. import events as EV
 from ..comm.loggp import CommCounters
+from ..comm.packing.base import WireItem
 from ..obs import ObsContext, resolve_obs
 from ..isa import csr as CSR
 from ..isa.const import PTE_A, PTE_D
@@ -131,6 +132,39 @@ class Checker:
         else:
             raise CheckerProtocolError(
                 f"check event {type(event).__name__} tag {tag} arrived after "
+                f"ref_slot advanced to {self.ref_slot}"
+            )
+        return self.mismatch
+
+    def process_item(self, item: WireItem, completer) -> Optional[Mismatch]:
+        """Feed one wire item (in transmission order) — the byte-level fast
+        path.
+
+        Check events are compared against the REF *without materialising an
+        event object*: full encodings are matched byte-for-byte against the
+        REF-side expected encoding (or their units unpacked in place),
+        diffed encodings are reconstructed to unit lists by ``completer``.
+        An event object is only built when the comparison fails (so the
+        resulting :class:`Mismatch` is identical to the legacy path) or for
+        the slot-consuming / synchronisation types whose handling is
+        inherently event-shaped.  Counters and protocol errors match
+        :meth:`process` exactly.
+        """
+        if item.type_id in _SLOW_EVENT_IDS:
+            return self.process(completer.complete(item))
+        cls, units = completer.reconstruct(item)
+        if self.mismatch is not None:
+            return self.mismatch
+        self.events_processed += 1
+        tag = item.order_tag
+        if tag == self.ref_slot - 1:
+            self._fast_check(cls, units, item.payload, item.core_id, tag)
+        elif tag >= self.ref_slot:
+            self._checks.setdefault(tag, []).append(
+                (cls, units, item.payload, item.core_id, tag))
+        else:
+            raise CheckerProtocolError(
+                f"check event {cls.__name__} tag {tag} arrived after "
                 f"ref_slot advanced to {self.ref_slot}"
             )
         return self.mismatch
@@ -241,9 +275,12 @@ class Checker:
             self._consume(pending)
 
     def _drain_checks(self, slot: int) -> None:
-        for event in self._checks.pop(slot, []):
+        for entry in self._checks.pop(slot, []):
             if self.mismatch is None:
-                self._check(event)
+                if type(entry) is tuple:  # buffered by the fast path
+                    self._fast_check(*entry)
+                else:
+                    self._check(entry)
 
     # ------------------------------------------------------------------
     # Comparison logic
@@ -264,6 +301,55 @@ class Checker:
                 self._check_impl(event)
         else:
             self._check_impl(event)
+
+    # ------------------------------------------------------------------
+    # Byte-level fast path
+    # ------------------------------------------------------------------
+    def _fast_check(self, cls, units, payload, core_id: int, tag: int) -> None:
+        if self._obs_on:
+            with self._tracer.span("compare"):
+                self._fast_check_impl(cls, units, payload, core_id, tag)
+        else:
+            self._fast_check_impl(cls, units, payload, core_id, tag)
+
+    def _fast_check_impl(self, cls, units, payload, core_id: int,
+                         tag: int) -> None:
+        """Compare one check without materialising the event.
+
+        ``units`` is ``None`` for a full encoding (``payload`` is then the
+        authoritative bytes) or the reconstructed unit list of a diffed
+        encoding.  A state-snapshot type is matched by encoding the REF's
+        expected state and comparing bytes; other deterministic types
+        unpack the handful of units their comparison needs.  Any
+        non-match falls back to the full event-object check so mismatch
+        reports (and protocol errors for unhandled types) stay identical.
+        """
+        snapshot = _SNAPSHOT_EXPECTED.get(cls)
+        if snapshot is not None:
+            expected = snapshot(self)
+            if units is None:
+                matched = cls._STRUCT.pack(*expected) == payload
+            else:
+                matched = tuple(units) == expected
+        elif cls in _PASS_TYPES:
+            matched = True
+        else:
+            handler = _UNIT_MATCH.get(cls)
+            if handler is None:
+                matched = False  # unhandled: legacy path raises for us
+            else:
+                u = units if units is not None else cls._STRUCT.unpack(payload)
+                matched = handler(self, u)
+        if matched:
+            self.counters.sw_events_checked += 1
+            self.counters.sw_bytes_checked += cls._STRUCT.size
+            return
+        if units is None:
+            event = cls.decode_payload(payload, core_id=core_id,
+                                       order_tag=tag)
+        else:
+            event = cls.from_units(units, core_id=core_id, order_tag=tag)
+        self._check_impl(event)
 
     def _check_impl(self, event: EV.VerificationEvent) -> None:
         self.counters.sw_events_checked += 1
@@ -362,3 +448,108 @@ class Checker:
                     return f"csr[{CSR.CHECKED_CSRS[index]:#x}]"
                 return f"csr[pad {index}]"
         return "csr[?]"
+
+
+# ----------------------------------------------------------------------
+# Fast-path dispatch tables
+# ----------------------------------------------------------------------
+# These mirror the isinstance chain of ``Checker._check_impl`` exactly;
+# every handler answers "does this check match?" without building an
+# event object.  Unit indexes follow the event's FIELDS declaration.
+
+#: Types whose handling is event-shaped (slot consumers + LR/SC sync):
+#: the fast path materialises them and delegates to ``Checker.process``.
+_SLOW_EVENT_IDS = frozenset(
+    cls.DESCRIPTOR.event_id
+    for cls in (EV.InstrCommit, EV.ArchException, EV.ArchInterrupt,
+                EV.TrapFinish, EV.LrScEvent)
+)
+
+#: Checks that compare nothing (synchronisation-only / out-of-scope).
+_PASS_TYPES = frozenset(
+    {EV.GuestTlbFill, EV.VirtualInterrupt, EV.DebugModeEvent})
+
+#: State snapshots whose full payload equals one REF-side expected tuple:
+#: an ENC_FULL payload is matched by *encoding the expectation* and
+#: comparing bytes — zero per-unit work on the received side.
+_SNAPSHOT_EXPECTED = {
+    EV.IntRegState: lambda self: self.ref.int_regs(),
+    EV.FpRegState: lambda self: self.ref.fp_regs(),
+    EV.VecRegState: lambda self: self.ref.vec_regs(),
+    EV.VecCsrState: lambda self: (
+        self.ref.state.csr.peek(CSR.VSTART),
+        self.ref.state.csr.peek(CSR.VXSAT),
+        self.ref.state.csr.peek(CSR.VXRM),
+        self.ref.state.csr.peek(CSR.VCSR),
+        self.ref.state.csr.peek(CSR.VL),
+        self.ref.state.csr.peek(CSR.VTYPE),
+        self.ref.state.csr.peek(CSR.VLENB),
+    ),
+    EV.HypervisorCsrState: lambda self: self.ref.csr_snapshot(
+        CSR.HYPERVISOR_CSRS, pad_to=30),
+    EV.TriggerCsrState: lambda self: self.ref.csr_snapshot(
+        CSR.TRIGGER_CSRS, pad_to=8),
+    EV.DebugCsrState: lambda self: self.ref.csr_snapshot(
+        CSR.DEBUG_CSRS, pad_to=4),
+}
+
+
+def _match_l1_tlb(self, u) -> bool:
+    # u: vpn, ppn, perm, level, satp
+    walk = raw_walk(self.ref.memory, u[4], u[0] << 12)
+    return (walk is not None and u[1] == walk.ppn
+            and (u[2] & _TLB_PERM_MASK) == (walk.perm & _TLB_PERM_MASK))
+
+
+def _match_l2_tlb(self, u) -> bool:
+    # u: vpn, ppns[8], perms[8], vmid
+    satp = self.ref.state.csr.peek(CSR.SATP)
+    walk = raw_walk(self.ref.memory, satp, u[0] << 12)
+    return walk is None or u[1] == walk.ppn
+
+
+#: Checks matched from a handful of units (partial comparisons, masked
+#: comparisons, or per-destination lookups where byte-comparing the whole
+#: expected encoding would be wrong or wasteful).
+_UNIT_MATCH = {
+    # csrs[CSR_STATE_ENTRIES]
+    EV.CsrState: lambda self, u: _mask_unchecked(u) == _mask_unchecked(
+        self.ref.csr_snapshot(CSR.CHECKED_CSRS, pad_to=EV.CSR_STATE_ENTRIES)),
+    # fcsr, frm, fflags — only fcsr is compared
+    EV.FpCsrState: lambda self, u:
+        u[0] == self.ref.state.csr.peek(CSR.FCSR),
+    # data, addr
+    EV.IntWriteback: lambda self, u: u[0] == self.ref.state.xregs[u[1]],
+    EV.DelayedIntUpdate: lambda self, u: u[0] == self.ref.state.xregs[u[1]],
+    EV.FpWriteback: lambda self, u: u[0] == self.ref.state.fregs[u[1]],
+    EV.DelayedFpUpdate: lambda self, u: u[0] == self.ref.state.fregs[u[1]],
+    # addr, data[4]
+    EV.VecWriteback: lambda self, u:
+        tuple(u[1:5]) == tuple(self.ref.state.vregs[u[0]]),
+    # paddr, data, op_type, fu_type, mmio
+    EV.LoadEvent: lambda self, u:
+        bool(u[4]) or self.ref.memory.load(u[0], u[2]) == u[1],
+    # paddr, data, mask
+    EV.StoreEvent: lambda self, u:
+        self.ref.memory.load(u[0], u[2].bit_length()) == u[1],
+    # paddr, data, out, mask, fuop
+    EV.AtomicEvent: lambda self, u:
+        self.ref.memory.load(u[0], u[3].bit_length()) == u[1],
+    # addr, data[8]
+    EV.ICacheRefill: lambda self, u:
+        self.ref.memory.load_words(u[0], 8) == tuple(u[1:9]),
+    EV.DCacheRefill: lambda self, u:
+        self.ref.memory.load_words(u[0], 8) == tuple(u[1:9]),
+    # addr, data[16]
+    EV.L2Refill: lambda self, u:
+        self.ref.memory.load_words(u[0], 16) == tuple(u[1:17]),
+    # addr, mask, data[8]
+    EV.SbufferFlush: lambda self, u:
+        self.ref.memory.load_words(u[0], 8) == tuple(u[2:10]),
+    EV.L1TlbFill: _match_l1_tlb,
+    EV.L2TlbFill: _match_l2_tlb,
+    # vl, vtype
+    EV.VConfigEvent: lambda self, u:
+        u[0] == self.ref.state.csr.peek(CSR.VL)
+        and u[1] == self.ref.state.csr.peek(CSR.VTYPE),
+}

@@ -127,16 +127,20 @@ class CoSimulation:
 
         enabled = [cls for cls in all_event_classes()
                    if dut_config.event_enabled(cls.__name__)]
+        # The legacy (fast_compare=False) path also disables zero-copy
+        # unpacking, so benchmarks comparing the two measure the whole
+        # before/after software hot loop.
+        zero_copy = diff_config.fast_compare
         if diff_config.packing == "batch":
             self.packer = BatchPacker(diff_config.frame_size)
-            self.unpacker = BatchUnpacker()
+            self.unpacker = BatchUnpacker(zero_copy=zero_copy)
         elif diff_config.packing == "fixed":
             layout = FixedLayout(enabled, dut_config.num_cores)
             self.packer = FixedPacker(layout)
-            self.unpacker = FixedUnpacker(layout)
+            self.unpacker = FixedUnpacker(layout, zero_copy=zero_copy)
         else:
             self.packer = DpicPacker()
-            self.unpacker = DpicUnpacker()
+            self.unpacker = DpicUnpacker(zero_copy=zero_copy)
 
         self.channel = Channel(nonblocking=diff_config.nonblocking,
                                obs=self.obs)
@@ -151,8 +155,15 @@ class CoSimulation:
     def _record_bundle(self, bundle) -> None:
         """Account one core's captured events (profile + replay buffer)."""
         self.stats.events_captured += len(bundle.events)
+        profile = self.stats.profile
+        counts = profile.counts
+        payload_bytes = profile.payload_bytes
         for event in bundle.events:
-            self.stats.profile.record(event)
+            cls = type(event)
+            type_id = cls.DESCRIPTOR.event_id
+            counts[type_id] = counts.get(type_id, 0) + 1
+            payload_bytes[type_id] = (
+                payload_bytes.get(type_id, 0) + cls._STRUCT.size)
         if self.diff_config.replay:
             buffer = self.replay_buffers[bundle.core_id]
             buffer.push(bundle.events)
@@ -208,6 +219,31 @@ class CoSimulation:
     # Software side
     # ------------------------------------------------------------------
     def _software_drain(self) -> None:
+        """Hot-loop fast path: wire items go straight to the checker's
+        byte-level compare (``process_item``); event objects are only
+        materialised on mismatch or for slot-consuming types."""
+        checkers = self.checkers
+        completer = self.completer
+        stats = self.stats
+        unpack = self.unpacker.unpack
+        receive = self.channel.receive
+        while self.mismatch is None:
+            transfer = receive()
+            if transfer is None:
+                return
+            stats.counters.sw_dispatches += 1
+            for item in unpack(transfer):
+                stats.events_transmitted += 1
+                mismatch = checkers[item.core_id].process_item(item, completer)
+                if mismatch is not None:
+                    self._on_mismatch(mismatch)
+                    return
+                self._maybe_checkpoint(item.core_id)
+
+    def _software_drain_legacy(self) -> None:
+        """The event-object software path (``fast_compare=False``): every
+        wire item is completed into an event before checking.  Kept as
+        the semantics reference and the benchmark's before-side."""
         while self.mismatch is None:
             transfer = self.channel.receive()
             if transfer is None:
@@ -224,27 +260,34 @@ class CoSimulation:
                 self._maybe_checkpoint(event.core_id)
 
     def _software_drain_obs(self) -> None:
-        """Traced twin of :meth:`_software_drain`: the dispatch span
-        covers reception, unpacking and event completion; the checker
-        adds its own ``ref_step``/``compare`` spans inside ``process``."""
+        """Traced twin of the software drain: the dispatch span covers
+        reception and unpacking; the checker adds its own
+        ``ref_step``/``compare`` spans.  Honours ``fast_compare`` so an
+        observed run exercises the same checking path as a plain one."""
         tracer = self._tracer
+        fast = self.diff_config.fast_compare
         while self.mismatch is None:
             with tracer.span("dispatch", cycle=self._cycle):
                 transfer = self.channel.receive()
                 if transfer is not None:
                     self.stats.counters.sw_dispatches += 1
-                    events = [self.completer.complete(item)
-                              for item in self.unpacker.unpack(transfer)]
+                    items = self.unpacker.unpack(transfer)
+                    if not fast:
+                        items = [self.completer.complete(item)
+                                 for item in items]
             if transfer is None:
                 return
-            for event in events:
+            for item in items:
                 self.stats.events_transmitted += 1
-                checker = self.checkers[event.core_id]
-                mismatch = checker.process(event)
+                checker = self.checkers[item.core_id]
+                if fast:
+                    mismatch = checker.process_item(item, self.completer)
+                else:
+                    mismatch = checker.process(item)
                 if mismatch is not None:
                     self._on_mismatch(mismatch)
                     return
-                self._maybe_checkpoint(event.core_id)
+                self._maybe_checkpoint(item.core_id)
 
     def _maybe_checkpoint(self, core_id: int) -> None:
         """Checkpoint the REF when a checking window closed cleanly.
@@ -277,7 +320,9 @@ class CoSimulation:
             software_drain = self._software_drain_obs
         else:
             hardware_cycle = self._hardware_cycle
-            software_drain = self._software_drain
+            software_drain = (self._software_drain
+                              if self.diff_config.fast_compare
+                              else self._software_drain_legacy)
         while (not self.dut.finished() and self._cycle < max_cycles
                and self.mismatch is None):
             self._cycle += 1

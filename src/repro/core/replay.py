@@ -32,6 +32,8 @@ class ReplayBuffer:
     last software-acknowledged checkpoint, bounding buffer occupancy.
     """
 
+    __slots__ = ("capacity_slots", "_events", "dropped_slots")
+
     def __init__(self, capacity_slots: int = 4096) -> None:
         self.capacity_slots = capacity_slots
         self._events: Deque[VerificationEvent] = deque()
@@ -71,6 +73,9 @@ class ReplayBuffer:
 
 class ReplayUnit:
     """Coordinates revert + retransmission + reprocessing for one core."""
+
+    __slots__ = ("ref", "buffer", "core_id", "_checkpoint_slot",
+                 "_checkpoint_mark")
 
     def __init__(self, ref: RefModel, buffer: ReplayBuffer, core_id: int = 0):
         self.ref = ref

@@ -23,10 +23,11 @@ class EventProfile:
     payload_bytes: Dict[int, int] = field(default_factory=dict)
 
     def record(self, event: VerificationEvent) -> None:
-        type_id = event.DESCRIPTOR.event_id
+        cls = type(event)
+        type_id = cls.DESCRIPTOR.event_id
         self.counts[type_id] = self.counts.get(type_id, 0) + 1
         self.payload_bytes[type_id] = (
-            self.payload_bytes.get(type_id, 0) + event.payload_size())
+            self.payload_bytes.get(type_id, 0) + cls._STRUCT.size)
 
     def rows(self, cycles: int):
         """(name, payload size, invocations/cycle) rows ordered by size."""

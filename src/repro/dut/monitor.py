@@ -30,6 +30,8 @@ class Monitor:
         self.core_id = core_id
         self.state = state
         self.slot = 0  # next check-slot index (order tag)
+        #: Per-class cache of ``config.event_enabled`` (hit on every emit).
+        self._enabled_memo: dict = {}
         self._fp_dirty = True
         self._vec_dirty = True
         self._last_hyper: Optional[tuple] = None
@@ -41,7 +43,10 @@ class Monitor:
         return self.config.event_enabled(name)
 
     def _emit(self, sink: List, cls, tag: Optional[int] = None, **fields) -> None:
-        if not self._enabled(cls.__name__):
+        enabled = self._enabled_memo.get(cls)
+        if enabled is None:
+            enabled = self._enabled_memo[cls] = self._enabled(cls.__name__)
+        if not enabled:
             return
         sink.append(cls(core_id=self.core_id,
                         order_tag=self.slot if tag is None else tag, **fields))

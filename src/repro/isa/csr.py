@@ -149,6 +149,11 @@ _WRITE_MASKS: Dict[int, int] = {
 }
 
 
+#: Free-running counters: excluded from the snapshot-cache version so that
+#: per-instruction increments do not invalidate the cacheable CSR groups.
+_HOT_COUNTERS = frozenset({MCYCLE, MINSTRET})
+
+
 class IllegalCsr(Exception):
     """Raised on access to an unimplemented CSR (becomes EXC_ILLEGAL)."""
 
@@ -165,6 +170,10 @@ class CsrFile:
     def __init__(self, hart_id: int = 0, vlen_bytes: int = 32) -> None:
         self._values: Dict[int, int] = {}
         self.journal = None
+        #: Bumped on every effective write except the free-running counters;
+        #: lets :meth:`snapshot` serve cached tuples while nothing changed.
+        self._version = 0
+        self._snap_cache: Dict[tuple, tuple] = {}
         for addr in (
             list(CHECKED_CSRS)
             + list(HYPERVISOR_CSRS)
@@ -194,6 +203,8 @@ class CsrFile:
         if self.journal is not None:
             self.journal.record_csr(addr, old)
         self._values[addr] = value & MASK64
+        if addr not in _HOT_COUNTERS:
+            self._version += 1
 
     def read(self, addr: int) -> int:
         """Read a CSR, resolving view registers."""
@@ -266,14 +277,24 @@ class CsrFile:
     def snapshot(self, addrs: Iterable[int], pad_to: Optional[int] = None):
         """Tuple of architectural values in ``addrs`` order (view registers
         resolved), zero-padded to ``pad_to``."""
+        key = (addrs if type(addrs) is tuple else tuple(addrs), pad_to)
+        entry = self._snap_cache.get(key)
+        if entry is not None and entry[0] == self._version:
+            return entry[1]
         values = [self.read(a) if a in self._VIEW_CSRS
-                  else self._values.get(a, 0) for a in addrs]
+                  else self._values.get(a, 0) for a in key[0]]
         if pad_to is not None:
             values.extend([0] * (pad_to - len(values)))
-        return tuple(values)
+        result = tuple(values)
+        if _HOT_COUNTERS.isdisjoint(key[0]):
+            # Snapshots containing the free-running counters change every
+            # instruction and are never worth caching.
+            self._snap_cache[key] = (self._version, result)
+        return result
 
     def items(self):
         return self._values.items()
 
     def copy_from(self, other: "CsrFile") -> None:
         self._values = dict(other._values)
+        self._version += 1

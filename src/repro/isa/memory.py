@@ -40,6 +40,10 @@ class PhysicalMemory:
 
     # ------------------------------------------------------------------
     def load_bytes(self, addr: int, size: int) -> bytes:
+        offset = addr & (PAGE_SIZE - 1)
+        if offset + size <= PAGE_SIZE:
+            # Fast path: the access lies within one page (nearly always).
+            return bytes(self._page(addr)[offset : offset + size])
         out = bytearray()
         while size > 0:
             offset = addr & (PAGE_SIZE - 1)
@@ -52,6 +56,10 @@ class PhysicalMemory:
     def store_bytes(self, addr: int, data: bytes) -> None:
         if self.journal is not None:
             self.journal.record_mem(addr, self.load_bytes(addr, len(data)))
+        page_offset = addr & (PAGE_SIZE - 1)
+        if page_offset + len(data) <= PAGE_SIZE:
+            self._page(addr)[page_offset : page_offset + len(data)] = data
+            return
         offset = 0
         while offset < len(data):
             page_offset = (addr + offset) & (PAGE_SIZE - 1)
@@ -104,6 +112,10 @@ class Bus:
     def __init__(self, memory: Optional[PhysicalMemory] = None) -> None:
         self.memory = memory if memory is not None else PhysicalMemory()
         self._devices: List[Tuple[int, int, Device]] = []
+        # Bounding range over all devices: one comparison rejects the
+        # (overwhelmingly common) plain-RAM access without scanning.
+        self._dev_lo = 0
+        self._dev_hi = 0
 
     def attach(self, base: int, size: int, device: Device) -> None:
         for other_base, other_size, other in self._devices:
@@ -112,8 +124,15 @@ class Bus:
                     f"device {device.name} overlaps {other.name} at {base:#x}"
                 )
         self._devices.append((base, size, device))
+        if len(self._devices) == 1:
+            self._dev_lo, self._dev_hi = base, base + size
+        else:
+            self._dev_lo = min(self._dev_lo, base)
+            self._dev_hi = max(self._dev_hi, base + size)
 
     def device_at(self, addr: int) -> Optional[Tuple[int, Device]]:
+        if not self._dev_lo <= addr < self._dev_hi:
+            return None
         for base, size, device in self._devices:
             if base <= addr < base + size:
                 return base, device

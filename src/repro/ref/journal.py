@@ -88,6 +88,7 @@ class CompensationLog:
                     state.vregs[key] = list(old)
                 elif kind == self.KIND_CSR:
                     state.csr._values[key] = old
+                    state.csr._version += 1
                 elif kind == self.KIND_MEM:
                     memory.store_bytes(key, old)
                 elif kind == self.KIND_PC:

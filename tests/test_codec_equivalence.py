@@ -1,0 +1,223 @@
+"""Compiled codecs must be bit-for-bit equivalent to the generic ones.
+
+The hot-loop fast path (PR 4) replaces the interpreted per-field codec
+loops with exec-generated functions specialised per event class.  These
+tests pin the equivalence: for every registered event type, seeded-random
+instances must encode to byte-identical payloads, decode to
+field-identical events, and travel the ENC_FULL/ENC_DIFF wire pipeline
+(Differencer -> Completer) producing identical wire bytes and identical
+reconstructions under either codec implementation.
+"""
+
+import random
+import struct
+from contextlib import contextmanager
+
+import pytest
+
+from repro.comm.fusion.differencing import DIFF_MIN_PAYLOAD, Completer, Differencer
+from repro.comm.packing.base import ENC_DIFF, ENC_FULL, Transfer, WireItem
+from repro.events import all_event_classes, event_class
+from repro.events.base import (
+    event_classes_by_id,
+    generic_decode_payload,
+    generic_encode_payload,
+    generic_flatten,
+    generic_from_units,
+    generic_init,
+)
+
+SEED = 0x5EED_CAFE
+
+
+@contextmanager
+def generic_codecs():
+    """Swap every event class back to the interpreted reference codecs."""
+    saved = {}
+    for cls in all_event_classes():
+        saved[cls] = (cls.__init__, cls._flatten, cls.to_units,
+                      cls.encode_payload, cls.decode_payload, cls.from_units)
+        cls.__init__ = generic_init
+        cls._flatten = generic_flatten
+        cls.to_units = generic_flatten
+        cls.encode_payload = generic_encode_payload
+        cls.decode_payload = classmethod(generic_decode_payload)
+        cls.from_units = classmethod(generic_from_units)
+    try:
+        yield
+    finally:
+        for cls, (init, flat, units, enc, dec, fru) in saved.items():
+            cls.__init__ = init
+            cls._flatten = flat
+            cls.to_units = units
+            cls.encode_payload = enc
+            cls.decode_payload = dec
+            cls.from_units = fru
+
+
+def _element_limit(code):
+    return (1 << (8 * struct.calcsize("<" + code))) - 1
+
+
+def _random_kwargs(cls, rng):
+    kwargs = {}
+    for spec in cls.FIELDS:
+        limit = _element_limit(spec.code)
+        if spec.count == 1:
+            kwargs[spec.name] = rng.randint(0, limit)
+        else:
+            kwargs[spec.name] = tuple(
+                rng.randint(0, limit) for _ in range(spec.count))
+    return kwargs
+
+
+def _fields_of(event):
+    return {spec.name: getattr(event, spec.name)
+            for spec in type(event).FIELDS}
+
+
+def _assert_events_equal(a, b):
+    assert type(a) is type(b)
+    assert (a.core_id, a.order_tag) == (b.core_id, b.order_tag)
+    assert _fields_of(a) == _fields_of(b)
+
+
+@pytest.mark.parametrize("cls", all_event_classes(),
+                         ids=lambda c: c.__name__)
+def test_encode_byte_identical(cls):
+    rng = random.Random(SEED ^ cls.DESCRIPTOR.event_id)
+    for _ in range(5):
+        kwargs = _random_kwargs(cls, rng)
+        compiled = cls(core_id=1, order_tag=7, **kwargs)
+        assert compiled.encode_payload() == generic_encode_payload(compiled)
+        assert compiled.to_units() == generic_flatten(compiled)
+        with generic_codecs():
+            interpreted = cls(core_id=1, order_tag=7, **kwargs)
+            reference = interpreted.encode_payload()
+        assert compiled.encode_payload() == reference
+
+
+@pytest.mark.parametrize("cls", all_event_classes(),
+                         ids=lambda c: c.__name__)
+def test_decode_field_identical(cls):
+    rng = random.Random(SEED ^ (cls.DESCRIPTOR.event_id << 8))
+    for _ in range(5):
+        kwargs = _random_kwargs(cls, rng)
+        payload = cls(**kwargs).encode_payload()
+        compiled = cls.decode_payload(payload, core_id=2, order_tag=9)
+        reference = generic_decode_payload(cls, payload, core_id=2,
+                                           order_tag=9)
+        _assert_events_equal(compiled, reference)
+        # decode must accept an offset into a larger buffer and a
+        # memoryview (zero-copy unpackers hand out views, not bytes).
+        framed = b"\xAA" * 3 + payload
+        offset_decoded = cls.decode_payload(memoryview(framed), offset=3,
+                                            core_id=2, order_tag=9)
+        _assert_events_equal(compiled, offset_decoded)
+        # from_units round-trip.
+        units = compiled.to_units()
+        _assert_events_equal(compiled,
+                             cls.from_units(units, core_id=2, order_tag=9))
+        _assert_events_equal(
+            compiled, generic_from_units(cls, units, core_id=2, order_tag=9))
+
+
+@pytest.mark.parametrize("cls", all_event_classes(),
+                         ids=lambda c: c.__name__)
+def test_constructor_equivalence(cls):
+    rng = random.Random(SEED ^ (cls.DESCRIPTOR.event_id << 16))
+    kwargs = _random_kwargs(cls, rng)
+    compiled = cls(core_id=3, order_tag=11, **kwargs)
+    with generic_codecs():
+        interpreted = cls(core_id=3, order_tag=11, **kwargs)
+    _assert_events_equal(compiled, interpreted)
+    # Defaults: zero-filled fields, matching the generic constructor.
+    _assert_events_equal(cls(), generic_decode_payload(
+        cls, bytes(cls._STRUCT.size)))
+    # Error behaviour is part of the contract.
+    with pytest.raises(TypeError):
+        cls(no_such_field=1)
+    array_specs = [s for s in cls.FIELDS if s.count > 1]
+    if array_specs:
+        with pytest.raises(ValueError):
+            cls(**{array_specs[0].name: (0,) * (array_specs[0].count + 1)})
+
+
+def _mutated(cls, kwargs, rng):
+    """Copy of ``kwargs`` with exactly one element changed (diff-friendly)."""
+    out = dict(kwargs)
+    spec = cls.FIELDS[0]
+    limit = _element_limit(spec.code)
+    if spec.count == 1:
+        out[spec.name] = (kwargs[spec.name] + 1) & limit
+    else:
+        values = list(kwargs[spec.name])
+        index = rng.randrange(spec.count)
+        values[index] = (values[index] + 1) & limit
+        out[spec.name] = tuple(values)
+    return out
+
+
+@pytest.mark.parametrize("cls", all_event_classes(),
+                         ids=lambda c: c.__name__)
+def test_wire_roundtrip_full_and_diff(cls):
+    """ENC_FULL and ENC_DIFF wire streams are identical under either codec
+    implementation, and both reconstruct to identical events."""
+    rng = random.Random(SEED ^ (cls.DESCRIPTOR.event_id << 24))
+    base = _random_kwargs(cls, rng)
+    sequences = [base, _mutated(cls, base, rng), _mutated(cls, base, rng)]
+
+    def run_pipeline():
+        differencer = Differencer()
+        completer = Completer()
+        wire = []
+        decoded = []
+        for tag, kwargs in enumerate(sequences):
+            event = cls(core_id=0, order_tag=tag, **kwargs)
+            item = differencer.encode(event)
+            wire.append((item.type_id, item.encoding, bytes(item.payload)))
+            decoded.append(completer.complete(item))
+        return wire, decoded
+
+    compiled_wire, compiled_events = run_pipeline()
+    with generic_codecs():
+        generic_wire, generic_events = run_pipeline()
+
+    assert compiled_wire == generic_wire
+    for a, b in zip(compiled_events, generic_events):
+        _assert_events_equal(a, b)
+    encodings = {encoding for _, encoding, _ in compiled_wire}
+    if cls.payload_size() >= DIFF_MIN_PAYLOAD:
+        # A one-element mutation of a diff-eligible event must actually
+        # exercise the ENC_DIFF path.
+        assert encodings == {ENC_FULL, ENC_DIFF}
+    else:
+        assert encodings == {ENC_FULL}
+
+
+def test_slots_everywhere():
+    """The hot-path value types carry no per-instance ``__dict__``."""
+    for cls in all_event_classes():
+        event = cls()
+        assert not hasattr(event, "__dict__"), cls.__name__
+        with pytest.raises(AttributeError):
+            event.no_such_attribute = 1
+    item = WireItem(0, 0, 0, b"")
+    assert not hasattr(item, "__dict__")
+    transfer = Transfer(b"", items=0)
+    assert not hasattr(transfer, "__dict__")
+
+
+def test_flat_registry_parity():
+    table = event_classes_by_id()
+    classes = all_event_classes()
+    assert len(classes) == 32
+    for cls in classes:
+        event_id = cls.DESCRIPTOR.event_id
+        assert table[event_id] is cls
+        assert event_class(event_id) is cls
+    # Unassigned or out-of-range ids keep the KeyError contract.
+    gaps = [i for i, entry in enumerate(table) if entry is None]
+    for bad_id in gaps + [-1, len(table), len(table) + 17]:
+        with pytest.raises(KeyError):
+            event_class(bad_id)

@@ -1,0 +1,141 @@
+"""The byte-compare fast path and zero-copy frames (PR 4).
+
+``fast_compare=True`` (the default) lets the software side compare
+received payload bytes directly against the REF-side expected encoding
+and only materialise event objects on mismatch, NDEs or replay capture;
+unpackers hand out ``memoryview`` payloads into the transfer buffer.
+These tests pin that the fast path is *observationally identical* to the
+event-object path (``fast_compare=False``): same counters on passing
+runs, same mismatch on fault-injected runs, and that zero-copy payload
+views survive arbitrarily many later frames.
+"""
+
+import random
+
+import pytest
+
+from repro.comm.packing.base import WireItem
+from repro.comm.packing.batch import BatchPacker, BatchUnpacker
+from repro.core import CONFIG_BNSD, CONFIG_Z, CoSimulation
+from repro.dut import XIANGSHAN_DEFAULT, fault_by_name
+from repro.events import all_event_classes
+from repro.isa import assemble
+
+# Every written register is live, so any single-write corruption
+# propagates to architectural state (same program as test_replay).
+WORKLOAD = """
+_start:
+    li sp, 0x80100000
+    li t0, 200
+    li t1, 0
+loop:
+    add t1, t1, t0
+    sd t1, -8(sp)
+    ld t2, -8(sp)
+    add t1, t1, t2
+    addi t0, t0, -1
+    bnez t0, loop
+    li a0, 0
+    ebreak
+"""
+
+FAST = CONFIG_BNSD
+LEGACY = CONFIG_BNSD.with_(name="EBINSD-legacy", fast_compare=False)
+
+
+def _run(config, fault=None, trigger=300):
+    cosim = CoSimulation(XIANGSHAN_DEFAULT, config, assemble(WORKLOAD))
+    if fault is not None:
+        fault_by_name(fault).install(cosim.dut.cores[0], trigger)
+    return cosim.run(max_cycles=60_000)
+
+
+def _observable(result):
+    c = result.stats.counters
+    return (result.cycles, result.instructions, result.exit_code,
+            c.bytes_sent, c.invokes, c.sw_events_checked, c.sw_ref_steps,
+            c.sw_dispatches, result.stats.events_captured,
+            result.stats.events_transmitted, result.stats.meta_bytes,
+            result.stats.checkpoints, result.uart_output)
+
+
+class TestFastCompareEquivalence:
+    def test_passing_run_identical_counters(self):
+        fast = _run(FAST)
+        legacy = _run(LEGACY)
+        assert fast.passed and legacy.passed
+        assert _observable(fast) == _observable(legacy)
+        assert fast.stats.counters.sw_events_checked > 0
+
+    @pytest.mark.parametrize("fault", [
+        "control_flow_wdata", "store_queue_mismatch", "sbuffer_lost_bytes",
+    ])
+    def test_fault_detected_identically(self, fault):
+        fast = _run(FAST, fault=fault)
+        legacy = _run(LEGACY, fault=fault)
+        assert fast.mismatch is not None and legacy.mismatch is not None
+        for result in (fast, legacy):
+            # The fast path materialises the event object on divergence:
+            # the report must be as rich as the legacy one.
+            assert result.mismatch.event is not None
+            assert result.debug_report is not None
+        assert ((fast.mismatch.core_id, fast.mismatch.slot,
+                 type(fast.mismatch.event).__name__,
+                 fast.mismatch.field_name, fast.mismatch.expected,
+                 fast.mismatch.actual)
+                == (legacy.mismatch.core_id, legacy.mismatch.slot,
+                    type(legacy.mismatch.event).__name__,
+                    legacy.mismatch.field_name, legacy.mismatch.expected,
+                    legacy.mismatch.actual))
+
+    def test_baseline_config_also_equivalent(self):
+        fast = _run(CONFIG_Z)
+        legacy = _run(CONFIG_Z.with_(name="Z-legacy", fast_compare=False))
+        assert fast.passed and legacy.passed
+        assert _observable(fast) == _observable(legacy)
+
+
+def _random_items(count, seed):
+    rng = random.Random(seed)
+    classes = all_event_classes()
+    items = []
+    for tag in range(count):
+        cls = rng.choice(classes)
+        event = cls(core_id=rng.randrange(2), order_tag=tag)
+        items.append(WireItem.from_event(event))
+    return items
+
+
+class TestZeroCopyLifetime:
+    def test_views_survive_later_frames(self):
+        """Payload views into a transfer stay valid after the packer has
+        built arbitrarily many later frames (buffer-reuse hazard)."""
+        packer = BatchPacker(frame_size=512)
+        unpacker = BatchUnpacker()
+        kept = []  # (WireItem view, expected payload bytes)
+        for batch in range(20):
+            items = _random_items(8, seed=batch)
+            transfers = packer.pack_cycle(items) + packer.flush()
+            for transfer in transfers:
+                for item in unpacker.unpack(transfer):
+                    kept.append((item, bytes(item.payload)))
+        assert len(kept) >= 100
+        for item, expected in kept:
+            assert isinstance(item.payload, memoryview)
+            assert bytes(item.payload) == expected
+            # The view still decodes into a well-formed event.
+            event = item.to_event()
+            assert event.encode_payload() == expected
+
+    def test_zero_copy_off_returns_owned_bytes(self):
+        items = _random_items(8, seed=99)
+        packer = BatchPacker(frame_size=4096)
+        transfers = packer.pack_cycle(items) + packer.flush()
+        copying = BatchUnpacker(zero_copy=False)
+        viewing = BatchUnpacker()
+        for transfer in transfers:
+            owned = copying.unpack(transfer)
+            views = viewing.unpack(transfer)
+            assert [type(i.payload) for i in owned] == [bytes] * len(owned)
+            # memoryview compares by content, so the items are equal.
+            assert owned == views
