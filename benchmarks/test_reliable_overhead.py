@@ -1,0 +1,191 @@
+"""Reliability-layer overhead: the default path must stay free.
+
+The resilient-transport PR adds framing (CRC32, sequence numbers) and a
+retransmit buffer behind ``ReliabilityConfig(reliable=True)``.  The
+contract is that ``reliable=False`` — the default — is *off the fast
+path entirely*: the plain :class:`~repro.comm.channel.Channel` is
+constructed and the wire format is byte-identical to the pre-PR format.
+
+Two guards enforce that contract:
+
+1. **Deterministic** — a default-config run adds zero framing bytes and
+   zero extra channel invokes (asserted exactly, immune to host noise).
+2. **Wall-clock** — cycles/sec of the default path must stay within a
+   few percent of the fast-path number recorded in ``BENCH_hotloop.json``
+   (skipped when the file is missing; the strict 2% floor applies in
+   full mode only, set ``RELIABLE_BENCH_FULL=1``).
+
+The reliable path itself is also measured and recorded — it *is* allowed
+to cost (CRC32 per frame, retransmit bookkeeping), and the measured
+overhead lands in ``benchmarks/results/reliable_overhead.txt`` plus
+``BENCH_reliability.json`` so tuning.md can cite it.
+
+Run with:
+``PYTHONPATH=src python -m pytest benchmarks/test_reliable_overhead.py -q``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+from conftest import write_result
+
+from repro.comm.framing import HEADER_SIZE
+from repro.core import CONFIG_BNSD, CoSimulation, ReliabilityConfig
+from repro.dut import XIANGSHAN_DEFAULT
+from repro.workloads import build
+
+pytestmark = pytest.mark.bench
+
+FULL = os.environ.get("RELIABLE_BENCH_FULL", "") not in ("", "0")
+REPEATS = 4 if FULL else 2
+E2E_CYCLES = 500_000
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+HOTLOOP_JSON = ROOT / "BENCH_hotloop.json"
+BENCH_JSON = ROOT / "BENCH_reliability.json"
+
+#: In quick mode the baseline in BENCH_hotloop.json was measured on an
+#: unknown (possibly quieter) host, so the floor is loose; full mode
+#: asserts the real "<2% overhead" contract.
+BASELINE_FLOOR = 0.98 if FULL else 0.85
+
+CONFIG_RELIABLE = CONFIG_BNSD.with_(
+    name="EBINSD-R", reliability=ReliabilityConfig(reliable=True))
+
+#: Snapshot recovery points force a packer flush at each quiescent
+#: boundary, which perturbs batching; turn them off to isolate the pure
+#: framing cost for the byte-accounting identity below.
+CONFIG_RELIABLE_NOSNAP = CONFIG_BNSD.with_(
+    name="EBINSD-Rn",
+    reliability=ReliabilityConfig(reliable=True, snapshot_recovery=False))
+
+_RESULTS: dict = {}
+
+
+def _timed_run(config, image):
+    cosim = CoSimulation(XIANGSHAN_DEFAULT, config, image)
+    t0 = time.perf_counter()
+    result = cosim.run(E2E_CYCLES)
+    dt = time.perf_counter() - t0
+    assert result.passed
+    return result.cycles / dt, result
+
+
+def _best_of(config, image, repeats=REPEATS):
+    _timed_run(config, image)  # warm-up
+    best_cps, result = 0.0, None
+    for _ in range(repeats):
+        cps, run = _timed_run(config, image)
+        if cps > best_cps:
+            best_cps, result = cps, run
+    return best_cps, result
+
+
+def _flush_results():
+    if not _RESULTS:
+        return
+    _RESULTS["mode"] = "full" if FULL else "quick"
+    BENCH_JSON.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True)
+                          + "\n")
+    lines = [f"reliability overhead ({_RESULTS['mode']} mode)"]
+    default = _RESULTS.get("default_path")
+    if default:
+        lines.append(
+            f"  reliable=False: {default['cycles_per_sec']:,.0f} cyc/s "
+            f"({default['vs_hotloop_baseline']} of BENCH_hotloop fast path)")
+    reliable = _RESULTS.get("reliable_path")
+    if reliable:
+        lines.append(
+            f"  reliable=True:  {reliable['cycles_per_sec']:,.0f} cyc/s "
+            f"= {reliable['overhead_pct']:.1f}% overhead, "
+            f"+{reliable['framing_bytes_per_invoke']} B/invoke framing")
+    write_result("reliable_overhead", "\n".join(lines))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _persist_results():
+    yield
+    _flush_results()
+
+
+# ----------------------------------------------------------------------
+# 1. Deterministic guard: the default wire format is untouched.
+# ----------------------------------------------------------------------
+
+def test_default_path_wire_format_unchanged():
+    image = build("memory_churn", array_kb=32, passes=2).image
+    plain = CoSimulation(XIANGSHAN_DEFAULT, CONFIG_BNSD, image)
+    reliable = CoSimulation(XIANGSHAN_DEFAULT, CONFIG_RELIABLE_NOSNAP, image)
+    # reliable=False constructs the plain Channel, not a subclass.
+    assert type(plain.channel).__name__ == "Channel"
+    assert type(reliable.channel).__name__ == "ReliableChannel"
+    a = plain.run(E2E_CYCLES)
+    b = reliable.run(E2E_CYCLES)
+    ca, cb = a.stats.counters, b.stats.counters
+    # Zero framing bytes on the default path; the reliable path pays
+    # exactly one header per invoke and nothing else.
+    assert cb.invokes == ca.invokes
+    assert cb.bytes_sent == ca.bytes_sent + ca.invokes * HEADER_SIZE
+    assert ca.link_crc_errors == ca.link_retransmits == 0
+    assert (a.cycles, a.instructions, a.uart_output) == \
+        (b.cycles, b.instructions, b.uart_output)
+    # With recovery points on, each quiescent boundary flushes the
+    # packer; the run outcome is unchanged, only batching granularity.
+    c = CoSimulation(XIANGSHAN_DEFAULT, CONFIG_RELIABLE, image).run(
+        E2E_CYCLES)
+    assert (c.cycles, c.instructions, c.uart_output) == \
+        (a.cycles, a.instructions, a.uart_output)
+    assert c.stats.counters.invokes >= ca.invokes
+
+
+# ----------------------------------------------------------------------
+# 2. Wall-clock guards
+# ----------------------------------------------------------------------
+
+def test_default_path_holds_hotloop_throughput():
+    if not HOTLOOP_JSON.exists():
+        pytest.skip("BENCH_hotloop.json not present; run "
+                    "test_hotloop_throughput.py first")
+    hotloop = json.loads(HOTLOOP_JSON.read_text())
+    baseline = (hotloop.get("end_to_end", {})
+                .get("batch_squash_vs_baseline_config", {})
+                .get("bnsd_cycles_per_sec"))
+    if not baseline:
+        pytest.skip("no bnsd_cycles_per_sec baseline in BENCH_hotloop.json")
+    image = build("memory_churn", array_kb=32, passes=2).image
+    cps, _ = _best_of(CONFIG_BNSD, image)
+    ratio = cps / baseline
+    _RESULTS["default_path"] = {
+        "cycles_per_sec": round(cps),
+        "hotloop_baseline": baseline,
+        "vs_hotloop_baseline": f"{ratio:.3f}x",
+        "floor": BASELINE_FLOOR,
+    }
+    assert ratio >= BASELINE_FLOOR, (
+        f"reliable=False path measured {cps:,.0f} cyc/s, below "
+        f"{BASELINE_FLOOR:.0%} of the {baseline:,} cyc/s fast-path "
+        f"baseline — the reliability layer leaked onto the default path")
+
+
+def test_reliable_path_overhead_is_bounded():
+    """reliable=True may cost, but CRC32+bookkeeping on an in-process
+    queue must stay modest; both sides measured back-to-back here."""
+    image = build("memory_churn", array_kb=32, passes=2).image
+    plain_cps, plain = _best_of(CONFIG_BNSD, image)
+    reliable_cps, reliable = _best_of(CONFIG_RELIABLE, image)
+    overhead = (plain_cps - reliable_cps) / plain_cps * 100.0
+    invokes = reliable.stats.counters.invokes
+    _RESULTS["reliable_path"] = {
+        "cycles_per_sec": round(reliable_cps),
+        "plain_cycles_per_sec": round(plain_cps),
+        "overhead_pct": round(overhead, 2),
+        "framing_bytes_per_invoke": HEADER_SIZE,
+        "invokes": invokes,
+    }
+    # Generous bound: the reliable path does strictly more work, but a
+    # CRC over ~100-byte frames must not halve throughput.
+    assert reliable_cps >= plain_cps * 0.5, (plain_cps, reliable_cps)

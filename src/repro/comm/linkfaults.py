@@ -1,0 +1,251 @@
+"""Seeded, deterministic link-fault injection.
+
+The Table 6 catalogue (:mod:`repro.dut.faults`) corrupts *microarchitectural*
+state; this module corrupts the **link itself** — the byte stream between
+the acceleration unit and the software checker.  Long FPGA-farm campaigns
+die on exactly these transient transport errors, so the resilient
+transport stack must turn every one of them into either a recovery or a
+structured transport error, never silent checker corruption.
+
+Fault kinds
+-----------
+``bitflip``    one random bit of the frame inverted in flight.
+``truncate``   the frame cut short at a random byte.
+``drop``       the frame vanishes.
+``duplicate``  the frame arrives twice.
+``reorder``    the frame swaps places with the next transmission.
+``stall``      the frame is held back for several transmissions.
+``reset``      the link resets: every in-flight frame (and the sender's
+               retransmit buffer) is lost.
+
+Determinism mirrors :class:`repro.dut.faults._PositionalLatch`: positional
+faults latch on the **transmission index** at which they first fired, so a
+re-execution with the same seed reproduces the same corruption at the
+same place — while retransmissions (which use fresh transmission indexes)
+pass a latched fault cleanly.  Rate faults draw from one seeded
+``random.Random`` consumed in transmission order, so they too replay
+identically for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .channel import Channel
+from .packing.base import Transfer
+
+#: The injectable link-fault kinds.
+LINK_FAULT_KINDS = ("bitflip", "truncate", "drop", "duplicate", "reorder",
+                    "stall", "reset")
+
+#: How many later transmissions a stalled frame is held behind.
+DEFAULT_STALL_FRAMES = 4
+
+
+@dataclass(frozen=True)
+class LinkFaultSpec:
+    """One catalogue entry: a named link-fault kind."""
+
+    name: str
+    kind: str
+    description: str
+
+
+LINK_FAULT_CATALOGUE = (
+    LinkFaultSpec("link_bitflip", "bitflip",
+                  "one bit of a frame inverted in flight"),
+    LinkFaultSpec("link_truncate", "truncate",
+                  "a frame cut short at a random byte"),
+    LinkFaultSpec("link_drop", "drop", "a frame dropped by the link"),
+    LinkFaultSpec("link_duplicate", "duplicate",
+                  "a frame delivered twice"),
+    LinkFaultSpec("link_reorder", "reorder",
+                  "a frame swapped with the next transmission"),
+    LinkFaultSpec("link_stall", "stall",
+                  "a frame held back for several transmissions"),
+    LinkFaultSpec("link_reset", "reset",
+                  "link reset: all in-flight state lost"),
+)
+
+
+def link_fault_by_name(name: str) -> LinkFaultSpec:
+    """Catalogue lookup; unknown names list the valid ones."""
+    for spec in LINK_FAULT_CATALOGUE:
+        if spec.name == name:
+            return spec
+    valid = ", ".join(sorted(spec.name for spec in LINK_FAULT_CATALOGUE))
+    raise KeyError(
+        f"unknown link fault {name!r}; valid link faults: {valid}")
+
+
+@dataclass(frozen=True)
+class LinkFaultPlan:
+    """One armed fault: a catalogue name plus its firing policy.
+
+    ``trigger`` arms a positional one-shot (fires at the first
+    transmission index >= trigger, latched); ``rate`` arms a recurring
+    per-transmission probability.  A plan is a frozen dataclass of
+    primitives, so campaign job specs carry it across process
+    boundaries unchanged.
+    """
+
+    fault: str
+    rate: float = 0.0
+    trigger: Optional[int] = None
+
+
+class _PositionalFrameLatch:
+    """Fires at the first transmission index >= trigger, and again at
+    exactly the same index on any re-execution (mirror of
+    :class:`repro.dut.faults._PositionalLatch`)."""
+
+    __slots__ = ("trigger", "fire_at")
+
+    def __init__(self, trigger: int) -> None:
+        self.trigger = trigger
+        self.fire_at: Optional[int] = None
+
+    def fires(self, index: int) -> bool:
+        if self.fire_at is not None:
+            return index == self.fire_at
+        if index >= self.trigger:
+            self.fire_at = index
+            return True
+        return False
+
+
+class LinkFaultInjector:
+    """The deterministic corruption engine of a faulty link.
+
+    ``apply`` consumes one outbound frame per call (one *transmission*)
+    and returns the list of frames that actually reach the far side —
+    possibly corrupted, duplicated, reordered, delayed or empty.  Held
+    frames (reorder/stall) are released after later transmissions, or
+    all at once by ``flush`` when the receiver is starving.
+    """
+
+    def __init__(self, plans: Sequence[LinkFaultPlan], seed: int = 2025,
+                 stall_frames: int = DEFAULT_STALL_FRAMES) -> None:
+        self._armed: List[Tuple[LinkFaultPlan, LinkFaultSpec,
+                                Optional[_PositionalFrameLatch]]] = []
+        for plan in plans:
+            spec = link_fault_by_name(plan.fault)
+            latch = (_PositionalFrameLatch(plan.trigger)
+                     if plan.trigger is not None else None)
+            self._armed.append((plan, spec, latch))
+        self._rng = random.Random(seed)
+        self.stall_frames = stall_frames
+        self.index = 0  # transmission index (monotonic, never reused)
+        self.injected: Dict[str, int] = {kind: 0
+                                         for kind in LINK_FAULT_KINDS}
+        self._held: List[Tuple[int, bytes]] = []  # (due index, frame)
+        #: Set when a reset fault fired; the consuming channel clears it
+        #: after wiping its in-flight state.
+        self.reset_pending = False
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    # ------------------------------------------------------------------
+    def _fires(self, plan: LinkFaultPlan,
+               latch: Optional[_PositionalFrameLatch], index: int) -> bool:
+        if latch is not None:
+            return latch.fires(index)
+        return plan.rate > 0.0 and self._rng.random() < plan.rate
+
+    def apply(self, frame: bytes) -> List[bytes]:
+        """Transmit one frame through the faulty link."""
+        index = self.index
+        self.index = index + 1
+        rng = self._rng
+        out: List[bytes] = []
+        current: Optional[bytes] = bytes(frame)
+        for plan, spec, latch in self._armed:
+            if not self._fires(plan, latch, index):
+                continue
+            kind = spec.kind
+            self.injected[kind] += 1
+            if kind == "reset":
+                current = None
+                self._held.clear()
+                self.reset_pending = True
+            elif current is None:
+                continue  # already dropped/held this transmission
+            elif kind == "drop":
+                current = None
+            elif kind == "bitflip":
+                current = _flip_bit(current, rng.randrange(len(current) * 8))
+            elif kind == "truncate":
+                current = current[:rng.randrange(len(current))]
+            elif kind == "duplicate":
+                out.append(current)
+            elif kind == "reorder":
+                self._held.append((index + 1, current))
+                current = None
+            elif kind == "stall":
+                self._held.append((index + self.stall_frames, current))
+                current = None
+        if current is not None:
+            out.append(current)
+        # Release held frames whose delay elapsed *after* the current
+        # frame, so a reorder really swaps delivery order.
+        if self._held:
+            due = [f for at, f in self._held if at <= index]
+            if due:
+                self._held = [(at, f) for at, f in self._held if at > index]
+                out.extend(due)
+        return out
+
+    def flush(self) -> List[bytes]:
+        """Release every held frame (the receiver has nothing else)."""
+        out = [frame for _at, frame in self._held]
+        self._held.clear()
+        return out
+
+    def clear_held(self) -> None:
+        """Discard held frames (the channel resynchronised past them)."""
+        self._held.clear()
+
+
+def _flip_bit(data: bytes, bit: int) -> bytes:
+    corrupted = bytearray(data)
+    corrupted[bit >> 3] ^= 1 << (bit & 7)
+    return bytes(corrupted)
+
+
+class FaultyLink(Channel):
+    """An *unreliable* channel: a :class:`~repro.comm.channel.Channel`
+    whose sends traverse a :class:`LinkFaultInjector` with no framing and
+    no recovery.
+
+    This is the raw faulty wire — transfers can arrive corrupted,
+    duplicated, out of order, or not at all.  Downstream, the hardened
+    unpackers (:class:`~repro.comm.packing.base.TransferDecodeError`) and
+    the checker's protocol checks turn most corruption into structured
+    transport errors, but *detection is not guaranteed* without the
+    framed CRC of :class:`~repro.comm.channel.ReliableChannel`; the
+    framework uses this class to demonstrate exactly that gap.
+    """
+
+    def __init__(self, injector: LinkFaultInjector,
+                 nonblocking: bool = False, queue_depth: int = 64,
+                 obs=None) -> None:
+        super().__init__(nonblocking=nonblocking, queue_depth=queue_depth,
+                         obs=obs)
+        self.injector = injector
+
+    def send(self, transfer) -> None:
+        for data in self.injector.apply(transfer.data):
+            super().send(Transfer(data, transfer.items, transfer.bubbles))
+        if self.injector.reset_pending:
+            self.injector.reset_pending = False
+            self._queue.clear()
+
+    def receive(self):
+        if not self._queue:
+            for data in self.injector.flush():
+                self._queue.append(Transfer(data))
+        return super().receive()

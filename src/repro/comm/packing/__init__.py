@@ -6,6 +6,7 @@ from .base import (
     Packer,
     PackingStats,
     Transfer,
+    TransferDecodeError,
     Unpacker,
     WireItem,
 )
@@ -24,6 +25,7 @@ __all__ = [
     "Packer",
     "PackingStats",
     "Transfer",
+    "TransferDecodeError",
     "Unpacker",
     "WireItem",
     "DEFAULT_FRAME_SIZE",

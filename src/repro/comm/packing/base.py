@@ -29,6 +29,31 @@ ENC_DIFF = 1
 PayloadLike = Union[bytes, memoryview]
 
 
+class TransferDecodeError(ValueError):
+    """A transfer's bytes could not be decoded back into wire items.
+
+    Mirrors the :class:`repro.toolkit.tracedump.TraceReader` ValueError
+    contract: a structured error that names the packing ``scheme``, the
+    byte ``offset`` at which decoding failed, and the ``expected`` /
+    ``actual`` byte counts involved.  Subclasses ``ValueError`` so
+    existing truncation-handling call sites keep working.
+
+    In resilient-transport mode the framework converts this into a
+    structured transport error (the link corrupted the bytes); on a
+    healthy link it indicates a packer/unpacker protocol bug.
+    """
+
+    def __init__(self, scheme: str, message: str, *, offset: int,
+                 expected=None, actual=None) -> None:
+        super().__init__(
+            f"{scheme} transfer decode error at byte offset {offset}: "
+            f"{message}")
+        self.scheme = scheme
+        self.offset = offset
+        self.expected = expected
+        self.actual = actual
+
+
 class WireItem:
     """One event as it crosses the hardware/software interface."""
 

@@ -36,7 +36,7 @@ from __future__ import annotations
 import struct
 from typing import List, Optional, Sequence
 
-from .base import Packer, Transfer, Unpacker, WireItem
+from .base import Packer, Transfer, TransferDecodeError, Unpacker, WireItem
 
 #: Fixed transmission-frame size (the paper's example: 4 KB transfers).
 DEFAULT_FRAME_SIZE = 4096
@@ -191,21 +191,38 @@ class BatchUnpacker(Unpacker):
     def unpack(self, transfer: Transfer) -> List[WireItem]:
         data = transfer.data
         view = memoryview(data) if self.zero_copy else data
-        (block_count,) = _FRAME_HEADER.unpack_from(data, 0)
-        offset = FRAME_HEADER_SIZE
-        items: List[WireItem] = []
-        append = items.append
-        for _ in range(block_count):
-            type_id, core_id, count = _BLOCK_HEADER.unpack_from(data, offset)
-            offset += BLOCK_HEADER_SIZE
-            for _ in range(count):
-                tag, encoding, length = _EVENT_HEADER.unpack_from(data, offset)
-                offset += EVENT_HEADER_SIZE
-                append(WireItem(type_id, core_id, tag,
-                                view[offset : offset + length], encoding))
-                offset += length
+        offset = 0
+        # The walk itself carries no per-event bounds checks (hot loop);
+        # a header that crosses the end of the frame raises struct.error,
+        # and a payload that does so leaves ``offset`` past the end —
+        # both are converted to a structured TransferDecodeError below.
+        try:
+            (block_count,) = _FRAME_HEADER.unpack_from(data, 0)
+            offset = FRAME_HEADER_SIZE
+            items: List[WireItem] = []
+            append = items.append
+            for _ in range(block_count):
+                type_id, core_id, count = _BLOCK_HEADER.unpack_from(data,
+                                                                    offset)
+                offset += BLOCK_HEADER_SIZE
+                for _ in range(count):
+                    tag, encoding, length = _EVENT_HEADER.unpack_from(data,
+                                                                      offset)
+                    offset += EVENT_HEADER_SIZE
+                    append(WireItem(type_id, core_id, tag,
+                                    view[offset : offset + length], encoding))
+                    offset += length
+        except struct.error as exc:
+            raise TransferDecodeError(
+                "batch",
+                f"truncated frame: a header crosses the end of the "
+                f"{len(data)}-byte frame ({exc})",
+                offset=offset, actual=len(data)) from exc
         if offset != len(data):
-            raise ValueError(
-                f"frame parse error: consumed {offset} of {len(data)} bytes"
-            )
+            raise TransferDecodeError(
+                "batch",
+                f"frame parse error: consumed {offset} of "
+                f"{len(data)} bytes",
+                offset=min(offset, len(data)), expected=offset,
+                actual=len(data))
         return items

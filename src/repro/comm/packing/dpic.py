@@ -11,7 +11,7 @@ from __future__ import annotations
 import struct
 from typing import List
 
-from .base import Packer, Transfer, Unpacker, WireItem
+from .base import Packer, Transfer, TransferDecodeError, Unpacker, WireItem
 
 _HEADER = struct.Struct("<BBIB")  # type, core, tag, encoding
 
@@ -57,6 +57,13 @@ class DpicUnpacker(Unpacker):
     def unpack(self, transfer: Transfer) -> List[WireItem]:
         data = transfer.data
         payload_len = len(data) - ITEM_HEADER_SIZE
+        if payload_len < 0:
+            raise TransferDecodeError(
+                "dpic",
+                f"truncated item: expected at least {ITEM_HEADER_SIZE} "
+                f"header bytes, got {len(data)}",
+                offset=len(data), expected=ITEM_HEADER_SIZE,
+                actual=len(data))
         if self.zero_copy:
             data = memoryview(data)
         return [decode_item(data, 0, payload_len)]

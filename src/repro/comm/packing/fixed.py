@@ -17,7 +17,8 @@ import struct
 from typing import Dict, List, Sequence, Tuple, Type
 
 from ...events import VerificationEvent
-from .base import ENC_FULL, Packer, Transfer, Unpacker, WireItem
+from .base import ENC_FULL, Packer, Transfer, TransferDecodeError, \
+    Unpacker, WireItem
 
 _SLOT_HEADER = struct.Struct("<BIBH")  # valid, tag, encoding, payload length
 SLOT_HEADER_SIZE = _SLOT_HEADER.size
@@ -133,15 +134,29 @@ class FixedUnpacker(Unpacker):
     def unpack(self, transfer: Transfer) -> List[WireItem]:
         layout = self.layout
         data = transfer.data
+        if len(data) != layout.packet_size:
+            raise TransferDecodeError(
+                "fixed",
+                f"packet size mismatch: layout expects "
+                f"{layout.packet_size} bytes, got {len(data)}",
+                offset=min(len(data), layout.packet_size),
+                expected=layout.packet_size, actual=len(data))
         view = memoryview(data) if self.zero_copy else data
         items: List[WireItem] = []
         for type_id, core_id, offset, slots in layout.regions:
             slot_size = layout.slot_size(type_id)
+            payload_size = layout.payload_size(type_id)
             for slot in range(slots):
                 base = offset + slot * slot_size
                 valid, tag, encoding, length = _SLOT_HEADER.unpack_from(data, base)
                 if not valid:
                     continue
+                if length > payload_size:
+                    raise TransferDecodeError(
+                        "fixed",
+                        f"slot payload length {length} exceeds the "
+                        f"{payload_size}-byte region of type {type_id}",
+                        offset=base, expected=payload_size, actual=length)
                 start = base + SLOT_HEADER_SIZE
                 items.append(WireItem(type_id, core_id, tag,
                                       view[start : start + length],

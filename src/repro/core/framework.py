@@ -12,12 +12,15 @@ and measures every communication quantity the LogGP model needs.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..comm.channel import Channel
+from ..comm.channel import Channel, LinkFailure, ReliableChannel
+from ..comm.framing import PACKER_IDS, PACKER_NAMES
 from ..comm.fusion.differencing import Completer
 from ..comm.fusion.squash import OrderCoupledFuser, SquashFuser
+from ..comm.linkfaults import FaultyLink, LinkFaultInjector
 from ..comm.loggp import OverheadBreakdown
 from ..comm.packing import (
     BatchPacker,
@@ -32,16 +35,17 @@ from ..comm.packing import (
 )
 from ..dut.config import DutConfig
 from ..dut.core import DutSystem
+from ..dut.snapshotting import restore_snapshot, take_snapshot
 from ..events import all_event_classes
 from ..isa.const import DRAM_BASE
 from ..isa.devices import CLINT_BASE, CLINT_SIZE, PLIC_BASE, PLIC_SIZE, \
     UART_BASE, UART_SIZE
 from ..obs import MetricsSnapshot, ObsContext, record_run_stats, resolve_obs
 from ..ref.model import RefModel
-from .checker import Checker
+from .checker import Checker, CheckerProtocolError, classify_stream_error
 from .config import DiffConfig
 from .replay import ReplayBuffer, ReplayUnit
-from .report import DebugReport, Mismatch
+from .report import DebugReport, Mismatch, TransportError
 from .stats import RunStats
 from .summary import RunSummary, summarize_result
 
@@ -66,10 +70,14 @@ class RunResult:
     instructions: int
     #: Registry snapshot when the run was observed (None when obs is off).
     metrics: Optional[MetricsSnapshot] = None
+    #: Unrecoverable link failure, when the run died of the transport
+    #: rather than of the DUT (mutually exclusive with a real mismatch).
+    transport_error: Optional[TransportError] = None
 
     @property
     def passed(self) -> bool:
-        return self.mismatch is None and self.exit_code == 0
+        return (self.mismatch is None and self.transport_error is None
+                and self.exit_code == 0)
 
     def breakdown(self, platform, gates_millions: float,
                   nonblocking: bool) -> OverheadBreakdown:
@@ -92,6 +100,7 @@ class CoSimulation:
         uart_input: bytes = b"",
         base: int = DRAM_BASE,
         obs: Optional[ObsContext] = None,
+        link: Optional[LinkFaultInjector] = None,
     ) -> None:
         self.dut_config = dut_config
         self.diff_config = diff_config
@@ -117,37 +126,67 @@ class CoSimulation:
             self.replay_buffers.append(buffer)
             self.replay_units.append(ReplayUnit(ref, buffer, core_id))
 
-        if diff_config.squash:
-            fuser_cls = (OrderCoupledFuser if diff_config.order_coupled
-                         else SquashFuser)
-            self.fuser = fuser_cls(window=diff_config.fusion_window,
-                                   differencing=diff_config.differencing)
-        else:
-            self.fuser = None
+        self.fuser = self._build_fuser()
 
-        enabled = [cls for cls in all_event_classes()
-                   if dut_config.event_enabled(cls.__name__)]
-        # The legacy (fast_compare=False) path also disables zero-copy
-        # unpacking, so benchmarks comparing the two measure the whole
-        # before/after software hot loop.
-        zero_copy = diff_config.fast_compare
-        if diff_config.packing == "batch":
-            self.packer = BatchPacker(diff_config.frame_size)
-            self.unpacker = BatchUnpacker(zero_copy=zero_copy)
-        elif diff_config.packing == "fixed":
-            layout = FixedLayout(enabled, dut_config.num_cores)
-            self.packer = FixedPacker(layout)
-            self.unpacker = FixedUnpacker(layout, zero_copy=zero_copy)
-        else:
-            self.packer = DpicPacker()
-            self.unpacker = DpicUnpacker(zero_copy=zero_copy)
+        self._enabled_events = [cls for cls in all_event_classes()
+                                if dut_config.event_enabled(cls.__name__)]
+        self.packer, self.unpacker = self._build_packing(diff_config.packing)
 
-        self.channel = Channel(nonblocking=diff_config.nonblocking,
-                               obs=self.obs)
+        reliability = diff_config.reliability
+        #: The resilient paths are taken when reliability is enabled or a
+        #: link-fault injector is installed; a plain run keeps the exact
+        #: unframed hot loop and wire format.
+        self._resilient = bool(reliability.reliable or link is not None)
+        if reliability.reliable:
+            self.channel: Channel = ReliableChannel(
+                nonblocking=diff_config.nonblocking, obs=self.obs,
+                injector=link,
+                max_retries=reliability.max_retries,
+                backoff_base_us=reliability.backoff_base_us,
+                backoff_cap_us=reliability.backoff_cap_us,
+                retransmit_slots=reliability.retransmit_slots,
+                packer_id=PACKER_IDS[diff_config.packing])
+        elif link is not None:
+            self.channel = FaultyLink(link,
+                                      nonblocking=diff_config.nonblocking,
+                                      obs=self.obs)
+        else:
+            self.channel = Channel(nonblocking=diff_config.nonblocking,
+                                   obs=self.obs)
+        self._unpacker_cache = {PACKER_IDS[diff_config.packing]:
+                                self.unpacker}
+        self._recovery_point: Optional[tuple] = None
+        self._last_recovery_cycle = 0
+        self._recoveries = 0
         self.completer = Completer()
         self.mismatch: Optional[Mismatch] = None
         self.debug_report: Optional[DebugReport] = None
+        self.transport_error: Optional[TransportError] = None
         self._cycle = 0
+
+    def _build_fuser(self):
+        if not self.diff_config.squash:
+            return None
+        fuser_cls = (OrderCoupledFuser if self.diff_config.order_coupled
+                     else SquashFuser)
+        return fuser_cls(window=self.diff_config.fusion_window,
+                         differencing=self.diff_config.differencing)
+
+    def _build_packing(self, packing: str):
+        """Build a (packer, unpacker) pair for one packing scheme."""
+        # The legacy (fast_compare=False) path also disables zero-copy
+        # unpacking, so benchmarks comparing the two measure the whole
+        # before/after software hot loop.
+        zero_copy = self.diff_config.fast_compare
+        if packing == "batch":
+            return (BatchPacker(self.diff_config.frame_size),
+                    BatchUnpacker(zero_copy=zero_copy))
+        if packing == "fixed":
+            layout = FixedLayout(self._enabled_events,
+                                 self.dut_config.num_cores)
+            return (FixedPacker(layout),
+                    FixedUnpacker(layout, zero_copy=zero_copy))
+        return DpicPacker(), DpicUnpacker(zero_copy=zero_copy)
 
     # ------------------------------------------------------------------
     # Hardware side of one cycle
@@ -311,8 +350,235 @@ class CoSimulation:
             self.debug_report = unit.replay(mismatch)
 
     # ------------------------------------------------------------------
+    # Resilient transport: guarded drain, degradation, snapshot recovery
+    # ------------------------------------------------------------------
+    #: Stream-level corruption a resilient drain converts to a
+    #: structured transport error: decode failures (TransferDecodeError
+    #: and FrameError are ValueErrors), short/garbage payloads
+    #: (struct.error), out-of-range ids (LookupError) and ordering
+    #: violations (CheckerProtocolError).
+    _STREAM_ERRORS = (ValueError, struct.error, LookupError,
+                      CheckerProtocolError)
+
+    def _set_transport_error(self, kind: str, detail: str,
+                             seq: Optional[int] = None) -> None:
+        if self.transport_error is None:
+            self.transport_error = TransportError(
+                kind=kind, detail=detail, seq=seq, cycle=self._cycle)
+
+    def _drain_resilient(self) -> None:
+        """Software drain with transport-error classification.
+
+        Link-level failures (:class:`LinkFailure`) propagate to the run
+        loop, which decides between snapshot recovery, degradation and a
+        terminal transport error.  Stream-level corruption that slipped
+        past the link (decode errors, protocol violations, garbage
+        payloads) becomes a structured :class:`TransportError` here —
+        never a spurious DUT mismatch.
+        """
+        checkers = self.checkers
+        completer = self.completer
+        stats = self.stats
+        channel = self.channel
+        fast = self.diff_config.fast_compare
+        framed = isinstance(channel, ReliableChannel)
+        while self.mismatch is None:
+            transfer = channel.receive()  # may raise LinkFailure
+            if transfer is None:
+                return
+            stats.counters.sw_dispatches += 1
+            try:
+                if framed:
+                    # Frames carry the packing scheme they were encoded
+                    # under, so frames in flight across a transport
+                    # degradation still decode with the right unpacker.
+                    unpacker = self._unpacker_for(channel.last_packer_id)
+                else:
+                    unpacker = self.unpacker
+                for item in unpacker.unpack(transfer):
+                    stats.events_transmitted += 1
+                    if fast:
+                        mismatch = checkers[item.core_id].process_item(
+                            item, completer)
+                    else:
+                        event = completer.complete(item)
+                        mismatch = checkers[event.core_id].process(event)
+                    if mismatch is not None:
+                        self._on_mismatch(mismatch)
+                        return
+                    self._maybe_checkpoint(item.core_id)
+            except self._STREAM_ERRORS as exc:
+                self._set_transport_error(classify_stream_error(exc),
+                                          str(exc))
+                return
+
+    def _unpacker_for(self, packer_id: int):
+        unpacker = self._unpacker_cache.get(packer_id)
+        if unpacker is None:
+            _packer, unpacker = self._build_packing(PACKER_NAMES[packer_id])
+            self._unpacker_cache[packer_id] = unpacker
+        return unpacker
+
+    def _transport_quiescent(self) -> bool:
+        """True when every event produced so far has been checked."""
+        for core, checker in zip(self.dut.cores, self.checkers):
+            if checker.ref_slot != core.monitor.slot:
+                return False
+            if not checker.quiescent:
+                return False
+        return len(self.channel) == 0
+
+    def _take_recovery_point(self) -> None:
+        """Image DUT + REFs at a verified quiescent boundary, so an
+        unrecoverable link failure can rewind instead of killing the run."""
+        self._flush_hardware()
+        self._drain_resilient()
+        if (self.mismatch is not None or self.transport_error is not None
+                or not self._transport_quiescent()):
+            return
+        image = take_snapshot(self.dut)
+        ref_clones = [ref.clone() for ref in self.refs]
+        slots = [checker.ref_slot for checker in self.checkers]
+        self._recovery_point = (image, ref_clones, slots)
+        self._last_recovery_cycle = self._cycle
+
+    def _maybe_recovery_point(self) -> None:
+        interval = self.diff_config.reliability.recovery_interval
+        if self._cycle - self._last_recovery_cycle >= interval:
+            self._take_recovery_point()
+
+    def _restore_recovery_point(self) -> None:
+        """Rewind DUT, REFs and the whole checking pipeline to the latest
+        recovery point, and resynchronise the link."""
+        image, ref_clones, slots = self._recovery_point
+        restore_snapshot(self.dut, image)
+        # The stored clones stay pristine: each restore re-clones them so
+        # the same recovery point survives repeated restores.
+        self.refs = [clone.clone() for clone in ref_clones]
+        self.checkers = []
+        self.replay_buffers = []
+        self.replay_units = []
+        for core_id, (ref, slot) in enumerate(zip(self.refs, slots)):
+            checker = Checker(ref, core_id, self.stats.counters,
+                              obs=self.obs)
+            checker.ref_slot = slot
+            self.checkers.append(checker)
+            buffer = ReplayBuffer(self.diff_config.replay_buffer_slots)
+            self.replay_buffers.append(buffer)
+            unit = ReplayUnit(ref, buffer, core_id)
+            unit.checkpoint(slot)
+            self.replay_units.append(unit)
+        self.completer = Completer()
+        old_fuser = self.fuser
+        self.fuser = self._build_fuser()
+        if self.fuser is not None and old_fuser is not None:
+            self.fuser.stats = old_fuser.stats  # keep run-wide totals
+        self._rebuild_packer()
+        channel = self.channel
+        if isinstance(channel, ReliableChannel):
+            channel.reset_link()
+        else:
+            channel.drain()
+        self._cycle = image.cycle_taken
+        self._last_recovery_cycle = self._cycle
+        self._recoveries += 1
+        self.stats.link_recoveries += 1
+
+    def _rebuild_packer(self) -> None:
+        """Fresh packer/unpacker for the (possibly degraded) packing;
+        packing statistics carry over so the run's totals stay whole."""
+        old_stats = self.packer.stats
+        self.packer, self.unpacker = self._build_packing(
+            self.diff_config.packing)
+        self.packer.stats = old_stats
+        packer_id = PACKER_IDS[self.diff_config.packing]
+        self._unpacker_cache[packer_id] = self.unpacker
+        if isinstance(self.channel, ReliableChannel):
+            self.channel.packer_id = packer_id
+
+    def _degrade_transport(self) -> bool:
+        """Step down the degradation ladder: configured packing ->
+        per-event dpic -> blocking handshake.  Returns False when already
+        at the bottom."""
+        cfg = self.diff_config
+        if cfg.packing != "dpic":
+            self.diff_config = cfg.with_(packing="dpic")
+            step = "dpic"
+        elif cfg.nonblocking:
+            self.diff_config = cfg.with_(nonblocking=False)
+            self.channel.nonblocking = False
+            step = "blocking"
+        else:
+            return False
+        self.stats.degradations.append(step)
+        self._rebuild_packer()
+        return True
+
+    def _handle_link_failure(self, failure: LinkFailure) -> None:
+        """An unrecoverable frame: degrade and/or rewind, else report.
+
+        Recovery requires a snapshot restore — the lost frame's events
+        cannot be regenerated, so only rewinding to a verified boundary
+        keeps DUT and REF in lockstep.  Degradation piggybacks on the
+        restore: after ``degrade_after`` consecutive failures the re-run
+        uses a simpler, more robust transport.
+        """
+        reliability = self.diff_config.reliability
+        if (reliability.snapshot_recovery
+                and self._recovery_point is not None
+                and self._recoveries < reliability.max_recoveries):
+            failures = getattr(self.channel, "consecutive_failures", 0)
+            if failures >= reliability.degrade_after:
+                self._degrade_transport()
+            if self._obs_on:
+                with self._tracer.span("recovery", cycle=self._cycle):
+                    self._restore_recovery_point()
+            else:
+                self._restore_recovery_point()
+            return
+        self._set_transport_error(failure.kind, str(failure),
+                                  seq=failure.seq)
+
+    def _run_resilient(self, max_cycles: int) -> RunResult:
+        """The guarded twin of :meth:`run` for resilient transports."""
+        reliability = self.diff_config.reliability
+        if reliability.snapshot_recovery and self._recovery_point is None:
+            # Cycle-0 recovery point: even a failure before the first
+            # interval boundary can rewind.
+            self._take_recovery_point()
+        while (not self.dut.finished() and self._cycle < max_cycles
+               and self.mismatch is None and self.transport_error is None):
+            self._cycle += 1
+            try:
+                self._hardware_cycle()
+                self._drain_resilient()
+                if reliability.snapshot_recovery:
+                    self._maybe_recovery_point()
+            except LinkFailure as failure:
+                self._handle_link_failure(failure)
+        if self.mismatch is None and self.transport_error is None:
+            try:
+                self._flush_hardware()
+                self._drain_resilient()
+            except LinkFailure as failure:
+                self._handle_link_failure(failure)
+                if self.transport_error is None:
+                    try:
+                        self._flush_hardware()
+                        self._drain_resilient()
+                    except LinkFailure as second:
+                        # Recovery restored the pipeline but the final
+                        # drain still cannot complete: give up cleanly.
+                        self._set_transport_error(
+                            "recovery", f"final drain failed after "
+                            f"recovery: {second}", seq=second.seq)
+        return self._finish()
+
+    # ------------------------------------------------------------------
     def run(self, max_cycles: int = 1_000_000) -> RunResult:
         """Run until every core traps, a mismatch fires, or the budget ends."""
+        if self._resilient:
+            return self._run_resilient(max_cycles)
         # Select the traced or plain loop bodies once, so a run without
         # observability pays nothing per cycle for the instrumentation.
         if self._obs_on:
@@ -340,6 +606,15 @@ class CoSimulation:
         counters.bytes_sent = self.channel.bytes_sent
         self.stats.max_queue_occupancy = self.channel.max_occupancy
         self.stats.backpressure_events = self.channel.backpressure_events
+        # Link-integrity counters (all zero on a plain Channel).
+        channel = self.channel
+        counters.link_crc_errors = getattr(channel, "crc_errors", 0)
+        counters.link_retransmits = getattr(channel, "retransmits", 0)
+        counters.link_frames_dropped = getattr(channel, "frames_dropped", 0)
+        counters.link_duplicates = getattr(channel, "duplicates", 0)
+        counters.link_resets = getattr(channel, "resets", 0)
+        counters.link_recovery_us = getattr(channel, "recovery_us", 0.0)
+        counters.link_degradations = len(self.stats.degradations)
         self.stats.packet_utilization = self.packer.stats.utilization
         self.stats.bubble_bytes = self.packer.stats.bubble_bytes
         self.stats.meta_bytes = self.packer.stats.meta_bytes
@@ -366,14 +641,16 @@ class CoSimulation:
             cycles=self._cycle,
             instructions=counters.instructions,
             metrics=metrics,
+            transport_error=self.transport_error,
         )
 
 
 def run_cosim(dut_config: DutConfig, diff_config: DiffConfig, image: bytes,
               max_cycles: int = 1_000_000, seed: int = 2025,
               uart_input: bytes = b"",
-              obs: Optional[ObsContext] = None) -> RunResult:
+              obs: Optional[ObsContext] = None,
+              link: Optional[LinkFaultInjector] = None) -> RunResult:
     """Convenience wrapper: build and run one co-simulation."""
     cosim = CoSimulation(dut_config, diff_config, image, seed=seed,
-                         uart_input=uart_input, obs=obs)
+                         uart_input=uart_input, obs=obs, link=link)
     return cosim.run(max_cycles)

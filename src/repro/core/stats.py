@@ -9,7 +9,7 @@ modeled time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..comm.loggp import CommCounters, OverheadBreakdown, model_overhead
 from ..events import VerificationEvent, all_event_classes
@@ -59,6 +59,12 @@ class RunStats:
     backpressure_events: int = 0
     replay_buffer_peak: int = 0
     checkpoints: int = 0
+    #: Transport degradation steps taken, in order (e.g. ["dpic",
+    #: "blocking"]).  Empty unless a resilient run degraded.
+    degradations: List[str] = field(default_factory=list)
+    #: Snapshot restores the resilient transport performed to survive
+    #: unrecoverable link failures.
+    link_recoveries: int = 0
 
     @property
     def bytes_per_cycle(self) -> float:

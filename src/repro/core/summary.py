@@ -26,6 +26,7 @@ from typing import Optional
 
 from ..comm.loggp import CommCounters, OverheadBreakdown, model_overhead
 from ..obs import MetricsSnapshot
+from .report import TransportError
 
 
 @dataclass(frozen=True)
@@ -74,6 +75,13 @@ class RunSummary:
     #: Registry snapshot when the job ran under observability (else None);
     #: campaign aggregation folds these with MetricsSnapshot.merge.
     metrics: Optional[MetricsSnapshot] = None
+    #: Structured link failure (already frozen primitives, so it crosses
+    #: process boundaries as-is); None on a healthy transport.
+    transport_error: Optional[TransportError] = None
+    #: Degradation-ladder steps the resilient transport took, in order.
+    degradations: tuple = ()
+    #: Snapshot restores performed to survive link failures.
+    link_recoveries: int = 0
 
     # -- derived quantities (same definitions as RunStats) -------------
     @property
@@ -128,4 +136,7 @@ def summarize_result(result) -> RunSummary:
         backpressure_events=stats.backpressure_events,
         checkpoints=stats.checkpoints,
         metrics=result.metrics,
+        transport_error=getattr(result, "transport_error", None),
+        degradations=tuple(stats.degradations),
+        link_recoveries=stats.link_recoveries,
     )

@@ -226,10 +226,12 @@ FAULT_CATALOGUE = (
 
 
 def fault_by_name(name: str) -> FaultSpec:
+    """Catalogue lookup; unknown names list the valid ones."""
     for spec in FAULT_CATALOGUE:
         if spec.name == name:
             return spec
-    raise KeyError(name)
+    valid = ", ".join(sorted(spec.name for spec in FAULT_CATALOGUE))
+    raise KeyError(f"unknown fault {name!r}; valid faults: {valid}")
 
 
 def faults_by_category() -> dict:

@@ -7,7 +7,13 @@ and canned campaign builders; see ``docs/architecture.md`` ("Campaign
 parallelism") for the determinism guarantee.
 """
 
-from .campaigns import FaultCase, fault_campaign, ladder_campaign
+from .campaigns import (
+    FaultCase,
+    LinkFaultCase,
+    fault_campaign,
+    ladder_campaign,
+    linkfault_campaign,
+)
 from .executor import (
     CampaignExecutor,
     CampaignResult,
@@ -22,6 +28,8 @@ __all__ = [
     "CampaignResult",
     "CampaignStats",
     "FaultCase",
+    "LinkFaultCase",
+    "linkfault_campaign",
     "JobResult",
     "JobSpec",
     "JobTimeout",

@@ -52,6 +52,60 @@ def fault_campaign(cases: Sequence[FaultCase], dut_config, diff_config,
     return executor.run(specs, on_result=on_result)
 
 
+@dataclass(frozen=True)
+class LinkFaultCase:
+    """One link-fault campaign cell: a link fault armed over an image.
+
+    ``packing`` (when non-empty) overrides the campaign's diff config
+    per cell, so one campaign can sweep the fault x packer matrix.
+    Frozen primitives only, so cases pickle into worker processes.
+    """
+
+    fault: str
+    image: bytes
+    rate: float = 0.0
+    trigger: Optional[int] = None
+    link_seed: int = 2025
+    max_cycles: int = 80_000
+    label: str = ""
+    packing: str = ""
+
+
+def linkfault_campaign(cases: Sequence[LinkFaultCase], dut_config,
+                       diff_config, workers: Optional[int] = None,
+                       job_timeout: Optional[float] = None,
+                       retries: int = 1,
+                       on_result: Optional[Callable[[JobResult], None]]
+                       = None,
+                       collect_metrics: bool = False, obs=None
+                       ) -> CampaignResult:
+    """Inject every link-fault case; aggregation is deterministic.
+
+    Like fault campaigns, link-fault campaigns never short-circuit: the
+    campaign's value is the full resilience matrix — for every cell,
+    either the run recovered or it reported a structured transport
+    error.  A spurious DUT mismatch in any cell is the failure the
+    campaign exists to catch.
+    """
+    specs = []
+    for case in cases:
+        config = (diff_config.with_(packing=case.packing) if case.packing
+                  else diff_config)
+        label = case.label or case.fault
+        specs.append(JobSpec(
+            kind="linkfault", label=label,
+            params={"dut": dut_config, "config": config,
+                    "image": case.image, "link_fault": case.fault,
+                    "link_rate": case.rate,
+                    "link_trigger": case.trigger,
+                    "link_seed": case.link_seed,
+                    "max_cycles": case.max_cycles}))
+    executor = CampaignExecutor(workers=workers, job_timeout=job_timeout,
+                                retries=retries,
+                                collect_metrics=collect_metrics, obs=obs)
+    return executor.run(specs, on_result=on_result)
+
+
 def ladder_campaign(workload_name: str, dut_config, diff_configs,
                     workers: Optional[int] = None,
                     job_timeout: Optional[float] = None,

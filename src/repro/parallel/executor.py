@@ -20,7 +20,9 @@ aggregated report to ``workers=1`` — timing lives only in the separate
 Failure handling
 ----------------
 Each job gets a wall-clock ``job_timeout`` (enforced in the worker via
-``SIGALRM``) and up to ``retries`` extra attempts after a timeout or
+``SIGALRM`` where the platform and thread allow it — see
+:func:`_attempt_with_timeout` for the documented no-timeout fallback)
+and up to ``retries`` extra attempts after a timeout or
 runner exception.  A run that merely *fails verification* (mismatch,
 bad exit code) is a completed job and is never retried.  With
 ``short_circuit=True`` the campaign stops at the first failing job in
@@ -60,15 +62,26 @@ def _alarm(_signum, _frame):
     raise JobTimeout()
 
 
+#: SIGALRM/setitimer only exist on POSIX — Windows' signal module has
+#: neither, and some embedded Pythons strip setitimer.  Checked once at
+#: import so every attempt takes the same, cheap branch.
+_ALARM_CAPABLE = (hasattr(signal, "SIGALRM")
+                  and hasattr(signal, "setitimer"))
+
+
 def _attempt_with_timeout(runner, params, timeout: Optional[float]):
     """Run one attempt, bounded by ``timeout`` seconds of wall clock.
 
-    Uses ``SIGALRM``, which only works on the main thread of a process;
-    pool workers and the serial in-process mode both qualify.  When no
-    timeout is set (or we are not on the main thread) the attempt runs
-    unbounded.
+    Uses ``SIGALRM``, which requires a POSIX platform *and* the main
+    thread of the process; pool workers and the serial in-process mode
+    both qualify.  The documented fallback: when no timeout is set, the
+    platform lacks SIGALRM/setitimer, or we are on a non-main thread
+    (e.g. an executor embedded in a threaded host), the attempt runs
+    **unbounded** — the parent-side ``future.result(timeout=...)``
+    safety net in :meth:`CampaignExecutor._run_pool` still catches
+    worker-side hangs in pool mode.
     """
-    use_alarm = (timeout is not None and hasattr(signal, "setitimer")
+    use_alarm = (timeout is not None and _ALARM_CAPABLE
                  and threading.current_thread() is threading.main_thread())
     if not use_alarm:
         return runner(params)

@@ -1,0 +1,767 @@
+"""Resilient transport: framing, link faults, recovery, degradation.
+
+The invariant under test, end to end: **every injected link fault is
+either recovered or reported as a structured transport error — never a
+spurious DUT mismatch and never a silent pass of corrupted state.**
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.comm.channel import Channel, LinkFailure, ReliableChannel
+from repro.comm.framing import (
+    FRAME_VERSION,
+    HEADER_SIZE,
+    MAGIC,
+    PACKER_IDS,
+    FrameCrcError,
+    FrameError,
+    FrameMagicError,
+    FrameTruncatedError,
+    FrameVersionError,
+    decode_frame,
+    encode_frame,
+)
+from repro.comm.linkfaults import (
+    LINK_FAULT_CATALOGUE,
+    LINK_FAULT_KINDS,
+    FaultyLink,
+    LinkFaultInjector,
+    LinkFaultPlan,
+    link_fault_by_name,
+)
+from repro.comm.loggp import CommCounters, model_overhead
+from repro.comm.packing import (
+    BatchUnpacker,
+    DpicUnpacker,
+    FixedLayout,
+    FixedUnpacker,
+    Transfer,
+    TransferDecodeError,
+)
+from repro.comm.platform import PALLADIUM
+from repro.core import (
+    CONFIG_BNSD,
+    CoSimulation,
+    DiffConfig,
+    ReliabilityConfig,
+    TransportError,
+    classify_stream_error,
+)
+from repro.core.checker import CheckerProtocolError
+from repro.dut import XIANGSHAN_DEFAULT, fault_by_name
+from repro.events import InstrCommit
+
+pytestmark = pytest.mark.linkfault
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+class TestFraming:
+    def test_round_trip(self):
+        frame = encode_frame(7, b"payload", packer_id=2, items=3, bubbles=1)
+        header, payload = decode_frame(frame)
+        assert (header.seq, header.packer_id) == (7, 2)
+        assert (header.items, header.bubbles) == (3, 1)
+        assert payload == b"payload"
+        assert len(frame) == HEADER_SIZE + len(b"payload")
+
+    def test_empty_payload_round_trip(self):
+        header, payload = decode_frame(encode_frame(0, b""))
+        assert header.length == 0 and payload == b""
+
+    def test_truncated_header(self):
+        with pytest.raises(FrameTruncatedError) as excinfo:
+            decode_frame(b"\x00" * (HEADER_SIZE - 1))
+        assert excinfo.value.expected == HEADER_SIZE
+        assert excinfo.value.actual == HEADER_SIZE - 1
+
+    def test_bad_magic(self):
+        frame = bytearray(encode_frame(0, b"x"))
+        frame[0] ^= 0xFF
+        with pytest.raises(FrameMagicError):
+            decode_frame(bytes(frame))
+
+    def test_bad_version(self):
+        frame = bytearray(encode_frame(0, b"x"))
+        frame[len(MAGIC)] = FRAME_VERSION + 1
+        with pytest.raises(FrameVersionError):
+            decode_frame(bytes(frame))
+
+    def test_truncated_payload(self):
+        frame = encode_frame(0, b"hello world")
+        with pytest.raises(FrameError):
+            decode_frame(frame[:-3])
+
+    def test_every_single_bit_flip_detected(self):
+        frame = encode_frame(5, b"critical", packer_id=1, items=2)
+        for bit in range(len(frame) * 8):
+            corrupted = bytearray(frame)
+            corrupted[bit >> 3] ^= 1 << (bit & 7)
+            with pytest.raises(FrameError):
+                decode_frame(bytes(corrupted))
+
+    def test_crc_error_is_value_error(self):
+        frame = bytearray(encode_frame(0, b"data"))
+        frame[-1] ^= 0x01  # payload byte (CRC is in the prefix region)
+        with pytest.raises(ValueError):
+            decode_frame(bytes(frame))
+        with pytest.raises(FrameCrcError):
+            decode_frame(bytes(frame))
+
+
+# ----------------------------------------------------------------------
+# Catalogue lookups (satellite: structured KeyError messages)
+# ----------------------------------------------------------------------
+class TestCatalogues:
+    def test_link_catalogue_covers_all_kinds(self):
+        assert sorted(spec.kind for spec in LINK_FAULT_CATALOGUE) == \
+            sorted(LINK_FAULT_KINDS)
+
+    def test_link_fault_by_name(self):
+        assert link_fault_by_name("link_drop").kind == "drop"
+
+    def test_link_fault_unknown_name_lists_valid(self):
+        with pytest.raises(KeyError) as excinfo:
+            link_fault_by_name("nope")
+        message = excinfo.value.args[0]
+        assert "'nope'" in message
+        for spec in LINK_FAULT_CATALOGUE:
+            assert spec.name in message
+
+    def test_dut_fault_unknown_name_lists_valid(self):
+        with pytest.raises(KeyError) as excinfo:
+            fault_by_name("nope")
+        message = excinfo.value.args[0]
+        assert "'nope'" in message
+        assert "cache_line_corruption" in message
+
+    def test_dut_fault_known_name_still_resolves(self):
+        assert fault_by_name("cache_line_corruption").name == \
+            "cache_line_corruption"
+
+
+# ----------------------------------------------------------------------
+# Injector
+# ----------------------------------------------------------------------
+class TestInjector:
+    def test_positional_latch_fires_once_and_latches(self):
+        injector = LinkFaultInjector([LinkFaultPlan("link_drop", trigger=2)])
+        outs = [injector.apply(bytes([i])) for i in range(5)]
+        assert outs[0] == [b"\x00"] and outs[1] == [b"\x01"]
+        assert outs[2] == []  # dropped at index 2
+        assert outs[3] == [b"\x03"] and outs[4] == [b"\x04"]
+        assert injector.injected["drop"] == 1
+
+    def test_rate_faults_deterministic_per_seed(self):
+        def run(seed):
+            injector = LinkFaultInjector(
+                [LinkFaultPlan("link_bitflip", rate=0.5)], seed=seed)
+            return [bytes(b) for i in range(32)
+                    for b in injector.apply(bytes([i]) * 8)]
+
+        assert run(11) == run(11)
+        assert run(11) != run(12)
+
+    def test_duplicate_emits_two_copies(self):
+        injector = LinkFaultInjector(
+            [LinkFaultPlan("link_duplicate", trigger=0)])
+        assert injector.apply(b"abc") == [b"abc", b"abc"]
+
+    def test_reorder_swaps_with_next(self):
+        injector = LinkFaultInjector(
+            [LinkFaultPlan("link_reorder", trigger=0)])
+        assert injector.apply(b"first") == []
+        assert injector.apply(b"second") == [b"second", b"first"]
+
+    def test_stall_holds_for_n_frames(self):
+        injector = LinkFaultInjector(
+            [LinkFaultPlan("link_stall", trigger=0)], stall_frames=2)
+        assert injector.apply(b"a") == []
+        assert injector.apply(b"b") == [b"b"]
+        assert injector.apply(b"c") == [b"c", b"a"]
+
+    def test_flush_releases_held(self):
+        injector = LinkFaultInjector(
+            [LinkFaultPlan("link_stall", trigger=0)], stall_frames=100)
+        assert injector.apply(b"a") == []
+        assert injector.flush() == [b"a"]
+        assert injector.flush() == []
+
+    def test_reset_clears_held_and_flags(self):
+        injector = LinkFaultInjector([
+            LinkFaultPlan("link_stall", trigger=0),
+            LinkFaultPlan("link_reset", trigger=1),
+        ])
+        assert injector.apply(b"a") == []  # held by stall
+        assert injector.apply(b"b") == []  # reset wipes everything
+        assert injector.reset_pending
+        assert injector.flush() == []
+
+
+# ----------------------------------------------------------------------
+# ReliableChannel unit behaviour
+# ----------------------------------------------------------------------
+def _transfer(data: bytes, items: int = 1) -> Transfer:
+    return Transfer(data, items=items)
+
+
+class TestReliableChannel:
+    def test_clean_round_trip_preserves_metadata(self):
+        channel = ReliableChannel()
+        channel.send(Transfer(b"abc", items=4, bubbles=2))
+        received = channel.receive()
+        assert received.data == b"abc"
+        assert (received.items, received.bubbles) == (4, 2)
+        assert channel.receive() is None
+
+    def test_framing_overhead_counted_on_wire(self):
+        channel = ReliableChannel()
+        channel.send(_transfer(b"abcd"))
+        assert channel.bytes_sent == HEADER_SIZE + 4
+        assert channel.invokes == 1
+
+    def test_drop_recovers_by_retransmit(self):
+        injector = LinkFaultInjector([LinkFaultPlan("link_drop", trigger=0)])
+        channel = ReliableChannel(injector=injector)
+        channel.send(_transfer(b"lost"))
+        channel.send(_transfer(b"kept"))
+        assert [t.data for t in channel.drain()] == [b"lost", b"kept"]
+        assert channel.retransmits == 1
+        assert channel.frames_dropped == 1
+        assert channel.recovery_us > 0
+
+    def test_bitflip_detected_then_recovered(self):
+        injector = LinkFaultInjector(
+            [LinkFaultPlan("link_bitflip", trigger=0)])
+        channel = ReliableChannel(injector=injector)
+        channel.send(_transfer(b"sensitive"))
+        assert channel.receive().data == b"sensitive"
+        assert channel.crc_errors == 1
+        assert channel.retransmits == 1
+
+    def test_duplicate_discarded(self):
+        injector = LinkFaultInjector(
+            [LinkFaultPlan("link_duplicate", trigger=0)])
+        channel = ReliableChannel(injector=injector)
+        channel.send(_transfer(b"once"))
+        assert [t.data for t in channel.drain()] == [b"once"]
+        assert channel.duplicates == 1
+
+    def test_reorder_restored_in_sequence(self):
+        injector = LinkFaultInjector(
+            [LinkFaultPlan("link_reorder", trigger=0)])
+        channel = ReliableChannel(injector=injector)
+        channel.send(_transfer(b"one"))
+        channel.send(_transfer(b"two"))
+        assert [t.data for t in channel.drain()] == [b"one", b"two"]
+        assert channel.retransmits == 0  # reorder buffer, no retransmit
+
+    def test_stalled_frame_flushed_when_starving(self):
+        injector = LinkFaultInjector(
+            [LinkFaultPlan("link_stall", trigger=0)], stall_frames=1000)
+        channel = ReliableChannel(injector=injector)
+        channel.send(_transfer(b"late"))
+        assert channel.receive().data == b"late"
+
+    def test_retries_exhausted_raises_link_failure(self):
+        injector = LinkFaultInjector([LinkFaultPlan("link_drop", rate=1.0)])
+        channel = ReliableChannel(injector=injector, max_retries=3)
+        channel.send(_transfer(b"doomed"))
+        with pytest.raises(LinkFailure) as excinfo:
+            channel.receive()
+        assert excinfo.value.kind == "exhausted"
+        assert channel.retransmits == 3
+        assert channel.consecutive_failures == 1
+
+    def test_backoff_is_capped_exponential(self):
+        injector = LinkFaultInjector([LinkFaultPlan("link_drop", rate=1.0)])
+        channel = ReliableChannel(injector=injector, max_retries=4,
+                                  backoff_base_us=100.0,
+                                  backoff_cap_us=400.0)
+        channel.send(_transfer(b"doomed"))
+        with pytest.raises(LinkFailure):
+            channel.receive()
+        # 100, 200, 400 (cap), 400 (cap)
+        assert channel.recovery_us == pytest.approx(1100.0)
+
+    def test_reset_loses_retransmit_buffer(self):
+        injector = LinkFaultInjector([LinkFaultPlan("link_reset", trigger=0)])
+        channel = ReliableChannel(injector=injector)
+        channel.send(_transfer(b"gone"))
+        with pytest.raises(LinkFailure) as excinfo:
+            channel.receive()
+        assert excinfo.value.kind == "reset"
+        assert channel.resets == 1
+
+    def test_eviction_from_bounded_buffer(self):
+        # Hold the first frame back (stall), push enough traffic to
+        # evict seq 0 from a 4-slot retransmit buffer, then starve.
+        injector = LinkFaultInjector(
+            [LinkFaultPlan("link_drop", trigger=0)])
+        channel = ReliableChannel(injector=injector, retransmit_slots=4)
+        for i in range(8):
+            channel.send(_transfer(bytes([i])))
+        # Drain the delivered 1..7 out of order demand: seq 0 is missing
+        # and was evicted by the later sends.
+        with pytest.raises(LinkFailure) as excinfo:
+            channel.drain()
+        assert excinfo.value.kind == "evicted"
+
+    def test_reset_link_resynchronises(self):
+        injector = LinkFaultInjector([LinkFaultPlan("link_reset", trigger=0)])
+        channel = ReliableChannel(injector=injector)
+        channel.send(_transfer(b"gone"))
+        with pytest.raises(LinkFailure):
+            channel.receive()
+        channel.reset_link()
+        assert channel.receive() is None  # resynced: nothing owed
+        channel.send(_transfer(b"fresh"))
+        assert channel.receive().data == b"fresh"
+        assert channel.consecutive_failures == 0
+
+    def test_wire_format_unframed_by_default(self):
+        """reliable=False keeps the plain Channel: byte-identical wire."""
+        plain = Channel()
+        plain.send(_transfer(b"payload"))
+        assert plain.bytes_sent == len(b"payload")  # no header added
+        cosim_config = CONFIG_BNSD
+        assert cosim_config.reliability.reliable is False
+
+
+class TestChannelInterleavings:
+    """Satellite: drain()/receive() interleavings under backpressure."""
+
+    def test_plain_channel_interleaved_receive_then_drain(self):
+        channel = Channel(nonblocking=True, queue_depth=2)
+        for i in range(4):
+            channel.send(_transfer(bytes([i])))
+        assert channel.backpressure_events == 3  # occupancies 2, 3, 4
+        assert channel.receive().data == b"\x00"
+        rest = channel.drain()
+        assert [t.data for t in rest] == [b"\x01", b"\x02", b"\x03"]
+        assert channel.receive() is None
+        assert len(channel) == 0
+        assert channel.max_occupancy == 4
+
+    def test_reliable_channel_interleaved_under_backpressure(self):
+        channel = ReliableChannel(nonblocking=True, queue_depth=2)
+        for i in range(4):
+            channel.send(_transfer(bytes([i])))
+        assert channel.backpressure_events == 3
+        assert channel.receive().data == b"\x00"
+        for i in range(4, 6):
+            channel.send(_transfer(bytes([i])))
+        drained = channel.drain()
+        assert [t.data for t in drained] == [bytes([i])
+                                             for i in range(1, 6)]
+        assert channel.receive() is None
+
+    def test_reliable_drain_is_receive_loop(self):
+        """drain() must go through recovery, not bypass it."""
+        injector = LinkFaultInjector([LinkFaultPlan("link_drop", trigger=1)])
+        channel = ReliableChannel(injector=injector)
+        for i in range(3):
+            channel.send(_transfer(bytes([i])))
+        assert [t.data for t in channel.drain()] == \
+            [b"\x00", b"\x01", b"\x02"]
+        assert channel.retransmits == 1
+
+
+# ----------------------------------------------------------------------
+# Hardened unpackers (satellite: structured decode errors)
+# ----------------------------------------------------------------------
+class TestTransferDecodeErrors:
+    def test_dpic_truncated(self):
+        with pytest.raises(TransferDecodeError) as excinfo:
+            DpicUnpacker().unpack(Transfer(b"\x01\x02"))
+        err = excinfo.value
+        assert err.scheme == "dpic"
+        assert err.offset == 2 and err.actual == 2
+        assert err.expected > 2
+        assert "byte offset" in str(err)
+
+    def test_batch_truncated_header(self):
+        # Frame header says 1 block but the block header is cut off.
+        with pytest.raises(TransferDecodeError) as excinfo:
+            BatchUnpacker().unpack(Transfer(b"\x01\x00\x05"))
+        err = excinfo.value
+        assert err.scheme == "batch"
+        assert err.actual == 3
+
+    def test_batch_trailing_garbage(self):
+        with pytest.raises(TransferDecodeError, match="frame parse error"):
+            BatchUnpacker().unpack(Transfer(b"\x00\x00" + b"junk"))
+
+    def test_fixed_size_mismatch(self):
+        layout = FixedLayout([InstrCommit], num_cores=1)
+        with pytest.raises(TransferDecodeError) as excinfo:
+            FixedUnpacker(layout).unpack(Transfer(b"\x00" * 7))
+        err = excinfo.value
+        assert err.scheme == "fixed"
+        assert err.expected == layout.packet_size and err.actual == 7
+
+    def test_decode_error_is_value_error(self):
+        assert issubclass(TransferDecodeError, ValueError)
+
+    def test_classification(self):
+        layout_err = TransferDecodeError("dpic", "x", offset=0)
+        assert classify_stream_error(layout_err) == "decode"
+        assert classify_stream_error(FrameError("y")) == "frame"
+        assert classify_stream_error(CheckerProtocolError()) == "protocol"
+        assert classify_stream_error(RuntimeError()) == "stream"
+
+
+# ----------------------------------------------------------------------
+# LogGP recovery charging
+# ----------------------------------------------------------------------
+class TestRecoveryModel:
+    def _counters(self, **link) -> CommCounters:
+        counters = CommCounters(cycles=1000, instructions=800, invokes=10,
+                                bytes_sent=4096, sw_dispatches=10,
+                                sw_events_checked=100, sw_bytes_checked=800,
+                                sw_ref_steps=800)
+        for key, value in link.items():
+            setattr(counters, key, value)
+        return counters
+
+    def test_recovery_serialised_in_blocking(self):
+        clean = model_overhead(PALLADIUM, 10.0, self._counters(), False)
+        faulty = model_overhead(
+            PALLADIUM, 10.0,
+            self._counters(link_recovery_us=500.0, link_retransmits=2),
+            False)
+        expected = 500.0 + 2 * PALLADIUM.t_sync_us
+        assert faulty.total_us == pytest.approx(clean.total_us + expected)
+        assert faulty.recovery_us == pytest.approx(expected)
+
+    def test_recovery_added_outside_nonblocking_max(self):
+        clean = model_overhead(PALLADIUM, 10.0, self._counters(), True)
+        faulty = model_overhead(
+            PALLADIUM, 10.0,
+            self._counters(link_recovery_us=500.0, link_retransmits=2),
+            True)
+        expected = 500.0 + 2 * PALLADIUM.t_sync_us
+        assert faulty.total_us == pytest.approx(clean.total_us + expected)
+
+    def test_phase_fractions_include_recovery_and_sum_to_one(self):
+        breakdown = model_overhead(
+            PALLADIUM, 10.0,
+            self._counters(link_recovery_us=500.0, link_retransmits=2),
+            False)
+        fractions = breakdown.phase_fractions()
+        assert "recovery" in fractions
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_zero_recovery_without_link_activity(self):
+        breakdown = model_overhead(PALLADIUM, 10.0, self._counters(), False)
+        assert breakdown.recovery_us == 0.0
+
+    def test_counters_merge_includes_link_fields(self):
+        a = self._counters(link_crc_errors=1, link_retransmits=2,
+                           link_frames_dropped=3, link_duplicates=4,
+                           link_resets=5, link_degradations=1,
+                           link_recovery_us=7.5)
+        b = self._counters(link_crc_errors=10, link_recovery_us=2.5)
+        a.merge(b)
+        assert a.link_crc_errors == 11
+        assert a.link_retransmits == 2
+        assert a.link_recovery_us == pytest.approx(10.0)
+
+
+# ----------------------------------------------------------------------
+# End-to-end: fault x packer x mode matrix
+# ----------------------------------------------------------------------
+_RELIABLE = ReliabilityConfig(reliable=True)
+
+
+def _config(packing: str, nonblocking: bool) -> DiffConfig:
+    return DiffConfig(name=f"R-{packing}", packing=packing,
+                      nonblocking=nonblocking, reliability=_RELIABLE)
+
+
+def _clean_run(small_image, packing, nonblocking):
+    return CoSimulation(XIANGSHAN_DEFAULT, _config(packing, nonblocking),
+                        small_image).run(60_000)
+
+
+@pytest.mark.parametrize("fault", [spec.name
+                                   for spec in LINK_FAULT_CATALOGUE])
+@pytest.mark.parametrize("packing", ["dpic", "fixed", "batch"])
+def test_every_fault_recovered_or_reported(small_image, fault, packing):
+    """The acceptance matrix: all fault kinds x all packers.
+
+    Every cell must end in recovery (identical outcome to a clean run)
+    or a structured transport error — never a spurious mismatch.
+    """
+    clean = _clean_run(small_image, packing, nonblocking=True)
+    assert clean.passed
+    injector = LinkFaultInjector([LinkFaultPlan(fault, trigger=0)])
+    result = CoSimulation(XIANGSHAN_DEFAULT, _config(packing, True),
+                          small_image, link=injector).run(60_000)
+    assert injector.total_injected > 0, "the fault never fired"
+    assert result.mismatch is None, "spurious DUT mismatch from a link fault"
+    if result.transport_error is None:
+        # Recovered: the run must be indistinguishable from a clean one.
+        assert result.passed
+        assert result.exit_code == clean.exit_code
+        assert result.instructions == clean.instructions
+        assert result.uart_output == clean.uart_output
+    else:
+        assert isinstance(result.transport_error, TransportError)
+        assert result.transport_error.kind
+        assert not result.passed
+
+
+@pytest.mark.parametrize("nonblocking", [False, True])
+def test_blocking_and_nonblocking_both_recover(small_image, nonblocking):
+    injector = LinkFaultInjector(
+        [LinkFaultPlan("link_drop", trigger=0)])
+    result = CoSimulation(XIANGSHAN_DEFAULT, _config("batch", nonblocking),
+                          small_image, link=injector).run(60_000)
+    assert result.passed
+    assert result.stats.counters.link_retransmits >= 1
+    breakdown = result.breakdown(PALLADIUM, 10.0, nonblocking)
+    assert breakdown.recovery_us > 0  # recovery charged through LogGP
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_seeded_rate_faults_never_mismatch(small_image, seed):
+    """Property: random low-rate corruption is always detected-or-
+    recovered across every armed fault kind at once."""
+    plans = [LinkFaultPlan(spec.name, rate=0.05)
+             for spec in LINK_FAULT_CATALOGUE]
+    injector = LinkFaultInjector(plans, seed=seed)
+    result = CoSimulation(XIANGSHAN_DEFAULT, _config("batch", True),
+                          small_image, link=injector).run(120_000)
+    assert result.mismatch is None
+    assert result.passed or result.transport_error is not None
+
+
+def test_identical_seed_identical_outcome(small_image):
+    def run():
+        injector = LinkFaultInjector(
+            [LinkFaultPlan("link_bitflip", rate=0.2)], seed=99)
+        result = CoSimulation(XIANGSHAN_DEFAULT, _config("dpic", True),
+                              small_image, link=injector).run(60_000)
+        return (result.passed, result.cycles,
+                result.stats.counters.link_retransmits,
+                result.stats.counters.link_crc_errors,
+                injector.total_injected)
+
+    assert run() == run()
+
+
+def test_reliable_clean_run_matches_plain(small_image):
+    """Framing must not change behaviour — only the wire byte count."""
+    plain = CoSimulation(XIANGSHAN_DEFAULT, CONFIG_BNSD,
+                         small_image).run(60_000)
+    reliable = CoSimulation(
+        XIANGSHAN_DEFAULT, CONFIG_BNSD.with_(reliability=_RELIABLE),
+        small_image).run(60_000)
+    assert reliable.passed and plain.passed
+    assert reliable.cycles == plain.cycles
+    assert reliable.instructions == plain.instructions
+    assert reliable.uart_output == plain.uart_output
+    assert reliable.stats.counters.invokes == plain.stats.counters.invokes
+    assert reliable.stats.counters.bytes_sent == (
+        plain.stats.counters.bytes_sent
+        + plain.stats.counters.invokes * HEADER_SIZE)
+
+
+# ----------------------------------------------------------------------
+# Degradation ladder + snapshot recovery
+# ----------------------------------------------------------------------
+def test_reset_recovers_from_snapshot(small_image):
+    injector = LinkFaultInjector([LinkFaultPlan("link_reset", trigger=0)])
+    result = CoSimulation(XIANGSHAN_DEFAULT, _config("batch", True),
+                          small_image, link=injector).run(60_000)
+    assert result.passed
+    assert result.stats.link_recoveries >= 1
+    assert result.stats.counters.link_resets >= 1
+
+
+def test_reset_without_snapshot_recovery_is_transport_error(small_image):
+    config = _config("batch", True).with_(
+        reliability=ReliabilityConfig(reliable=True,
+                                      snapshot_recovery=False))
+    injector = LinkFaultInjector([LinkFaultPlan("link_reset", trigger=0)])
+    result = CoSimulation(XIANGSHAN_DEFAULT, config, small_image,
+                          link=injector).run(60_000)
+    assert result.mismatch is None
+    assert result.transport_error is not None
+    assert result.transport_error.kind == "reset"
+    assert "not a DUT bug" in result.transport_error.describe()
+
+
+def test_degradation_ladder_steps_down_and_completes(small_image):
+    """A one-shot unrecoverable failure with degrade_after=1: the run
+    degrades batch -> dpic, recovers from the snapshot, and passes."""
+    config = _config("batch", True).with_(
+        reliability=ReliabilityConfig(reliable=True, max_retries=0,
+                                      degrade_after=1))
+    injector = LinkFaultInjector([LinkFaultPlan("link_drop", trigger=0)])
+    result = CoSimulation(XIANGSHAN_DEFAULT, config, small_image,
+                          link=injector).run(60_000)
+    assert result.passed
+    assert result.stats.degradations == ["dpic"]
+    assert result.stats.link_recoveries == 1
+    assert result.stats.counters.link_degradations == 1
+
+
+def test_degradation_reaches_blocking_bottom(small_image):
+    """Persistent heavy loss walks the whole ladder: dpic then blocking;
+    the ladder never grows beyond its two steps."""
+    config = _config("batch", True).with_(
+        reliability=ReliabilityConfig(reliable=True, max_retries=0,
+                                      degrade_after=1, max_recoveries=64))
+    injector = LinkFaultInjector([LinkFaultPlan("link_drop", rate=0.3)],
+                                 seed=7)
+    result = CoSimulation(XIANGSHAN_DEFAULT, config, small_image,
+                          link=injector).run(240_000)
+    assert result.mismatch is None
+    assert result.stats.degradations[:2] == ["dpic", "blocking"]
+    assert len(result.stats.degradations) <= 2
+
+
+def test_unreliable_faultylink_truncate_is_structured_error(small_image):
+    """Without framing, corruption is still *classified*, not crashed on
+    — the hardened unpackers turn it into a transport error."""
+    injector = LinkFaultInjector([LinkFaultPlan("link_truncate", trigger=0)])
+    result = CoSimulation(XIANGSHAN_DEFAULT, CONFIG_BNSD, small_image,
+                          link=injector).run(60_000)
+    assert result.mismatch is None
+    assert result.transport_error is not None
+    assert result.transport_error.kind in ("decode", "payload", "protocol",
+                                           "stream", "frame")
+
+
+def test_run_summary_carries_transport_fields(small_image):
+    injector = LinkFaultInjector([LinkFaultPlan("link_drop", trigger=0)])
+    result = CoSimulation(XIANGSHAN_DEFAULT, _config("batch", True),
+                          small_image, link=injector).run(60_000)
+    summary = result.summarize()
+    assert summary.transport_error is None
+    assert summary.counters.link_retransmits >= 1
+    import pickle
+
+    assert pickle.loads(pickle.dumps(summary)) == summary
+
+
+# ----------------------------------------------------------------------
+# Obs integration
+# ----------------------------------------------------------------------
+@pytest.mark.obs
+def test_link_metrics_recorded_under_obs(small_image):
+    from repro.obs import ObsContext
+
+    obs = ObsContext()
+    injector = LinkFaultInjector([LinkFaultPlan("link_drop", trigger=0)])
+    result = CoSimulation(XIANGSHAN_DEFAULT, _config("batch", True),
+                          small_image, obs=obs, link=injector).run(60_000)
+    assert result.passed
+    assert result.metrics.value("comm.retransmits") >= 1
+    assert result.metrics.value("comm.frames_dropped") >= 1
+
+
+@pytest.mark.obs
+def test_clean_run_snapshot_has_no_link_metrics(small_image):
+    from repro.obs import ObsContext
+
+    obs = ObsContext()
+    result = CoSimulation(XIANGSHAN_DEFAULT, CONFIG_BNSD, small_image,
+                          obs=obs).run(60_000)
+    names = {record.name for record in result.metrics.records()}
+    assert "comm.retransmits" not in names
+    assert "comm.crc_errors" not in names
+
+
+@pytest.mark.obs
+def test_resilience_report_lines_conditional(small_image):
+    from repro.toolkit import render_report
+
+    clean = CoSimulation(XIANGSHAN_DEFAULT, CONFIG_BNSD,
+                         small_image).run(60_000)
+    assert "link retransmits" not in render_report(clean.stats)
+    injector = LinkFaultInjector([LinkFaultPlan("link_drop", trigger=0)])
+    faulty = CoSimulation(XIANGSHAN_DEFAULT, _config("batch", True),
+                          small_image, link=injector).run(60_000)
+    report = render_report(faulty.stats)
+    assert "link retransmits" in report
+    assert "link frames dropped" in report
+
+
+# ----------------------------------------------------------------------
+# Campaign + executor satellites
+# ----------------------------------------------------------------------
+@pytest.mark.campaign
+def test_linkfault_campaign_serial_equals_parallel(small_image):
+    from repro.parallel import LinkFaultCase, linkfault_campaign
+
+    cases = [
+        LinkFaultCase(fault=spec.name, image=small_image, trigger=0,
+                      max_cycles=60_000, packing=packing,
+                      label=f"{spec.name}/{packing}")
+        for spec in LINK_FAULT_CATALOGUE[:3]
+        for packing in ("dpic", "batch")
+    ]
+    config = CONFIG_BNSD.with_(reliability=_RELIABLE)
+    serial = linkfault_campaign(cases, XIANGSHAN_DEFAULT, config, workers=1)
+    parallel = linkfault_campaign(cases, XIANGSHAN_DEFAULT, config,
+                                  workers=2)
+    assert serial.render() == parallel.render()
+    assert serial.passed and parallel.passed
+
+
+def test_attempt_with_timeout_falls_back_off_main_thread():
+    """Satellite: SIGALRM is only armed on the main thread; elsewhere
+    the attempt runs unbounded instead of crashing."""
+    from repro.parallel.executor import _attempt_with_timeout
+
+    outcome = {}
+
+    def worker():
+        outcome["value"] = _attempt_with_timeout(
+            lambda params: params["x"] + 1, {"x": 41}, timeout=0.001)
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()
+    assert outcome["value"] == 42
+
+
+def test_attempt_with_timeout_fires_on_main_thread():
+    import time
+
+    from repro.parallel.executor import JobTimeout, _attempt_with_timeout
+
+    with pytest.raises(JobTimeout):
+        _attempt_with_timeout(lambda params: time.sleep(5), {},
+                              timeout=0.05)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_linkfault_command(capsys):
+    from repro.cli import main
+
+    code = main(["linkfault", "--workload", "microbench",
+                 "--faults", "link_drop,link_bitflip", "--workers", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "recovered" in out
+    assert "0 spurious mismatches" in out
+
+
+def test_cli_linkfault_unknown_fault(capsys):
+    from repro.cli import main
+
+    code = main(["linkfault", "--faults", "link_nope", "--workers", "1"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "valid link faults" in out
