@@ -123,6 +123,21 @@ def _build_parser() -> argparse.ArgumentParser:
                      choices=sorted(_PLATFORMS))
     run.add_argument("--seed", type=int, default=2025)
     run.add_argument("--max-cycles", type=int, default=None)
+    run.add_argument("--slices", type=int, default=1,
+                     help="split the run into N checkpoint slices "
+                          "(byte-identical report, parallel wall clock)")
+    run.add_argument("--workers", type=int, default=None,
+                     help="worker processes for --slices (default: all "
+                          "cores)")
+    run.add_argument("--slice-mode", default="reconstruct",
+                     choices=("reconstruct", "forward"),
+                     help="boundary seeding: fast DUT-only reconstruct "
+                          "or faithful forward co-simulation")
+    run.add_argument("--slice-plan", default="uniform",
+                     choices=("uniform", "balanced"),
+                     help="window plan: equal-size windows, or "
+                          "critical-path-balanced windows that shrink "
+                          "later slices to offset their seeding delay")
     run.add_argument("--profile", action="store_true",
                      help="print the per-event-type profile (Figure 4)")
     _add_obs_flags(run)
@@ -216,6 +231,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
 # ----------------------------------------------------------------------
 def _cmd_run(args) -> int:
+    if getattr(args, "slices", 1) > 1:
+        return _cmd_run_sliced(args)
     workload = build(args.workload)
     dut = _DUTS[args.dut]
     config = _CONFIGS[args.config]
@@ -249,6 +266,58 @@ def _cmd_run(args) -> int:
         print(f"\nUART output:\n{result.uart_output}")
     _export_obs(obs, result.metrics, args)
     return 0 if result.passed else 1
+
+
+def _cmd_run_sliced(args) -> int:
+    """``run --slices N``: checkpoint-sliced execution, stitched report.
+
+    Everything below the ``sliced`` header line is byte-identical to a
+    serial ``run`` of the same workload under the same slice epoch.
+    """
+    from .parallel import sliced_run
+
+    workload = build(args.workload)
+    dut = _DUTS[args.dut]
+    config = _CONFIGS[args.config]
+    platform = _PLATFORMS[args.platform]
+    want_obs = bool(args.trace_out or args.metrics_out)
+    obs = ObsContext() if want_obs else None
+    sr = sliced_run(dut, config, workload.image,
+                    max_cycles=args.max_cycles or workload.max_cycles,
+                    slices=args.slices, workers=args.workers,
+                    mode=args.slice_mode, plan=args.slice_plan,
+                    seed=args.seed,
+                    uart_input=workload.uart_input,
+                    collect_metrics=want_obs, obs=obs)
+    summary = sr.summary
+    print(f"workload : {workload.name} ({workload.description})")
+    print(f"dut      : {dut.name}   config: {config.name}")
+    print(f"sliced   : {len(sr.slices)} slice(s), epoch "
+          f"{sr.epoch_cycles} cycles, mode {args.slice_mode}, "
+          f"plan {args.slice_plan}, "
+          f"{sr.campaign.stats.workers} worker(s)")
+    status = "HIT GOOD TRAP" if summary.passed else (
+        "MISMATCH" if summary.mismatch else f"exit={summary.exit_code}")
+    print(f"result   : {status} after {summary.cycles} cycles / "
+          f"{summary.instructions} instructions")
+    if summary.mismatch is not None:
+        print(summary.mismatch.describe())
+        if summary.debug_report_text:
+            print(summary.debug_report_text)
+    breakdown = sr.stats.breakdown(platform, dut.gates_millions,
+                                   config.nonblocking)
+    print(f"\nSimulation speed: {breakdown.speed_khz:.2f} KHz "
+          f"on {platform.name} "
+          f"(communication {breakdown.communication_fraction:.1%})")
+    print()
+    print(render_report(sr.stats, snapshot=summary.metrics))
+    if args.profile:
+        print()
+        print(render_event_profile(sr.stats))
+    if summary.uart_output:
+        print(f"\nUART output:\n{summary.uart_output}")
+    _export_obs(obs, summary.metrics, args)
+    return 0 if summary.passed else 1
 
 
 def _cmd_profile(args) -> int:

@@ -80,6 +80,16 @@ class Differencer:
         return WireItem(cls.DESCRIPTOR.event_id, event.core_id,
                         event.order_tag, payload, ENC_DIFF)
 
+    def reset_priors(self) -> None:
+        """Drop the per-(type, core) chain state, keeping the counters.
+
+        The next instance of every event type is transmitted ENC_FULL,
+        which re-keys the software completer's chain.  Used at slice-epoch
+        barriers so a run resumed at the barrier (whose differencer starts
+        empty) produces a byte-identical stream to the serial run.
+        """
+        self._last.clear()
+
 
 class Completer:
     """Software-side reconstruction of differenced events.

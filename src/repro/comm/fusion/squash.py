@@ -186,6 +186,17 @@ class SquashFuser:
         self._fused_count = {}
         return out
 
+    def reset_stream(self) -> None:
+        """Forget cross-window stream state at a slice-epoch barrier.
+
+        Must be called right after :meth:`flush` (the accumulators are
+        empty then); only the differencing chain carries state across
+        windows, and dropping it makes the post-barrier wire stream
+        independent of everything before the barrier.
+        """
+        if self.differencer is not None:
+            self.differencer.reset_priors()
+
 
 class OrderCoupledFuser(SquashFuser):
     """The existing fusion scheme (Figure 8, top): fusion is coupled to

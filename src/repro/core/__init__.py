@@ -13,7 +13,7 @@ from .config import (
     DiffConfig,
     ReliabilityConfig,
 )
-from .framework import CoSimulation, RunResult, run_cosim
+from .framework import BoundarySeed, CoSimulation, RunResult, run_cosim
 from .replay import ReplayBuffer, ReplayUnit
 from .report import DebugReport, Mismatch, TransportError
 from .snapshot import (
@@ -26,8 +26,11 @@ from .stats import EventProfile, RunStats
 from .summary import (
     MismatchSummary,
     RunSummary,
+    SliceRunSummary,
+    stitch_slices,
     summarize_mismatch,
     summarize_result,
+    summarize_slice,
 )
 
 __all__ = [
@@ -45,6 +48,7 @@ __all__ = [
     "CONFIG_Z",
     "LADDER",
     "DiffConfig",
+    "BoundarySeed",
     "CoSimulation",
     "RunResult",
     "run_cosim",
@@ -60,6 +64,9 @@ __all__ = [
     "RunStats",
     "MismatchSummary",
     "RunSummary",
+    "SliceRunSummary",
+    "stitch_slices",
     "summarize_mismatch",
     "summarize_result",
+    "summarize_slice",
 ]

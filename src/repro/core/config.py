@@ -77,6 +77,14 @@ class DiffConfig:
     #: Resilient-transport settings; ``RELIABILITY_OFF`` keeps the wire
     #: format and hot path identical to the unframed transport.
     reliability: ReliabilityConfig = RELIABILITY_OFF
+    #: Cycles between slice-epoch barriers (0 = none).  At each multiple
+    #: the framework flushes and drains the transport, re-keys the
+    #: differencing stream and checkpoints the REF, making the cycle a
+    #: legal slice boundary: a run resumed there is stream-identical to
+    #: the serial run from that barrier on.  Sliced execution requires
+    #: the serial reference run to use the same epoch so both sides see
+    #: identical barrier effects.
+    slice_epoch_cycles: int = 0
 
     def with_(self, **changes) -> "DiffConfig":
         return replace(self, **changes)

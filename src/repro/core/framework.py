@@ -35,8 +35,9 @@ from ..comm.packing import (
 )
 from ..dut.config import DutConfig
 from ..dut.core import DutSystem
-from ..dut.snapshotting import restore_snapshot, take_snapshot
+from ..dut.snapshotting import SystemSnapshot, restore_snapshot, take_snapshot
 from ..events import all_event_classes
+from ..isa import csr as CSR
 from ..isa.const import DRAM_BASE
 from ..isa.devices import CLINT_BASE, CLINT_SIZE, PLIC_BASE, PLIC_SIZE, \
     UART_BASE, UART_SIZE
@@ -86,6 +87,22 @@ class RunResult:
     def summarize(self) -> RunSummary:
         """Compact, pickle-safe summary for campaign-level aggregation."""
         return summarize_result(self)
+
+
+@dataclass
+class BoundarySeed:
+    """Everything needed to resume a co-simulation at a slice boundary.
+
+    Captured at a successful slice-epoch barrier: the DUT image, the
+    per-core checked slot, and (optionally) cloned REF models.  With
+    ``refs=None`` the resuming side *reconstructs* each REF from the DUT
+    snapshot — legal because at a quiescent barrier the checked REF is
+    architecturally identical to the DUT.
+    """
+
+    snapshot: SystemSnapshot
+    slots: List[int]
+    refs: Optional[List[RefModel]] = None
 
 
 class CoSimulation:
@@ -163,6 +180,16 @@ class CoSimulation:
         self.debug_report: Optional[DebugReport] = None
         self.transport_error: Optional[TransportError] = None
         self._cycle = 0
+        #: Slice-epoch bookkeeping (slicing support; inert by default).
+        self._skipped_barriers = 0
+        self._on_barrier = None  # callback invoked after each barrier
+        #: Window baselines: nonzero only for runs resumed from a
+        #: boundary, so counters report the slice's own window.
+        self._window_start_cycle = 0
+        self._window_start_instructions = 0
+        #: Slice workers suppress the end-of-run metric fold so the
+        #: stitched campaign snapshot carries exactly one set of totals.
+        self.record_final_metrics = True
 
     def _build_fuser(self):
         if not self.diff_config.squash:
@@ -496,6 +523,92 @@ class CoSimulation:
         if isinstance(self.channel, ReliableChannel):
             self.channel.packer_id = packer_id
 
+    # ------------------------------------------------------------------
+    # Slice-epoch barriers and boundary resume (repro.parallel.slicing)
+    # ------------------------------------------------------------------
+    def _epoch_barrier(self, drain) -> bool:
+        """Make the current cycle a legal slice boundary.
+
+        Flushes and drains the transport, then — if the pipeline reached
+        full quiescence — re-keys the differencing stream, resets the
+        completer and checkpoints every REF at its checked slot.  After a
+        successful barrier the remaining run is independent of the wire
+        history before it, which is what lets a slice resumed here emit a
+        byte-identical stream.  Returns False (and counts the skip) when
+        the barrier could not be established.
+        """
+        self._flush_hardware()
+        drain()
+        if self.mismatch is not None or self.transport_error is not None:
+            return False
+        if not self._transport_quiescent():
+            self._skipped_barriers += 1
+            return False
+        if self.fuser is not None:
+            self.fuser.reset_stream()
+        self.completer = Completer()
+        for checker, unit in zip(self.checkers, self.replay_units):
+            unit.checkpoint(checker.ref_slot)
+            self.stats.checkpoints += 1
+        if self._on_barrier is not None:
+            self._on_barrier(self)
+        return True
+
+    def _reconstruct_ref(self, core) -> RefModel:
+        """Rebuild one REF from the DUT's own architectural state.
+
+        Only legal at a quiescent barrier (everything checked): DUT and
+        REF agree on all checked state there.  MIP/SIP are forced to the
+        REF's convention (interrupt pending bits live on the DUT side and
+        are synchronised, never read back) — they are the unchecked CSRs.
+        """
+        if len(self.dut.cores) != 1:
+            raise ValueError(
+                "REF reconstruction from a DUT snapshot requires a "
+                "single-core DUT (shared memory is per-system); use "
+                "forward seeding for multi-core slicing")
+        state = core.state.clone()
+        state.csr.force(CSR.MIP, 0)
+        state.csr.force(CSR.SIP, 0)
+        memory = self.dut.memory.clone()
+        return RefModel.reconstruct(state, memory, core.hart.instret,
+                                    REF_MMIO_RANGES)
+
+    def resume_from_boundary(self, seed: BoundarySeed) -> None:
+        """Rebuild the whole pipeline at a captured slice boundary.
+
+        The mirror of :meth:`_restore_recovery_point`, but seeded from a
+        (possibly pickled) :class:`BoundarySeed` instead of an in-process
+        recovery point, and *not* counted as a checkpoint — the producing
+        slice's barrier already accounted for it.
+        """
+        snapshot = seed.snapshot
+        restore_snapshot(self.dut, snapshot)
+        if seed.refs is not None:
+            self.refs = [ref.clone() for ref in seed.refs]
+        else:
+            self.refs = [self._reconstruct_ref(core)
+                         for core in self.dut.cores]
+        self.checkers = []
+        self.replay_buffers = []
+        self.replay_units = []
+        for core_id, (ref, slot) in enumerate(zip(self.refs, seed.slots)):
+            checker = Checker(ref, core_id, self.stats.counters,
+                              obs=self.obs)
+            checker.ref_slot = slot
+            self.checkers.append(checker)
+            buffer = ReplayBuffer(self.diff_config.replay_buffer_slots)
+            self.replay_buffers.append(buffer)
+            unit = ReplayUnit(ref, buffer, core_id)
+            unit.checkpoint(slot)
+            self.replay_units.append(unit)
+        self.completer = Completer()
+        self._cycle = snapshot.cycle_taken
+        self._last_recovery_cycle = self._cycle
+        self._window_start_cycle = self._cycle
+        self._window_start_instructions = sum(
+            core.retired for core in self.dut.cores)
+
     def _degrade_transport(self) -> bool:
         """Step down the degradation ladder: configured packing ->
         per-event dpic -> blocking handshake.  Returns False when already
@@ -546,12 +659,15 @@ class CoSimulation:
             # Cycle-0 recovery point: even a failure before the first
             # interval boundary can rewind.
             self._take_recovery_point()
+        epoch = self.diff_config.slice_epoch_cycles
         while (not self.dut.finished() and self._cycle < max_cycles
                and self.mismatch is None and self.transport_error is None):
             self._cycle += 1
             try:
                 self._hardware_cycle()
                 self._drain_resilient()
+                if epoch and self._cycle % epoch == 0:
+                    self._epoch_barrier(self._drain_resilient)
                 if reliability.snapshot_recovery:
                     self._maybe_recovery_point()
             except LinkFailure as failure:
@@ -589,19 +705,28 @@ class CoSimulation:
             software_drain = (self._software_drain
                               if self.diff_config.fast_compare
                               else self._software_drain_legacy)
+        epoch = self.diff_config.slice_epoch_cycles
         while (not self.dut.finished() and self._cycle < max_cycles
                and self.mismatch is None):
             self._cycle += 1
             hardware_cycle()
             software_drain()
+            if epoch and self._cycle % epoch == 0:
+                self._epoch_barrier(software_drain)
         self._flush_hardware()
         software_drain()
         return self._finish()
 
     def _finish(self) -> RunResult:
         counters = self.stats.counters
-        counters.cycles = self._cycle
-        counters.instructions = sum(core.retired for core in self.dut.cores)
+        # Window-relative: identical to the raw cycle/retired totals for a
+        # normal run (window start is 0); a run resumed from a boundary
+        # reports only its own slice, so stitched windows sum to the
+        # serial totals while ``self._cycle`` stays global (mismatch
+        # cycles need no rebasing).
+        counters.cycles = self._cycle - self._window_start_cycle
+        counters.instructions = (sum(core.retired for core in self.dut.cores)
+                                 - self._window_start_instructions)
         counters.invokes = self.channel.invokes
         counters.bytes_sent = self.channel.bytes_sent
         self.stats.max_queue_occupancy = self.channel.max_occupancy
@@ -627,10 +752,11 @@ class CoSimulation:
         metrics: Optional[MetricsSnapshot] = None
         if self._obs_on:
             registry = self.obs.registry
-            record_run_stats(registry, self.stats)
-            self.packer.stats.fold_into(registry)
-            if self.fuser is not None:
-                self.fuser.stats.fold_into(registry)
+            if self.record_final_metrics:
+                record_run_stats(registry, self.stats)
+                self.packer.stats.fold_into(registry)
+                if self.fuser is not None:
+                    self.fuser.stats.fold_into(registry)
             metrics = registry.snapshot()
         return RunResult(
             exit_code=self.dut.exit_code(),
@@ -638,7 +764,7 @@ class CoSimulation:
             mismatch=self.mismatch,
             debug_report=self.debug_report,
             uart_output=self.dut.uart.text() if self.dut.uart else "",
-            cycles=self._cycle,
+            cycles=counters.cycles,
             instructions=counters.instructions,
             metrics=metrics,
             transport_error=self.transport_error,

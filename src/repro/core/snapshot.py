@@ -112,12 +112,7 @@ class SnapshotCoSimulation(CoSimulation):
     # ------------------------------------------------------------------
     def _quiescent(self) -> bool:
         """True when every event produced so far has been checked."""
-        for core, checker in zip(self.dut.cores, self.checkers):
-            if checker.ref_slot != core.monitor.slot:
-                return False
-            if not checker.quiescent:
-                return False
-        return len(self.channel) == 0
+        return self._transport_quiescent()
 
     def _maybe_snapshot(self) -> None:
         if self._cycle - self._last_snapshot_cycle < self.snapshot_interval:

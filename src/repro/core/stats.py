@@ -84,6 +84,38 @@ class RunStats:
         return model_overhead(platform, gates_millions, self.counters,
                               nonblocking)
 
+    def absorb_window(self, other: "RunStats") -> None:
+        """Fold one slice window's stats into this accumulating total.
+
+        Additive counters sum, high-water marks take the max, and
+        degradation steps concatenate in window order.  The derived
+        ratios (``fusion_ratio``, ``packet_utilization``) are *not*
+        recomputable from windows alone — the stitcher recomputes them
+        from the summed raw packing/fusion counters afterwards.
+        """
+        self.counters.merge(other.counters)
+        for type_id, count in other.profile.counts.items():
+            self.profile.counts[type_id] = (
+                self.profile.counts.get(type_id, 0) + count)
+        for type_id, nbytes in other.profile.payload_bytes.items():
+            self.profile.payload_bytes[type_id] = (
+                self.profile.payload_bytes.get(type_id, 0) + nbytes)
+        self.events_captured += other.events_captured
+        self.events_transmitted += other.events_transmitted
+        self.fusion_breaks += other.fusion_breaks
+        self.nde_sent_ahead += other.nde_sent_ahead
+        self.bubble_bytes += other.bubble_bytes
+        self.meta_bytes += other.meta_bytes
+        self.diff_bytes_saved += other.diff_bytes_saved
+        self.backpressure_events += other.backpressure_events
+        self.checkpoints += other.checkpoints
+        self.link_recoveries += other.link_recoveries
+        if other.max_queue_occupancy > self.max_queue_occupancy:
+            self.max_queue_occupancy = other.max_queue_occupancy
+        if other.replay_buffer_peak > self.replay_buffer_peak:
+            self.replay_buffer_peak = other.replay_buffer_peak
+        self.degradations.extend(other.degradations)
+
     def summary(self) -> str:
         c = self.counters
         return (

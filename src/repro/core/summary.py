@@ -21,12 +21,15 @@ checking possible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass, field, fields
+from typing import Iterable, List, Optional, Tuple
 
+from ..comm.fusion.squash import FusionStats
 from ..comm.loggp import CommCounters, OverheadBreakdown, model_overhead
-from ..obs import MetricsSnapshot
+from ..comm.packing.base import PackingStats
+from ..obs import MetricRegistry, MetricsSnapshot, record_run_stats
 from .report import TransportError
+from .stats import RunStats
 
 
 @dataclass(frozen=True)
@@ -140,3 +143,143 @@ def summarize_result(result) -> RunSummary:
         degradations=tuple(stats.degradations),
         link_recoveries=stats.link_recoveries,
     )
+
+
+# ----------------------------------------------------------------------
+# Checkpoint-sliced runs: per-slice summaries and serial-identical
+# stitching (repro.parallel.slicing)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SliceRunSummary(RunSummary):
+    """One slice's window of a checkpoint-sliced run.
+
+    Extends :class:`RunSummary` with the slice coordinates and the raw
+    per-window stat objects the stitcher needs: summed windows alone
+    cannot reproduce the serial run's *derived* ratios (packet
+    utilisation, fusion ratio), so each slice ships its raw packing and
+    fusion counters for an exact recomputation.
+
+    ``passed`` is judged per-window at construction: a non-final slice
+    passes when its window was clean (no mismatch, no transport error) —
+    it never sees the good trap, so the serial exit-code criterion only
+    applies to the final slice.
+    """
+
+    slice_index: int = 0
+    start_cycle: int = 0
+    end_cycle: int = 0
+    is_final: bool = False
+    run_stats: Optional[RunStats] = None
+    pack_stats: Optional[PackingStats] = None
+    fusion_stats: Optional[FusionStats] = None
+
+
+def summarize_slice(result, *, slice_index: int, start_cycle: int,
+                    end_cycle: int, is_final: bool,
+                    pack_stats: Optional[PackingStats] = None,
+                    fusion_stats: Optional[FusionStats] = None
+                    ) -> SliceRunSummary:
+    """Flatten one slice's :class:`RunResult` into a SliceRunSummary."""
+    base = summarize_result(result)
+    values = {f.name: getattr(base, f.name) for f in fields(RunSummary)}
+    if not is_final:
+        values["passed"] = (base.mismatch is None
+                            and base.transport_error is None)
+    return SliceRunSummary(
+        slice_index=slice_index,
+        start_cycle=start_cycle,
+        end_cycle=end_cycle,
+        is_final=is_final,
+        run_stats=result.stats,
+        pack_stats=pack_stats,
+        fusion_stats=fusion_stats,
+        **values,
+    )
+
+
+_FUSION_FIELDS = ("events_in", "events_out", "commits_in",
+                  "fused_commits_out", "nde_sent_ahead", "fusion_breaks")
+
+
+def stitch_slices(
+        slices: Iterable[SliceRunSummary]
+) -> Tuple[RunSummary, RunStats]:
+    """Fold per-slice windows into a serial-identical run summary.
+
+    Windows are ordered by slice index and included up to (and
+    including) the first failing slice — exactly the prefix the serial
+    run would have executed.  Additive counters sum, high-water marks
+    take the max, and the derived ratios are recomputed from the summed
+    raw packing/fusion counters, so every stitched field is
+    byte-identical to the serial run's.  Returns ``(summary, stats)``;
+    the stats feed report rendering (:func:`repro.toolkit.render_report`).
+    """
+    ordered = sorted(slices, key=lambda s: s.slice_index)
+    if not ordered:
+        raise ValueError("stitch_slices needs at least one slice")
+    included: List[SliceRunSummary] = []
+    for piece in ordered:
+        included.append(piece)
+        if piece.mismatch is not None or piece.transport_error is not None:
+            break
+    last = included[-1]
+
+    stitched = RunStats()
+    total_pack = PackingStats()
+    total_fusion = FusionStats()
+    fused = False
+    for piece in included:
+        if piece.run_stats is not None:
+            stitched.absorb_window(piece.run_stats)
+        if piece.pack_stats is not None:
+            for name in PackingStats.__slots__:
+                setattr(total_pack, name,
+                        getattr(total_pack, name)
+                        + getattr(piece.pack_stats, name))
+        if piece.fusion_stats is not None:
+            fused = True
+            for name in _FUSION_FIELDS:
+                setattr(total_fusion, name,
+                        getattr(total_fusion, name)
+                        + getattr(piece.fusion_stats, name))
+    stitched.packet_utilization = total_pack.utilization
+    if fused:
+        stitched.fusion_ratio = total_fusion.fusion_ratio
+
+    metrics: Optional[MetricsSnapshot] = None
+    if any(piece.metrics is not None for piece in included):
+        # Worker snapshots carry only runtime instruments (their
+        # end-of-run fold is suppressed); merge them commutatively, then
+        # overlay one set of final totals computed from the stitched
+        # stats — the exact shape of a serial observed run's registry.
+        merged = MetricsSnapshot.merge_all(
+            piece.metrics for piece in included)
+        registry = MetricRegistry()
+        record_run_stats(registry, stitched)
+        total_pack.fold_into(registry)
+        if fused:
+            total_fusion.fold_into(registry)
+        metrics = merged.merge(registry.snapshot())
+
+    summary = RunSummary(
+        passed=all(piece.passed for piece in included) and last.is_final,
+        exit_code=last.exit_code,
+        cycles=stitched.counters.cycles,
+        instructions=stitched.counters.instructions,
+        counters=stitched.counters,
+        mismatch=last.mismatch,
+        debug_report_text=last.debug_report_text,
+        uart_output=last.uart_output,
+        events_captured=stitched.events_captured,
+        events_transmitted=stitched.events_transmitted,
+        fusion_ratio=stitched.fusion_ratio,
+        packet_utilization=stitched.packet_utilization,
+        max_queue_occupancy=stitched.max_queue_occupancy,
+        backpressure_events=stitched.backpressure_events,
+        checkpoints=stitched.checkpoints,
+        metrics=metrics,
+        transport_error=last.transport_error,
+        degradations=tuple(stitched.degradations),
+        link_recoveries=stitched.link_recoveries,
+    )
+    return summary, stitched

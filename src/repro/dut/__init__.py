@@ -18,6 +18,7 @@ from .faults import (
     FAULT_CATALOGUE,
     FaultSpec,
     fault_by_name,
+    fault_pending,
     faults_by_category,
 )
 from .monitor import Monitor
@@ -48,6 +49,7 @@ __all__ = [
     "FAULT_CATALOGUE",
     "FaultSpec",
     "fault_by_name",
+    "fault_pending",
     "faults_by_category",
     "Monitor",
     "CoreSnapshot",

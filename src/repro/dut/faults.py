@@ -64,6 +64,36 @@ class _PositionalLatch:
         return False
 
 
+class _TrapLatchView:
+    """Adapter giving :func:`fault_pending` a uniform ``fire_at`` view of
+    the dict-based trap-corruption state."""
+
+    def __init__(self, state: dict) -> None:
+        self._state = state
+
+    @property
+    def fire_at(self) -> Optional[int]:
+        return self._state["fire_at"]
+
+
+def _arm(core: DutCore, latch) -> None:
+    """Record the installed fault's latch on the core, so orchestration
+    layers (checkpoint slicing) can ask whether it has fired yet."""
+    core._fault_latch = latch
+
+
+def fault_pending(core: DutCore) -> bool:
+    """True when a fault is installed on ``core`` and has not fired yet.
+
+    Snapshots capture state, not hooks: a run resumed from a snapshot
+    must re-install a still-pending fault, and must *not* re-install one
+    that already fired (its corruption is baked into the imaged state;
+    re-arming would fire it a second time).
+    """
+    latch = getattr(core, "_fault_latch", None)
+    return latch is not None and latch.fire_at is None
+
+
 # ----------------------------------------------------------------------
 # Primitive installers
 # ----------------------------------------------------------------------
@@ -77,6 +107,7 @@ def _reg_write_corrupt(kind: str, xor_mask: int):
             return value
 
         core.hart.hooks.on_reg_write = hook
+        _arm(core, latch)
 
     return installer
 
@@ -91,6 +122,7 @@ def _store_corrupt(xor_mask: int):
             return value
 
         core.hart.hooks.on_store = hook
+        _arm(core, latch)
 
     return installer
 
@@ -113,6 +145,7 @@ def _trap_corrupt(cause_xor: int, tval_xor: int, nth: int = 1):
             return cause, tval
 
         core.hart.hooks.on_trap = hook
+        _arm(core, _TrapLatchView(state))
 
     return installer
 
@@ -132,6 +165,7 @@ def _csr_corrupt(addr: int, xor_mask: int):
             original(sink)
 
         core.monitor.end_of_cycle_state = wrapped
+        _arm(core, latch)
 
     return installer
 
@@ -154,6 +188,7 @@ def _event_corrupt(event_name: str, attr: str, xor_mask: int):
             original(sink, cls, tag=tag, **fields)
 
         core.monitor._emit = wrapped
+        _arm(core, latch)
 
     return installer
 

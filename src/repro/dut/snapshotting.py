@@ -11,6 +11,7 @@ bookkeeping and the stall-model RNG.
 from __future__ import annotations
 
 import copy
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -59,6 +60,19 @@ class SystemSnapshot:
         # Architectural state + microarchitectural arrays per core.
         total += len(self.cores) * (32 * 8 * 2 + 32 * 32 + 128 * 8 + 4096)
         return total
+
+    def transportable(self) -> "SystemSnapshot":
+        """A pickle-safe copy for shipping across process boundaries.
+
+        Drops the per-core decoded-instruction cache — its values are
+        decoder closures, which do not pickle; the restored core simply
+        re-decodes (a warm-up cost, not a semantic difference).
+        """
+        return dataclasses.replace(
+            self,
+            cores=[dataclasses.replace(core, decode_cache={})
+                   for core in self.cores],
+        )
 
 
 def _snapshot_core(core: DutCore) -> CoreSnapshot:
@@ -120,7 +134,7 @@ def take_snapshot(system: DutSystem) -> SystemSnapshot:
         memory=system.memory.clone(),
         cores=[_snapshot_core(core) for core in system.cores],
         uart_output=bytes(system.uart.output),
-        uart_input=list(system.uart._input),
+        uart_input=list(system.uart.pending_input()),
         clint_state=(system.clint.mtime, list(system.clint.mtimecmp),
                      list(system.clint.msip), system.clint._subticks),
         plic_pending=list(system.plic.pending),
@@ -133,8 +147,7 @@ def restore_snapshot(system: DutSystem, snapshot: SystemSnapshot) -> None:
     system.bus.memory._pages = restored._pages
     for core, snap in zip(system.cores, snapshot.cores):
         _restore_core(core, snap)
-    system.uart.output = bytearray(snapshot.uart_output)
-    system.uart._input = list(snapshot.uart_input)
+    system.uart.restore(snapshot.uart_output, bytes(snapshot.uart_input))
     (system.clint.mtime, mtimecmp, msip, system.clint._subticks) = \
         snapshot.clint_state
     system.clint.mtimecmp = list(mtimecmp)

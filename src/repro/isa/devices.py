@@ -68,6 +68,19 @@ class Uart(Device):
     def text(self) -> str:
         return self.output.decode("ascii", errors="replace")
 
+    def pending_input(self) -> bytes:
+        """The not-yet-consumed input script (snapshot capture)."""
+        return bytes(self._input)
+
+    def restore(self, output: bytes, pending_input: bytes) -> None:
+        """Reset the UART to a previously captured state.
+
+        The public counterpart of :meth:`pending_input`: snapshot restore
+        uses this pair instead of poking the private buffers.
+        """
+        self.output = bytearray(output)
+        self._input = list(pending_input)
+
 
 class Clint(Device):
     """Core-local interruptor: mtime, mtimecmp, msip.

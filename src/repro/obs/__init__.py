@@ -126,6 +126,19 @@ def record_run_stats(registry: MetricRegistry, stats) -> None:
             set_counter(name, value)
 
 
+def record_slicing(registry: MetricRegistry, slices: int,
+                   slice_cycles: int = 0) -> None:
+    """Account one checkpoint-sliced run on the *parent-side* registry.
+
+    ``slicing.slices`` counts executed slice windows and
+    ``slicing.slice_cycles`` their summed window cycles.  These live on
+    the orchestrating registry only — never in the stitched snapshot,
+    which must stay byte-identical to a serial run's.
+    """
+    registry.counter("slicing.slices").inc(slices)
+    registry.counter("slicing.slice_cycles").inc(slice_cycles)
+
+
 def snapshot_from_stats(stats) -> MetricsSnapshot:
     """A standalone snapshot of one run's stats (no live registry needed)."""
     registry = MetricRegistry()
@@ -152,6 +165,7 @@ __all__ = [
     "chrome_trace_events",
     "metrics_lines",
     "record_run_stats",
+    "record_slicing",
     "render_metrics",
     "render_profile",
     "resolve_obs",

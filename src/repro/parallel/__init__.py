@@ -22,6 +22,15 @@ from .executor import (
     execute_job,
 )
 from .jobs import JobResult, JobSpec, register_runner, runner_for
+from .slicing import (
+    SlicedRunResult,
+    SliceExecutionError,
+    balanced_cuts,
+    epoch_for,
+    iter_slice_specs,
+    plan_windows,
+    sliced_run,
+)
 
 __all__ = [
     "CampaignExecutor",
@@ -33,9 +42,16 @@ __all__ = [
     "JobResult",
     "JobSpec",
     "JobTimeout",
+    "SliceExecutionError",
+    "SlicedRunResult",
+    "balanced_cuts",
+    "epoch_for",
     "execute_job",
     "fault_campaign",
+    "iter_slice_specs",
     "ladder_campaign",
+    "plan_windows",
     "register_runner",
     "runner_for",
+    "sliced_run",
 ]

@@ -43,7 +43,7 @@ import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional
 
 from ..comm.loggp import CommCounters
 from ..obs import MetricsSnapshot, ObsContext
@@ -257,23 +257,28 @@ class CampaignExecutor:
         ``on_result`` is invoked once per consumed job, in submission
         order regardless of worker count (this is what lets the CLI
         stream identical per-job lines in serial and parallel modes).
+
+        ``specs`` may be a lazy iterable: specs are submitted as they
+        are produced, so a producer that does real work per spec (the
+        checkpoint slicer fast-forwarding to boundaries) overlaps with
+        job execution in pool mode.
         """
-        spec_list: Sequence[JobSpec] = list(specs)
+        spec_iter: Iterable[JobSpec] = iter(specs)
         if self.collect_metrics:
-            spec_list = [
+            spec_iter = (
                 JobSpec(kind=spec.kind, label=spec.label,
                         params={**spec.params, "collect_metrics": True})
-                for spec in spec_list
-            ]
+                for spec in spec_iter
+            )
         start = time.perf_counter()
         consume = self._wrap_on_result(on_result, start)
         if self.workers == 1:
-            jobs = self._run_serial(spec_list, consume)
+            jobs, submitted = self._run_serial(spec_iter, consume)
         else:
-            jobs = self._run_pool(spec_list, consume)
+            jobs, submitted = self._run_pool(spec_iter, consume)
         wall = time.perf_counter() - start
         return CampaignResult(jobs=jobs,
-                              stats=self._rollup(spec_list, jobs, wall))
+                              stats=self._rollup(submitted, jobs, wall))
 
     def _wrap_on_result(self, on_result, start: float):
         """Chain parent-side job-span recording in front of the user's
@@ -298,36 +303,47 @@ class CampaignExecutor:
         return consume
 
     # ------------------------------------------------------------------
-    def _run_serial(self, specs, on_result) -> List[JobResult]:
+    def _run_serial(self, specs, on_result):
         jobs: List[JobResult] = []
-        for index, spec in enumerate(specs):
+        submitted: List[JobSpec] = []
+        spec_iter = iter(specs)
+        for index, spec in enumerate(spec_iter):
+            submitted.append(spec)
             result = execute_job(spec, index, self.job_timeout, self.retries)
             jobs.append(result)
             if on_result is not None:
                 on_result(result)
             if self.short_circuit and not result.passed:
+                # Peek: the rollup reports a short circuit only when
+                # jobs were actually left unconsumed.
+                leftover = next(spec_iter, None)
+                if leftover is not None:
+                    submitted.append(leftover)
                 break
-        return jobs
+        return jobs, submitted
 
-    def _run_pool(self, specs, on_result) -> List[JobResult]:
+    def _run_pool(self, specs, on_result):
         parent_timeout = None
         if self.job_timeout is not None:
             parent_timeout = (self.job_timeout * (self.retries + 1)
                               + _PARENT_TIMEOUT_GRACE)
         jobs: List[JobResult] = []
+        submitted: List[JobSpec] = []
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            futures = [
-                pool.submit(execute_job, spec, index, self.job_timeout,
-                            self.retries)
-                for index, spec in enumerate(specs)
-            ]
+            # Submit as the (possibly lazy) spec producer yields: workers
+            # start on early jobs while later specs are still being built.
+            futures = []
+            for index, spec in enumerate(specs):
+                submitted.append(spec)
+                futures.append(pool.submit(execute_job, spec, index,
+                                           self.job_timeout, self.retries))
             for index, future in enumerate(futures):
                 try:
                     result = future.result(timeout=parent_timeout)
                 except Exception:
                     # Worker died or the safety timeout fired: synthesise
                     # a broken-job result so aggregation stays total.
-                    spec = specs[index]
+                    spec = submitted[index]
                     result = JobResult(
                         index=index, label=spec.label, kind=spec.kind,
                         ok=False, error=traceback.format_exc(limit=5),
@@ -339,7 +355,7 @@ class CampaignExecutor:
                     for pending in futures[index + 1:]:
                         pending.cancel()
                     break
-        return jobs
+        return jobs, submitted
 
     # ------------------------------------------------------------------
     def _rollup(self, specs, jobs, wall: float) -> CampaignStats:

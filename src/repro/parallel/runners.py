@@ -29,6 +29,11 @@ Kinds
     and an ``image``: one link-fault injection against the resilient
     transport — recovery or a structured transport error expected,
     never a spurious DUT mismatch.
+``slice``
+    one epoch window of a checkpoint-sliced run (boundary seed, window
+    coordinates, optional fault/link-fault) — registered by
+    :mod:`repro.parallel.slicing`, re-exported here so worker-side
+    dispatch finds it.
 """
 
 from __future__ import annotations
@@ -111,3 +116,8 @@ def run_linkfault_job(params: Dict[str, object]) -> RunSummary:
                 link_trigger=params.get("link_trigger"),
                 link_seed=params.get("link_seed", 2025),
                 collect_metrics=params.get("collect_metrics", False))
+
+
+# Registers the ``slice`` runner as a side effect, so any process that
+# dispatches jobs (pool workers included) can execute slice windows.
+from . import slicing  # noqa: E402,F401  isort:skip

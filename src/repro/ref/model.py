@@ -123,6 +123,38 @@ class RefModel:
         other.hart.instret = self.hart.instret
         return other
 
+    @classmethod
+    def reconstruct(
+        cls,
+        state: ArchState,
+        memory: PhysicalMemory,
+        instret: int,
+        mmio_ranges: Optional[Tuple[Tuple[int, int], ...]] = None,
+    ) -> "RefModel":
+        """Rebuild a REF around donated architectural state and memory.
+
+        Used by slice seeding: at a quiescent boundary the checked REF is
+        architecturally identical to the DUT, so a worker can reconstruct
+        it from the (picklable) DUT snapshot instead of shipping the REF
+        object graph.  ``state`` and ``memory`` are adopted, not copied —
+        pass clones.
+        """
+        other = cls.__new__(cls)
+        other.state = state
+        other.memory = memory
+        bus = Bus(other.memory)
+        if mmio_ranges:
+            for base, size in mmio_ranges:
+                bus.attach(base, size, _MmioStub())
+        other.bus = bus
+        other.hart = Hart(other.state, bus)
+        other.journal = CompensationLog(other.state, other.memory)
+        other.state.attach_journal(other.journal)
+        other.memory.journal = other.journal
+        other._checkpoint = other.journal.checkpoint()
+        other.hart.instret = instret
+        return other
+
     def pc(self) -> int:
         return self.state.pc
 

@@ -23,6 +23,8 @@ EXPECT = {
     "mini_os_boot.py": ["clean shutdown", "optimisation ladder"],
     "profile_run.py": ["instrumented run", "slowest stage:",
                        "Chrome trace", "metrics JSONL"],
+    "sliced_run.py": ["per-slice windows", "stitched counters",
+                      "byte-identical to serial: True"],
 }
 
 

@@ -1,0 +1,201 @@
+"""Snapshot round-trip fidelity: the substrate of checkpoint slicing.
+
+A boundary seed travels as ``take_snapshot(system).transportable()``
+pickled across a process boundary, is restored into a *freshly built*
+system in the worker, and the resumed run must be indistinguishable —
+cycle for cycle — from one that never stopped.  These tests pin that
+contract at the state level: every architectural register and CSR
+(including the free-running MCYCLE/MINSTRET), every memory page, the
+cache/TLB/store-buffer arrays, device state (UART, CLINT, PLIC) and the
+stall-model RNG must survive the trip.
+"""
+
+import pickle
+
+import pytest
+
+from repro.dut import DutSystem, NUTSHELL, restore_snapshot, take_snapshot
+from repro.isa import csr as CSR
+from repro.isa.const import DRAM_BASE
+from repro.isa.devices import Uart
+from repro.workloads import build
+
+pytestmark = pytest.mark.slicing
+
+WORKLOAD = build("memory_churn", array_kb=8, passes=1)
+SPLIT = 1500  # cycles before the snapshot
+TAIL = 1200  # cycles resumed after the restore
+
+PROBED_CSRS = (CSR.MCYCLE, CSR.MINSTRET, CSR.MSTATUS, CSR.MEPC,
+               CSR.MCAUSE, CSR.MTVEC, CSR.SATP, CSR.MSCRATCH)
+
+
+def fresh_system(uart_input: bytes = b"") -> DutSystem:
+    system = DutSystem(NUTSHELL, seed=2025, uart_input=uart_input)
+    system.load_image(WORKLOAD.image, DRAM_BASE)
+    return system
+
+
+def advance(system: DutSystem, cycles: int) -> None:
+    for _ in range(cycles):
+        if system.finished():
+            return
+        system.cycle()
+
+
+def assert_same_state(a: DutSystem, b: DutSystem) -> None:
+    """Field-level identity of two systems (everything a snapshot must
+    carry — compare the machines, not the snapshot objects)."""
+    assert a.memory._pages == b.memory._pages
+    assert bytes(a.uart.output) == bytes(b.uart.output)
+    assert a.uart.pending_input() == b.uart.pending_input()
+    assert (a.clint.mtime, a.clint.mtimecmp, a.clint.msip,
+            a.clint._subticks) == \
+        (b.clint.mtime, b.clint.mtimecmp, b.clint.msip, b.clint._subticks)
+    assert a.plic.pending == b.plic.pending
+    for ca, cb in zip(a.cores, b.cores):
+        assert ca.hart.instret == cb.hart.instret
+        assert ca.cycle_count == cb.cycle_count
+        assert ca.retired == cb.retired
+        assert ca.finished == cb.finished
+        assert ca._stall == cb._stall
+        assert ca._rng.getstate() == cb._rng.getstate()
+        sa, sb = ca.state, cb.state
+        assert sa.pc == sb.pc
+        assert sa.priv == sb.priv
+        assert sa.xregs == sb.xregs
+        assert sa.fregs == sb.fregs
+        assert sa.vregs == sb.vregs
+        assert sa.csr._values == sb.csr._values
+        for addr in PROBED_CSRS:
+            assert sa.csr.peek(addr) == sb.csr.peek(addr), hex(addr)
+        assert ca.icache._sets == cb.icache._sets
+        assert ca.dcache._sets == cb.dcache._sets
+        assert ca.l2cache._sets == cb.l2cache._sets
+        assert (ca.icache.hits, ca.icache.misses, ca.dcache.hits,
+                ca.dcache.misses, ca.l2cache.hits, ca.l2cache.misses) == \
+            (cb.icache.hits, cb.icache.misses, cb.dcache.hits,
+             cb.dcache.misses, cb.l2cache.hits, cb.l2cache.misses)
+        assert ca.tlbs.itlb._entries == cb.tlbs.itlb._entries
+        assert ca.tlbs.dtlb._entries == cb.tlbs.dtlb._entries
+        assert ca.tlbs.l2._entries == cb.tlbs.l2._entries
+        assert ca.sbuffer._lines == cb.sbuffer._lines
+        assert ca.monitor.slot == cb.monitor.slot
+        assert (ca.monitor._fp_dirty, ca.monitor._vec_dirty,
+                ca.monitor._last_hyper, ca.monitor._last_trigger,
+                ca.monitor._last_debug) == \
+            (cb.monitor._fp_dirty, cb.monitor._vec_dirty,
+             cb.monitor._last_hyper, cb.monitor._last_trigger,
+             cb.monitor._last_debug)
+
+
+def pickled_restore(snapshot, uart_input: bytes = b"") -> DutSystem:
+    """The exact worker-side path: transportable → pickle → restore."""
+    blob = pickle.dumps(snapshot.transportable())
+    system = fresh_system(uart_input=uart_input)
+    restore_snapshot(system, pickle.loads(blob))
+    return system
+
+
+class TestPickleRoundtrip:
+    def test_restored_system_matches_source(self):
+        source = fresh_system(uart_input=b"abc")
+        advance(source, SPLIT)
+        restored = pickled_restore(take_snapshot(source),
+                                   uart_input=b"abc")
+        assert_same_state(source, restored)
+
+    def test_transportable_drops_only_the_decode_cache(self):
+        source = fresh_system()
+        advance(source, SPLIT)
+        snapshot = take_snapshot(source)
+        wire = snapshot.transportable()
+        assert snapshot.cores[0].decode_cache  # warm after 1500 cycles
+        assert wire.cores[0].decode_cache == {}
+        assert wire.cores[0].instret == snapshot.cores[0].instret
+        assert wire.memory is snapshot.memory  # pages already a clone
+
+    def test_snapshot_is_isolated_from_the_live_system(self):
+        """Continuing the source must not mutate a taken snapshot."""
+        source = fresh_system()
+        advance(source, SPLIT)
+        snapshot = take_snapshot(source)
+        pc_at_split = snapshot.cores[0].arch_state.pc
+        pages_at_split = {index: bytes(page) for index, page
+                          in snapshot.memory._pages.items()}
+        advance(source, 500)
+        assert snapshot.cores[0].arch_state.pc == pc_at_split
+        assert {index: bytes(page) for index, page
+                in snapshot.memory._pages.items()} == pages_at_split
+
+
+class TestResumeEquivalence:
+    def test_resumed_run_matches_uninterrupted(self):
+        """split-at-SPLIT + TAIL more cycles == SPLIT+TAIL straight."""
+        reference = fresh_system()
+        advance(reference, SPLIT + TAIL)
+
+        source = fresh_system()
+        advance(source, SPLIT)
+        resumed = pickled_restore(take_snapshot(source))
+        advance(resumed, TAIL)
+        assert_same_state(reference, resumed)
+        # MINSTRET keeps free-running through the restore, in step with
+        # the hart's retirement counter.
+        probe = resumed.cores[0].state.csr.peek
+        assert probe(CSR.MINSTRET) == \
+            reference.cores[0].state.csr.peek(CSR.MINSTRET)
+        assert probe(CSR.MINSTRET) == resumed.cores[0].hart.instret
+
+    def test_resumed_run_finishes_identically(self):
+        reference = fresh_system()
+        advance(reference, WORKLOAD.max_cycles)
+        assert reference.finished()
+
+        source = fresh_system()
+        advance(source, SPLIT)
+        resumed = pickled_restore(take_snapshot(source))
+        advance(resumed, WORKLOAD.max_cycles)
+        assert resumed.finished()
+        assert resumed.exit_code() == reference.exit_code()
+        assert resumed.uart.text() == reference.uart.text()
+        assert_same_state(reference, resumed)
+
+    def test_restore_rewinds_a_diverged_system(self):
+        """Restore overwrites state wholesale — a system that ran past
+        the snapshot point is pulled back exactly, not merged."""
+        reference = fresh_system()
+        advance(reference, SPLIT)
+
+        system = fresh_system()
+        advance(system, SPLIT)
+        snapshot = take_snapshot(system)
+        advance(system, 700)  # diverge past the checkpoint
+        restore_snapshot(system, snapshot)
+        assert_same_state(reference, system)
+
+
+class TestUartRestore:
+    """The public UART restore pair used by snapshot restore."""
+
+    def test_restore_replaces_output_and_pending_input(self):
+        uart = Uart(input_script=b"abc")
+        uart.write(0x00, 1, ord("x"))
+        assert uart.read(0x00, 1) == ord("a")
+        uart.restore(b"hi", b"yz")
+        assert uart.text() == "hi"
+        assert uart.pending_input() == b"yz"
+        # The restored input script is the one subsequent reads consume.
+        assert uart.read(0x00, 1) == ord("y")
+        assert uart.pending_input() == b"z"
+
+    def test_roundtrip_via_snapshot_fields(self):
+        uart = Uart(input_script=b"12345")
+        for byte in b"OUT":
+            uart.write(0x00, 1, byte)
+        uart.read(0x00, 1)  # consume "1"
+        output, pending = bytes(uart.output), uart.pending_input()
+        other = Uart()
+        other.restore(output, pending)
+        assert other.text() == "OUT"
+        assert other.pending_input() == b"2345"
