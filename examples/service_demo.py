@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Verification-as-a-service: submit, watch, dedup, recover.
+
+Stands up an in-process campaign service on a durable SQLite store and
+walks the full client lifecycle:
+
+* submit a fuzz campaign and stream its progress events;
+* resubmit the identical campaign (spelled differently) and get a
+  cache hit — the stored report, no simulation time;
+* kill the service mid-run and restart it against the same store: the
+  orphaned campaign re-queues and finishes, and determinism makes its
+  report byte-identical to the cached one.
+
+Run:  python examples/service_demo.py
+"""
+
+import asyncio
+import tempfile
+from pathlib import Path
+
+from repro.service import CampaignService, InProcessClient, ServiceStore
+
+PARAMS = {"seeds": 4, "length": 40}
+
+
+async def demo(store_path: str) -> None:
+    # --- first submission: runs for real, progress streams out -------
+    with ServiceStore(store_path) as store:
+        service = CampaignService(store, workers=2)
+        client = InProcessClient(service)
+        await service.start()
+
+        reply = await client.submit("fuzz", PARAMS)
+        cid = reply["campaign"]
+        print(f"submitted campaign #{cid} ({reply['state']})")
+
+        print("progress events:")
+        async for event in client.watch(cid):
+            if event["event"] == "progress":
+                print(f"  running: {event['jobs_done']}"
+                      f"/{event['jobs_total']} jobs")
+            else:
+                print(f"  state: {event['state']}")
+
+        first = await client.results(cid)
+
+        # --- identical resubmission: served from the store -----------
+        # Different spelling (defaults written out, keys reordered),
+        # same canonical fingerprint.
+        spelled = {"length": 40, "seeds": 4, "fail_fast": False}
+        reply = await client.submit("fuzz", spelled)
+        print(f"\nresubmission: campaign #{reply['campaign']}, "
+              f"cache hit: {reply['cached']}")
+        await service.stop()
+
+    # --- crash recovery: re-queue an interrupted campaign ------------
+    # Simulate a crash by marking the finished row as still running,
+    # as if the server died mid-campaign with the queue on disk.
+    with ServiceStore(store_path) as store:
+        store.set_state(cid, "running")
+    with ServiceStore(store_path) as store:
+        service = CampaignService(store, workers=2)
+        client = InProcessClient(service)
+        orphans = await service.start()
+        print(f"\nrestart re-queued orphans: {orphans}")
+        state = await client.wait(cid)
+        rerun = await client.results(cid)
+        await service.stop()
+
+    print(f"re-run finished: {state}")
+    identical = rerun["report"] == first["report"]
+    print(f"re-run report identical to original: {identical}")
+    assert identical, "determinism guarantee violated"
+
+    print("\nstored campaign report:")
+    print(first["report"])
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        asyncio.run(demo(str(Path(tmp) / "campaigns.db")))
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,7 @@ from .overhead import (
 from .sweeps import (
     MeasuredPoint,
     collect_measured_points,
+    measured_point_specs,
     nonblocking_gain,
     required_reduction,
     speed_vs_parameter,
@@ -18,6 +19,7 @@ from .sweeps import (
 __all__ = [
     "MeasuredPoint",
     "collect_measured_points",
+    "measured_point_specs",
     "nonblocking_gain",
     "required_reduction",
     "speed_vs_parameter",

@@ -40,6 +40,21 @@ class MeasuredPoint:
         return self.summary.counters
 
 
+def measured_point_specs(cells):
+    """The job specs of a measured-point sweep, in cell order.
+
+    Shared by :func:`collect_measured_points` and the campaign service's
+    ``sweep`` submissions so both measure the identical cells.
+    """
+    from ..parallel import JobSpec
+
+    return [
+        JobSpec(kind="workload", label=f"{workload}/{config.name}",
+                params={"workload": workload, "dut": dut, "config": config})
+        for workload, dut, config in cells
+    ]
+
+
 def collect_measured_points(cells, workers: Optional[int] = None,
                             job_timeout: Optional[float] = None,
                             collect_metrics: bool = False, obs=None):
@@ -53,13 +68,9 @@ def collect_measured_points(cells, workers: Optional[int] = None,
     Raises ``RuntimeError`` if any cell fails: an analytical sweep around
     a failed (mismatching) operating point would model garbage.
     """
-    from ..parallel import CampaignExecutor, JobSpec
+    from ..parallel import CampaignExecutor
 
-    specs = [
-        JobSpec(kind="workload", label=f"{workload}/{config.name}",
-                params={"workload": workload, "dut": dut, "config": config})
-        for workload, dut, config in cells
-    ]
+    specs = measured_point_specs(cells)
     executor = CampaignExecutor(workers=workers, job_timeout=job_timeout,
                                 retries=0, collect_metrics=collect_metrics,
                                 obs=obs)

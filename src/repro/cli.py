@@ -27,55 +27,32 @@ to ``--workers 1``.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
 
-from .comm import ALL_PLATFORMS, FPGA_VU19P, PALLADIUM, VERILATOR_16T
-from .core import (
-    CONFIG_B,
-    CONFIG_BN,
-    CONFIG_BNSD,
-    CONFIG_COUPLED,
-    CONFIG_FIXED,
-    CONFIG_Z,
-    CoSimulation,
-    run_cosim,
-)
-from .dut import (
-    FAULT_CATALOGUE,
-    NUTSHELL,
-    XIANGSHAN_DEFAULT,
-    XIANGSHAN_DUAL,
-    XIANGSHAN_MINIMAL,
-    fault_by_name,
-)
+from .core import CONFIG_BNSD, CoSimulation, run_cosim
+from .dut import FAULT_CATALOGUE, XIANGSHAN_DEFAULT, fault_by_name
 from .events import all_event_classes
 from .obs import MetricsSnapshot, ObsContext, render_profile, \
     write_chrome_trace, write_metrics_jsonl
+# The name registries live with the campaign service (which needs them
+# to resolve JSON submissions); the CLI is just another consumer.
+from .service.catalog import CONFIGS as _CONFIGS
+from .service.catalog import DUTS as _DUTS
+from .service.catalog import PLATFORMS as _PLATFORMS
+from .service.catalog import SUBMISSION_KINDS
+from .service.render import (
+    fuzz_footer_lines,
+    fuzz_job_lines,
+    linkfault_footer_lines,
+    linkfault_job_lines,
+    render_ladder,
+)
 from .toolkit import render_event_profile, render_report, \
     render_snapshot_report
 from .workloads import available, build
-
-_DUTS = {
-    "nutshell": NUTSHELL,
-    "xiangshan-minimal": XIANGSHAN_MINIMAL,
-    "xiangshan": XIANGSHAN_DEFAULT,
-    "xiangshan-dual": XIANGSHAN_DUAL,
-}
-_CONFIGS = {
-    "Z": CONFIG_Z,
-    "B": CONFIG_B,
-    "BIN": CONFIG_BN,
-    "EBINSD": CONFIG_BNSD,
-    "FIXED": CONFIG_FIXED,
-    "COUPLED": CONFIG_COUPLED,
-}
-_PLATFORMS = {
-    "palladium": PALLADIUM,
-    "fpga": FPGA_VU19P,
-    "verilator": VERILATOR_16T,
-}
 
 
 def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
@@ -223,9 +200,61 @@ def _build_parser() -> argparse.ArgumentParser:
                             "the platform's constant)")
     _add_obs_flags(sweep)
 
-    sub.add_parser("workloads", help="list available workloads")
-    sub.add_parser("faults", help="list the Table 6 fault catalogue")
-    sub.add_parser("events", help="list the 32 verification event types")
+    for name, text in (("workloads", "list available workloads"),
+                       ("faults", "list the Table 6 fault catalogue"),
+                       ("events",
+                        "list the 32 verification event types")):
+        listing = sub.add_parser(name, help=text)
+        listing.add_argument("--json", action="store_true",
+                             help="emit the listing as a JSON array")
+
+    serve = sub.add_parser(
+        "serve", help="run the verification-as-a-service campaign "
+                      "server (NDJSON over TCP)")
+    serve.add_argument("--store", default="service.db",
+                       help="SQLite store path (queue + results survive "
+                            "restarts)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7337,
+                       help="TCP port (0 = ephemeral)")
+    serve.add_argument("--rate", type=float, default=10.0,
+                       help="per-client submissions/s refill rate")
+    serve.add_argument("--burst", type=float, default=20.0,
+                       help="per-client submission burst capacity")
+    _add_workers_flag(serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a campaign to a running service")
+    submit.add_argument("kind", choices=SUBMISSION_KINDS)
+    submit.add_argument("--params", default="{}",
+                        help="campaign parameters as a JSON object "
+                             "(defaults match the one-shot commands)")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=7337)
+    submit.add_argument("--wait", action="store_true",
+                        help="stay connected until the campaign "
+                             "finishes")
+
+    status = sub.add_parser(
+        "status", help="show a submitted campaign's state and progress")
+    status.add_argument("campaign", type=int)
+    status.add_argument("--host", default="127.0.0.1")
+    status.add_argument("--port", type=int, default=7337)
+    status.add_argument("--json", action="store_true",
+                        help="emit the raw status document")
+
+    results = sub.add_parser(
+        "results", help="print a finished campaign's stored report "
+                        "(byte-identical to the one-shot command)")
+    results.add_argument("campaign", type=int)
+    results.add_argument("--host", default="127.0.0.1")
+    results.add_argument("--port", type=int, default=7337)
+
+    cancel = sub.add_parser(
+        "cancel", help="cancel a queued or running campaign")
+    cancel.add_argument("campaign", type=int)
+    cancel.add_argument("--host", default="127.0.0.1")
+    cancel.add_argument("--port", type=int, default=7337)
     return parser
 
 
@@ -347,32 +376,12 @@ def _cmd_ladder(args) -> int:
 
     dut = _DUTS[args.dut]
     names = ("Z", "B", "BIN", "EBINSD")
-    campaign = ladder_campaign(args.workload, dut,
-                               [_CONFIGS[name] for name in names],
+    configs = [_CONFIGS[name] for name in names]
+    campaign = ladder_campaign(args.workload, dut, configs,
                                workers=args.workers)
-    print(f"{'config':8s} {'invokes/cyc':>12s} {'bytes/cyc':>10s} "
-          f"{'PLDM KHz':>9s} {'FPGA KHz':>9s}")
-    baseline = None
-    for name, job in zip(names, campaign.jobs):
-        if not job.passed:
-            detail = (job.summary.mismatch.describe()
-                      if job.ok and job.summary.mismatch else job.verdict())
-            print(f"{name}: FAILED ({detail})")
-            if not job.ok and job.error:
-                print("  " + job.error.strip().splitlines()[-1])
-            return 1
-        config = _CONFIGS[name]
-        summary = job.summary
-        pldm = summary.breakdown(PALLADIUM, dut.gates_millions,
-                                 config.nonblocking)
-        fpga = summary.breakdown(FPGA_VU19P, dut.gates_millions,
-                                 config.nonblocking)
-        if baseline is None:
-            baseline = pldm.speed_khz
-        print(f"{name:8s} {summary.invokes_per_cycle:12.3f} "
-              f"{summary.bytes_per_cycle:10.1f} {pldm.speed_khz:9.1f} "
-              f"{fpga.speed_khz:9.1f}  ({pldm.speed_khz/baseline:.1f}x)")
-    return 0
+    text, ok = render_ladder(campaign, dut, configs)
+    print(text)
+    return 0 if ok else 1
 
 
 def _cmd_inject(args) -> int:
@@ -426,29 +435,8 @@ def _cmd_linkfault(args) -> int:
     ]
 
     def report(job) -> None:
-        if not job.ok:
-            print(f"{job.label:28s} {job.verdict()}")
-            if job.error:
-                print("  " + job.error.strip().splitlines()[-1])
-            return
-        summary = job.summary
-        if summary.mismatch is not None:
-            verdict = "MISMATCH (spurious!)"
-        elif summary.transport_error is not None:
-            verdict = f"XPORT({summary.transport_error.kind})"
-        elif (summary.counters.link_retransmits or summary.link_recoveries
-              or summary.degradations):
-            verdict = "recovered"
-        else:
-            verdict = "ok"
-        extra = (f"  retx={summary.counters.link_retransmits}"
-                 f" crc={summary.counters.link_crc_errors}"
-                 f" recov={summary.link_recoveries}")
-        if summary.degradations:
-            extra += f" degraded={'>'.join(summary.degradations)}"
-        print(f"{job.label:28s} {verdict:20s}{extra}")
-        if summary.mismatch is not None:
-            print("  " + summary.mismatch.describe())
+        for line in linkfault_job_lines(job):
+            print(line)
 
     obs = ObsContext() if args.trace_out else None
     campaign = linkfault_campaign(cases, dut, config, workers=args.workers,
@@ -458,11 +446,8 @@ def _cmd_linkfault(args) -> int:
     spurious = [job for job in campaign.jobs
                 if job.ok and job.summary.mismatch is not None]
     broken = [job for job in campaign.jobs if not job.ok]
-    recovered = sum(
-        1 for job in campaign.jobs
-        if job.ok and job.summary.passed)
-    print(f"\n{recovered}/{len(campaign.jobs)} recovered cleanly, "
-          f"{len(spurious)} spurious mismatches, {len(broken)} broken jobs")
+    for line in linkfault_footer_lines(campaign):
+        print(line)
     _export_obs(obs, campaign.aggregate_metrics(), args)
     return 1 if (spurious or broken) else 0
 
@@ -473,17 +458,8 @@ def _cmd_fuzz(args) -> int:
     seeds = range(args.start, args.start + args.seeds)
 
     def report(job) -> None:
-        seed = args.start + job.index
-        if not job.ok:
-            print(f"seed {seed:6d}: {job.verdict()}")
-            if job.error:
-                print("  " + job.error.strip().splitlines()[-1])
-            return
-        verdict = "ok" if job.summary.passed else "FAIL"
-        print(f"seed {seed:6d}: {verdict}  "
-              f"({job.summary.instructions} instr)")
-        if not job.summary.passed and job.summary.mismatch:
-            print("  " + job.summary.mismatch.describe())
+        for line in fuzz_job_lines(job, args.start):
+            print(line)
 
     obs = ObsContext() if args.trace_out else None
     campaign = fuzz_campaign(seeds, length=args.length,
@@ -492,13 +468,10 @@ def _cmd_fuzz(args) -> int:
                              fail_fast=args.fail_fast, on_result=report,
                              collect_metrics=bool(args.metrics_out),
                              obs=obs)
-    failures = len(campaign.failures)
-    total = len(campaign.jobs)
-    print(f"\n{total - failures}/{total} passed")
-    if campaign.stats.short_circuited:
-        print(f"(fail-fast: stopped after {total} of {args.seeds} seeds)")
+    for line in fuzz_footer_lines(campaign, args.seeds):
+        print(line)
     _export_obs(obs, campaign.aggregate_metrics(), args)
-    return 1 if failures else 0
+    return 1 if campaign.failures else 0
 
 
 def _cmd_sweep(args) -> int:
@@ -554,29 +527,167 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
-def _cmd_workloads(_args) -> int:
-    for name in available():
-        workload = build(name)
-        print(f"{name:18s} {workload.description}")
+def _cmd_workloads(args) -> int:
+    rows = [{"name": name, "description": build(name).description}
+            for name in available()]
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    for row in rows:
+        print(f"{row['name']:18s} {row['description']}")
     return 0
 
 
-def _cmd_faults(_args) -> int:
-    for spec in FAULT_CATALOGUE:
-        print(f"{spec.pull_request:6s} {spec.name:28s} [{spec.component}] "
-              f"{spec.description}")
+def _cmd_faults(args) -> int:
+    rows = [{"pull_request": spec.pull_request, "name": spec.name,
+             "component": spec.component,
+             "description": spec.description}
+            for spec in FAULT_CATALOGUE]
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    for row in rows:
+        print(f"{row['pull_request']:6s} {row['name']:28s} "
+              f"[{row['component']}] {row['description']}")
     return 0
 
 
-def _cmd_events(_args) -> int:
+def _cmd_events(args) -> int:
+    rows = []
     for cls in all_event_classes():
         descriptor = cls.DESCRIPTOR
-        print(f"{descriptor.event_id:3d} {cls.__name__:22s} "
-              f"{cls.payload_size():5d} B x{descriptor.instances:<3d} "
-              f"{descriptor.category.value:18s} "
-              f"{'NDE' if descriptor.is_nde else '   '} "
-              f"{descriptor.fusion_rule.value}")
+        rows.append({"id": descriptor.event_id, "name": cls.__name__,
+                     "payload_bytes": cls.payload_size(),
+                     "instances": descriptor.instances,
+                     "category": descriptor.category.value,
+                     "nde": descriptor.is_nde,
+                     "fusion_rule": descriptor.fusion_rule.value})
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    for row in rows:
+        print(f"{row['id']:3d} {row['name']:22s} "
+              f"{row['payload_bytes']:5d} B x{row['instances']:<3d} "
+              f"{row['category']:18s} "
+              f"{'NDE' if row['nde'] else '   '} "
+              f"{row['fusion_rule']}")
     return 0
+
+
+# ----------------------------------------------------------------------
+# verification-as-a-service commands
+# ----------------------------------------------------------------------
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import CampaignService, ServiceServer, ServiceStore
+
+    async def run() -> int:
+        with ServiceStore(args.store) as store:
+            service = CampaignService(store, workers=args.workers,
+                                      rate=args.rate, burst=args.burst)
+            server = ServiceServer(service, host=args.host,
+                                   port=args.port)
+            orphans = await server.start()
+            if orphans:
+                requeued = ", ".join(f"#{cid}" for cid in orphans)
+                print(f"re-queued orphaned campaign(s): {requeued}")
+            host, port = server.address
+            print(f"serving on {host}:{port} (store: {args.store})")
+            try:
+                await server.serve_forever()
+            finally:
+                await server.stop(drain=False)
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
+def _with_client(args, action) -> int:
+    """Run an async client action against ``--host``/``--port``."""
+    import asyncio
+
+    from .service import ServiceClient, ServiceError
+
+    async def run() -> int:
+        try:
+            async with ServiceClient(args.host, args.port) as client:
+                return await action(client)
+        except ConnectionRefusedError:
+            print(f"no service at {args.host}:{args.port} "
+                  f"(start one with `repro serve`)")
+            return 1
+        except ServiceError as exc:
+            print(f"service error: {exc}")
+            return 1
+
+    return asyncio.run(run())
+
+
+def _cmd_submit(args) -> int:
+    try:
+        params = json.loads(args.params)
+    except json.JSONDecodeError as exc:
+        print(f"--params is not valid JSON: {exc}")
+        return 1
+    if not isinstance(params, dict):
+        print("--params must be a JSON object")
+        return 1
+
+    async def action(client) -> int:
+        reply = await client.submit(args.kind, params)
+        campaign = reply["campaign"]
+        suffix = "  (cache hit)" if reply["cached"] else ""
+        print(f"campaign #{campaign}: {reply['state']}{suffix}")
+        if args.wait and not reply["cached"]:
+            state = await client.wait(campaign)
+            print(f"campaign #{campaign}: {state}")
+            return 0 if state == "done" else 1
+        return 0
+
+    return _with_client(args, action)
+
+
+def _cmd_status(args) -> int:
+    async def action(client) -> int:
+        reply = await client.status(args.campaign)
+        if args.json:
+            reply.pop("ok", None)
+            print(json.dumps(reply, indent=2, sort_keys=True))
+            return 0
+        line = (f"campaign #{reply['campaign']} ({reply['kind']}): "
+                f"{reply['state']}")
+        progress = reply.get("progress") or {}
+        if progress.get("jobs_total"):
+            line += (f"  [{progress.get('jobs_done', 0)}"
+                     f"/{progress['jobs_total']} jobs]")
+        print(line)
+        if reply.get("error"):
+            print(reply["error"].strip())
+        return 0
+
+    return _with_client(args, action)
+
+
+def _cmd_results(args) -> int:
+    async def action(client) -> int:
+        reply = await client.results(args.campaign)
+        print(reply["report"])
+        return 0
+
+    return _with_client(args, action)
+
+
+def _cmd_cancel(args) -> int:
+    async def action(client) -> int:
+        reply = await client.cancel(args.campaign)
+        print(f"campaign #{reply['campaign']}: {reply['state']}")
+        return 0
+
+    return _with_client(args, action)
 
 
 _COMMANDS = {
@@ -590,6 +701,11 @@ _COMMANDS = {
     "workloads": _cmd_workloads,
     "faults": _cmd_faults,
     "events": _cmd_events,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "results": _cmd_results,
+    "cancel": _cmd_cancel,
 }
 
 

@@ -21,7 +21,7 @@ checking possible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import asdict, dataclass, field, fields
 from typing import Iterable, List, Optional, Tuple
 
 from ..comm.fusion.squash import FusionStats
@@ -142,6 +142,76 @@ def summarize_result(result) -> RunSummary:
         transport_error=getattr(result, "transport_error", None),
         degradations=tuple(stats.degradations),
         link_recoveries=stats.link_recoveries,
+    )
+
+
+# ----------------------------------------------------------------------
+# Store round-trip: summaries as plain JSON documents
+# (repro.service.store persists these; the reload must be
+# value-identical so reports re-render byte-for-byte)
+# ----------------------------------------------------------------------
+def summary_to_dict(summary: RunSummary) -> dict:
+    """Flatten a :class:`RunSummary` to a JSON-safe document.
+
+    Everything is primitives already except the three nested value
+    objects (``counters``, ``mismatch``, ``transport_error``) and the
+    metrics snapshot, each of which gets its own sub-document.
+    """
+    return {
+        "passed": summary.passed,
+        "exit_code": summary.exit_code,
+        "cycles": summary.cycles,
+        "instructions": summary.instructions,
+        "counters": asdict(summary.counters),
+        "mismatch": (asdict(summary.mismatch)
+                     if summary.mismatch is not None else None),
+        "debug_report_text": summary.debug_report_text,
+        "uart_output": summary.uart_output,
+        "events_captured": summary.events_captured,
+        "events_transmitted": summary.events_transmitted,
+        "fusion_ratio": summary.fusion_ratio,
+        "packet_utilization": summary.packet_utilization,
+        "max_queue_occupancy": summary.max_queue_occupancy,
+        "backpressure_events": summary.backpressure_events,
+        "checkpoints": summary.checkpoints,
+        "metrics": (summary.metrics.to_dicts()
+                    if summary.metrics is not None else None),
+        "transport_error": (asdict(summary.transport_error)
+                            if summary.transport_error is not None
+                            else None),
+        "degradations": list(summary.degradations),
+        "link_recoveries": summary.link_recoveries,
+    }
+
+
+def summary_from_dict(doc: dict) -> RunSummary:
+    """Rebuild the exact :class:`RunSummary` a document was made from."""
+    mismatch = (MismatchSummary(**doc["mismatch"])
+                if doc.get("mismatch") is not None else None)
+    transport = (TransportError(**doc["transport_error"])
+                 if doc.get("transport_error") is not None else None)
+    metrics = (MetricsSnapshot.from_dicts(doc["metrics"])
+               if doc.get("metrics") is not None else None)
+    return RunSummary(
+        passed=doc["passed"],
+        exit_code=doc["exit_code"],
+        cycles=doc["cycles"],
+        instructions=doc["instructions"],
+        counters=CommCounters(**doc["counters"]),
+        mismatch=mismatch,
+        debug_report_text=doc.get("debug_report_text"),
+        uart_output=doc.get("uart_output", ""),
+        events_captured=doc["events_captured"],
+        events_transmitted=doc["events_transmitted"],
+        fusion_ratio=doc["fusion_ratio"],
+        packet_utilization=doc["packet_utilization"],
+        max_queue_occupancy=doc["max_queue_occupancy"],
+        backpressure_events=doc["backpressure_events"],
+        checkpoints=doc["checkpoints"],
+        metrics=metrics,
+        transport_error=transport,
+        degradations=tuple(doc.get("degradations", ())),
+        link_recoveries=doc.get("link_recoveries", 0),
     )
 
 

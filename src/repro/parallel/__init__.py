@@ -11,8 +11,11 @@ from .campaigns import (
     FaultCase,
     LinkFaultCase,
     fault_campaign,
+    fault_specs,
     ladder_campaign,
+    ladder_specs,
     linkfault_campaign,
+    linkfault_specs,
 )
 from .executor import (
     CampaignExecutor,
@@ -48,8 +51,11 @@ __all__ = [
     "epoch_for",
     "execute_job",
     "fault_campaign",
+    "fault_specs",
     "iter_slice_specs",
     "ladder_campaign",
+    "ladder_specs",
+    "linkfault_specs",
     "plan_windows",
     "register_runner",
     "runner_for",

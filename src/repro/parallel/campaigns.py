@@ -5,6 +5,11 @@ sweep and the optimisation-ladder matrix — as JobSpec lists plus thin
 run helpers.  (The fuzz campaign lives with its generator in
 :func:`repro.workloads.fuzz.fuzz_campaign`; the sweep measured-point
 collector in :func:`repro.analysis.sweeps.collect_measured_points`.)
+
+Spec building is split from execution (``fault_specs`` /
+``linkfault_specs`` / ``ladder_specs``) so other schedulers — the
+campaign service queue in particular — can reuse the exact job
+definitions without going through the one-shot run helpers.
 """
 
 from __future__ import annotations
@@ -26,6 +31,19 @@ class FaultCase:
     max_cycles: int = 80_000
 
 
+def fault_specs(cases: Sequence[FaultCase], dut_config,
+                diff_config) -> List[JobSpec]:
+    """The job specs of a fault campaign, in case order."""
+    return [
+        JobSpec(kind="fault", label=case.fault,
+                params={"dut": dut_config, "config": diff_config,
+                        "image": case.image, "fault": case.fault,
+                        "trigger": case.trigger,
+                        "max_cycles": case.max_cycles})
+        for case in cases
+    ]
+
+
 def fault_campaign(cases: Sequence[FaultCase], dut_config, diff_config,
                    workers: Optional[int] = None,
                    job_timeout: Optional[float] = None, retries: int = 1,
@@ -38,14 +56,7 @@ def fault_campaign(cases: Sequence[FaultCase], dut_config, diff_config,
     *successful* detection, and the campaign's value is the full
     detection matrix.
     """
-    specs = [
-        JobSpec(kind="fault", label=case.fault,
-                params={"dut": dut_config, "config": diff_config,
-                        "image": case.image, "fault": case.fault,
-                        "trigger": case.trigger,
-                        "max_cycles": case.max_cycles})
-        for case in cases
-    ]
+    specs = fault_specs(cases, dut_config, diff_config)
     executor = CampaignExecutor(workers=workers, job_timeout=job_timeout,
                                 retries=retries,
                                 collect_metrics=collect_metrics, obs=obs)
@@ -71,6 +82,25 @@ class LinkFaultCase:
     packing: str = ""
 
 
+def linkfault_specs(cases: Sequence[LinkFaultCase], dut_config,
+                    diff_config) -> List[JobSpec]:
+    """The job specs of a link-fault campaign, in case order."""
+    specs = []
+    for case in cases:
+        config = (diff_config.with_(packing=case.packing) if case.packing
+                  else diff_config)
+        label = case.label or case.fault
+        specs.append(JobSpec(
+            kind="linkfault", label=label,
+            params={"dut": dut_config, "config": config,
+                    "image": case.image, "link_fault": case.fault,
+                    "link_rate": case.rate,
+                    "link_trigger": case.trigger,
+                    "link_seed": case.link_seed,
+                    "max_cycles": case.max_cycles}))
+    return specs
+
+
 def linkfault_campaign(cases: Sequence[LinkFaultCase], dut_config,
                        diff_config, workers: Optional[int] = None,
                        job_timeout: Optional[float] = None,
@@ -87,23 +117,23 @@ def linkfault_campaign(cases: Sequence[LinkFaultCase], dut_config,
     error.  A spurious DUT mismatch in any cell is the failure the
     campaign exists to catch.
     """
-    specs = []
-    for case in cases:
-        config = (diff_config.with_(packing=case.packing) if case.packing
-                  else diff_config)
-        label = case.label or case.fault
-        specs.append(JobSpec(
-            kind="linkfault", label=label,
-            params={"dut": dut_config, "config": config,
-                    "image": case.image, "link_fault": case.fault,
-                    "link_rate": case.rate,
-                    "link_trigger": case.trigger,
-                    "link_seed": case.link_seed,
-                    "max_cycles": case.max_cycles}))
+    specs = linkfault_specs(cases, dut_config, diff_config)
     executor = CampaignExecutor(workers=workers, job_timeout=job_timeout,
                                 retries=retries,
                                 collect_metrics=collect_metrics, obs=obs)
     return executor.run(specs, on_result=on_result)
+
+
+def ladder_specs(workload_name: str, dut_config, diff_configs,
+                 build_kwargs: Optional[dict] = None) -> List[JobSpec]:
+    """The job specs of an optimisation-ladder campaign, in rung order."""
+    return [
+        JobSpec(kind="workload", label=config.name,
+                params={"dut": dut_config, "config": config,
+                        "workload": workload_name,
+                        "build_kwargs": dict(build_kwargs or {})})
+        for config in diff_configs
+    ]
 
 
 def ladder_campaign(workload_name: str, dut_config, diff_configs,
@@ -118,13 +148,8 @@ def ladder_campaign(workload_name: str, dut_config, diff_configs,
     Rows come back in ladder order (submission order), so the Table 5
     rendering is identical whether the rungs ran serially or fanned out.
     """
-    specs: List[JobSpec] = [
-        JobSpec(kind="workload", label=config.name,
-                params={"dut": dut_config, "config": config,
-                        "workload": workload_name,
-                        "build_kwargs": dict(build_kwargs or {})})
-        for config in diff_configs
-    ]
+    specs = ladder_specs(workload_name, dut_config, diff_configs,
+                         build_kwargs=build_kwargs)
     executor = CampaignExecutor(workers=workers, job_timeout=job_timeout,
                                 collect_metrics=collect_metrics, obs=obs)
     return executor.run(specs, on_result=on_result)

@@ -139,6 +139,9 @@ class CampaignStats:
     jobs_timed_out: int = 0
     retries_used: int = 0
     short_circuited: bool = False
+    #: A ``should_stop`` hook asked the campaign to stop between jobs
+    #: (service-side cancellation / graceful shutdown).
+    stopped: bool = False
     workers: int = 1
     wall_time_s: float = 0.0
     busy_time_s: float = 0.0
@@ -250,13 +253,22 @@ class CampaignExecutor:
 
     # ------------------------------------------------------------------
     def run(self, specs: Iterable[JobSpec],
-            on_result: Optional[Callable[[JobResult], None]] = None
+            on_result: Optional[Callable[[JobResult], None]] = None,
+            should_stop: Optional[Callable[[], bool]] = None
             ) -> CampaignResult:
         """Execute all jobs; fold results in submission order.
 
         ``on_result`` is invoked once per consumed job, in submission
         order regardless of worker count (this is what lets the CLI
         stream identical per-job lines in serial and parallel modes).
+
+        ``should_stop`` is polled between consumed jobs (never mid-job):
+        when it returns True the campaign stops cooperatively — pending
+        pool futures are cancelled, already-consumed results are kept,
+        and ``stats.stopped`` is set.  This is the cancellation hook the
+        campaign service uses; the consumed prefix stays identical to a
+        serial run's, so a stopped campaign is still deterministic up to
+        its stop point.
 
         ``specs`` may be a lazy iterable: specs are submitted as they
         are produced, so a producer that does real work per spec (the
@@ -273,12 +285,15 @@ class CampaignExecutor:
         start = time.perf_counter()
         consume = self._wrap_on_result(on_result, start)
         if self.workers == 1:
-            jobs, submitted = self._run_serial(spec_iter, consume)
+            jobs, submitted, stopped = self._run_serial(
+                spec_iter, consume, should_stop)
         else:
-            jobs, submitted = self._run_pool(spec_iter, consume)
+            jobs, submitted, stopped = self._run_pool(
+                spec_iter, consume, should_stop)
         wall = time.perf_counter() - start
-        return CampaignResult(jobs=jobs,
-                              stats=self._rollup(submitted, jobs, wall))
+        stats = self._rollup(submitted, jobs, wall)
+        stats.stopped = stopped
+        return CampaignResult(jobs=jobs, stats=stats)
 
     def _wrap_on_result(self, on_result, start: float):
         """Chain parent-side job-span recording in front of the user's
@@ -303,12 +318,16 @@ class CampaignExecutor:
         return consume
 
     # ------------------------------------------------------------------
-    def _run_serial(self, specs, on_result):
+    def _run_serial(self, specs, on_result, should_stop=None):
         jobs: List[JobResult] = []
         submitted: List[JobSpec] = []
         spec_iter = iter(specs)
+        stopped = False
         for index, spec in enumerate(spec_iter):
             submitted.append(spec)
+            if should_stop is not None and should_stop():
+                stopped = True
+                break
             result = execute_job(spec, index, self.job_timeout, self.retries)
             jobs.append(result)
             if on_result is not None:
@@ -320,15 +339,16 @@ class CampaignExecutor:
                 if leftover is not None:
                     submitted.append(leftover)
                 break
-        return jobs, submitted
+        return jobs, submitted, stopped
 
-    def _run_pool(self, specs, on_result):
+    def _run_pool(self, specs, on_result, should_stop=None):
         parent_timeout = None
         if self.job_timeout is not None:
             parent_timeout = (self.job_timeout * (self.retries + 1)
                               + _PARENT_TIMEOUT_GRACE)
         jobs: List[JobResult] = []
         submitted: List[JobSpec] = []
+        stopped = False
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             # Submit as the (possibly lazy) spec producer yields: workers
             # start on early jobs while later specs are still being built.
@@ -338,6 +358,11 @@ class CampaignExecutor:
                 futures.append(pool.submit(execute_job, spec, index,
                                            self.job_timeout, self.retries))
             for index, future in enumerate(futures):
+                if should_stop is not None and should_stop():
+                    stopped = True
+                    for pending in futures[index:]:
+                        pending.cancel()
+                    break
                 try:
                     result = future.result(timeout=parent_timeout)
                 except Exception:
@@ -355,7 +380,7 @@ class CampaignExecutor:
                     for pending in futures[index + 1:]:
                         pending.cancel()
                     break
-        return jobs, submitted
+        return jobs, submitted, stopped
 
     # ------------------------------------------------------------------
     def _rollup(self, specs, jobs, wall: float) -> CampaignStats:

@@ -1,0 +1,181 @@
+"""Clients of the campaign service.
+
+Two flavours, one surface:
+
+* :class:`InProcessClient` talks to a :class:`CampaignService` object
+  directly on the current event loop — no sockets, fully deterministic,
+  the flavour tests and examples use.
+* :class:`ServiceClient` speaks the newline-delimited-JSON protocol to
+  a :class:`~repro.service.server.ServiceServer` over TCP.
+
+Both raise :class:`ServiceError` when the server reports a failure, so
+callers never have to inspect raw ``{"ok": false}`` documents, and both
+offer :meth:`wait` — poll-free completion via the ``watch`` stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import AsyncIterator, List, Optional
+
+from .server import CampaignService
+
+__all__ = ["InProcessClient", "ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """The service rejected a request (validation, state, rate limit)."""
+
+    def __init__(self, message: str, rate_limited: bool = False) -> None:
+        super().__init__(message)
+        self.rate_limited = rate_limited
+
+
+class InProcessClient:
+    """Direct client of a CampaignService on the same event loop."""
+
+    def __init__(self, service: CampaignService,
+                 client: str = "local") -> None:
+        self.service = service
+        self.client = client
+
+    async def submit(self, kind: str,
+                     params: Optional[dict] = None) -> dict:
+        from .server import RateLimited
+
+        try:
+            return await self.service.submit(kind, params,
+                                             client=self.client)
+        except RateLimited as exc:
+            raise ServiceError(str(exc), rate_limited=True) from None
+        except (ValueError, KeyError) as exc:
+            raise ServiceError(str(exc)) from None
+
+    async def status(self, campaign_id: int) -> dict:
+        return await self.service.status(campaign_id)
+
+    async def results(self, campaign_id: int) -> dict:
+        try:
+            return await self.service.results(campaign_id)
+        except ValueError as exc:
+            raise ServiceError(str(exc)) from None
+
+    async def cancel(self, campaign_id: int) -> dict:
+        return await self.service.cancel(campaign_id)
+
+    async def watch(self, campaign_id: int) -> AsyncIterator[dict]:
+        async for event in self.service.watch(campaign_id):
+            yield event
+
+    async def wait(self, campaign_id: int) -> str:
+        """Block until the campaign goes terminal; return final state."""
+        state = (await self.status(campaign_id))["state"]
+        async for event in self.watch(campaign_id):
+            if event.get("event") == "state":
+                state = event["state"]
+        return state
+
+
+class ServiceClient:
+    """TCP client of the NDJSON protocol (async context manager)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except ConnectionError:
+                pass
+            self._reader = self._writer = None
+
+    # ------------------------------------------------------------------
+    async def _send(self, doc: dict) -> None:
+        if self._writer is None:
+            raise RuntimeError("client not connected")
+        self._writer.write(json.dumps(doc).encode("utf-8") + b"\n")
+        await self._writer.drain()
+
+    async def _recv(self) -> dict:
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        reply = json.loads(line.decode("utf-8"))
+        if not reply.get("ok", False):
+            raise ServiceError(reply.get("error", "request failed"),
+                               rate_limited=bool(
+                                   reply.get("rate_limited")))
+        return reply
+
+    async def _request(self, doc: dict) -> dict:
+        await self._send(doc)
+        return await self._recv()
+
+    # ------------------------------------------------------------------
+    async def ping(self) -> bool:
+        return (await self._request({"op": "ping"})).get("pong", False)
+
+    async def submit(self, kind: str, params: Optional[dict] = None,
+                     client: Optional[str] = None) -> dict:
+        doc = {"op": "submit", "kind": kind, "params": params or {}}
+        if client is not None:
+            doc["client"] = client
+        return await self._request(doc)
+
+    async def status(self, campaign_id: int) -> dict:
+        return await self._request({"op": "status",
+                                    "campaign": campaign_id})
+
+    async def results(self, campaign_id: int) -> dict:
+        return await self._request({"op": "results",
+                                    "campaign": campaign_id})
+
+    async def cancel(self, campaign_id: int) -> dict:
+        return await self._request({"op": "cancel",
+                                    "campaign": campaign_id})
+
+    async def watch(self, campaign_id: int) -> AsyncIterator[dict]:
+        """Stream progress events until the terminal-state event."""
+        from .store import TERMINAL_STATES
+
+        await self._send({"op": "watch", "campaign": campaign_id})
+        while True:
+            event = await self._recv()
+            yield event
+            if (event.get("event") == "state"
+                    and event.get("state") in TERMINAL_STATES):
+                return
+
+    async def wait(self, campaign_id: int) -> str:
+        state = (await self.status(campaign_id))["state"]
+        async for event in self.watch(campaign_id):
+            if event.get("event") == "state":
+                state = event["state"]
+        return state
+
+
+def gather_events(events: List[dict]) -> dict:
+    """Split a watch stream into ``{"progress": [...], "states": [...]}``
+    (tiny helper shared by tests and the demo example)."""
+    return {
+        "progress": [e for e in events if e.get("event") == "progress"],
+        "states": [e["state"] for e in events
+                   if e.get("event") == "state"],
+    }

@@ -1,0 +1,452 @@
+"""The asyncio campaign scheduler: verification as a service.
+
+:class:`CampaignService` is the event-loop half of the service.  It
+accepts submissions (validated by :mod:`repro.service.catalog`, rate-
+limited per client by a :class:`TokenBucket`), queues them durably in a
+:class:`~repro.service.store.ServiceStore`, and a single dispatcher
+task drains the queue FIFO — each campaign executed on the existing
+:class:`~repro.parallel.CampaignExecutor` via ``run_in_executor`` so the
+event loop never blocks on simulation work.  While a campaign runs, the
+executor's in-order ``on_result`` callback (firing on the worker
+thread) posts incremental progress back onto the loop with
+``call_soon_threadsafe``: merged :class:`~repro.obs.MetricsSnapshot`
+views plus job counts, persisted to the store and fanned out to
+watchers.
+
+Lifecycle: ``queued → running → done | failed | cancelled``.
+Cancellation and graceful shutdown both ride the executor's cooperative
+``should_stop`` hook (a ``threading.Event`` polled between jobs) — a
+user cancel marks the row ``cancelled``, a shutdown stop *re-queues* it
+so the next server finishes the work; crash recovery at ``start()``
+re-queues rows a dead server left ``running``.
+
+:class:`ServiceServer` is the thin transport: newline-delimited JSON
+over an asyncio socket, one request object per line, ``{"ok": ...}``
+responses, with ``watch`` streaming progress events until the campaign
+reaches a terminal state.  Tests and examples that don't need a socket
+use :class:`~repro.service.client.InProcessClient` against the service
+object directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+import traceback
+from typing import Callable, Dict, List, Optional, Set
+
+from ..obs import MetricsSnapshot, progress_view
+from ..parallel import CampaignExecutor
+from .catalog import Submission, build_submission
+from .store import TERMINAL_STATES, ServiceStore
+
+__all__ = ["CampaignService", "RateLimited", "ServiceServer",
+           "TokenBucket"]
+
+
+class RateLimited(Exception):
+    """A client exceeded its submission budget; retry later."""
+
+
+class TokenBucket:
+    """Classic token bucket: ``burst`` capacity refilled at ``rate``/s.
+
+    The clock is injectable so tests can drive refill deterministically;
+    the default is ``time.monotonic``.
+    """
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        self.rate = float(rate)
+        self.capacity = float(burst)
+        self.tokens = float(burst)
+        self.clock = clock if clock is not None else time.monotonic
+        self._last = self.clock()
+
+    def try_acquire(self, amount: float = 1.0) -> bool:
+        now = self.clock()
+        self.tokens = min(self.capacity,
+                          self.tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self.tokens >= amount:
+            self.tokens -= amount
+            return True
+        return False
+
+
+class CampaignService:
+    """The scheduler: durable queue in front of a campaign executor.
+
+    ``executor_factory`` (submission → :class:`CampaignExecutor`) is the
+    test seam — the default builds a metrics-collecting executor with
+    the service's worker count; tests substitute counting or stub
+    factories to prove cache hits run no executor jobs.
+    """
+
+    def __init__(self, store: ServiceStore,
+                 workers: Optional[int] = None,
+                 rate: float = 10.0, burst: float = 20.0,
+                 clock: Optional[Callable[[], float]] = None,
+                 executor_factory: Optional[
+                     Callable[[Submission], CampaignExecutor]] = None
+                 ) -> None:
+        self.store = store
+        self.workers = workers
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._executor_factory = (executor_factory
+                                  or self._default_executor)
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._watchers: Dict[int, List[asyncio.Queue]] = {}
+        self._cancel_flags: Dict[int, threading.Event] = {}
+        self._user_cancelled: Set[int] = set()
+        self._wake = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._draining = False
+        self._halt = False
+        self._dispatcher: Optional[asyncio.Task] = None
+
+    def _default_executor(self,
+                          submission: Submission) -> CampaignExecutor:
+        # collect_metrics feeds progress streaming; metrics never appear
+        # in deterministic renders, so byte-identity with the one-shot
+        # CLI is unaffected.
+        return CampaignExecutor(workers=self.workers,
+                                short_circuit=submission.short_circuit,
+                                collect_metrics=True)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> List[int]:
+        """Recover orphaned jobs and start the dispatcher.
+
+        Returns the campaign ids that were re-queued — jobs a previous
+        server left ``running`` when it died.
+        """
+        if self._dispatcher is not None:
+            raise RuntimeError("service already started")
+        orphans = self.store.recover_orphans()
+        self._halt = False
+        self._draining = False
+        self._wake.set()
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        return orphans
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop the dispatcher.
+
+        ``drain=True`` (graceful): finish the running campaign and
+        everything already queued, then stop.  ``drain=False``: stop the
+        running campaign at the next job boundary and *re-queue* it —
+        unlike a user cancel, shutdown must not discard accepted work.
+        """
+        if self._dispatcher is None:
+            return
+        if drain:
+            self._draining = True
+        else:
+            self._halt = True
+            for flag in self._cancel_flags.values():
+                flag.set()
+        self._wake.set()
+        await self._dispatcher
+        self._dispatcher = None
+
+    # ------------------------------------------------------------------
+    # client surface
+    # ------------------------------------------------------------------
+    async def submit(self, kind: str, params: Optional[dict] = None,
+                     client: str = "local") -> dict:
+        """Validate, rate-limit, and queue one submission.
+
+        Raises :class:`RateLimited` when the client's bucket is empty
+        and ``ValueError`` for malformed submissions.  Returns
+        ``{"campaign", "state", "cached"}``; ``cached`` means an
+        identical finished campaign was found and no work was queued.
+        """
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+            self._buckets[client] = bucket
+        if not bucket.try_acquire():
+            raise RateLimited(f"client {client!r} exceeded "
+                              f"{self.rate:g} submissions/s "
+                              f"(burst {self.burst:g})")
+        submission = build_submission(kind, dict(params or {}))
+        campaign_id, cached = self.store.submit(submission)
+        if not cached:
+            self._wake.set()
+        return {"campaign": campaign_id,
+                "state": self.store.campaign(campaign_id).state,
+                "cached": cached}
+
+    async def status(self, campaign_id: int) -> dict:
+        row = self.store.campaign(campaign_id)
+        return {"campaign": row.id, "kind": row.kind, "state": row.state,
+                "params": row.params, "progress": row.progress,
+                "total_jobs": row.total_jobs, "error": row.error,
+                "fingerprint": row.fingerprint}
+
+    async def results(self, campaign_id: int) -> dict:
+        """The stored report, integrity-checked against a re-render.
+
+        The reload path (``jobs``/``run_summaries``/``mismatches``/
+        ``metric_snapshots`` rows → :class:`CampaignResult` → render)
+        must reproduce the stored report byte-for-byte; a divergence
+        means the store lost information and is reported loudly rather
+        than papered over.
+        """
+        row = self.store.campaign(campaign_id)
+        if row.state != "done":
+            raise ValueError(f"campaign #{campaign_id} is {row.state}"
+                             + (f": {row.error}" if row.error else ""))
+        rendered = row.submission().render(
+            self.store.load_result(campaign_id))
+        if rendered != row.report:
+            raise RuntimeError(
+                f"store integrity violation for campaign "
+                f"#{campaign_id}: reloaded rows render differently "
+                f"from the stored report")
+        return {"campaign": campaign_id, "state": row.state,
+                "report": row.report, "progress": row.progress}
+
+    async def cancel(self, campaign_id: int) -> dict:
+        """Cancel a queued or running campaign (idempotent)."""
+        row = self.store.campaign(campaign_id)
+        if row.state == "queued":
+            self.store.set_state(campaign_id, "cancelled")
+            self._emit(campaign_id, {"event": "state",
+                                     "campaign": campaign_id,
+                                     "state": "cancelled"})
+        elif row.state == "running":
+            self._user_cancelled.add(campaign_id)
+            flag = self._cancel_flags.get(campaign_id)
+            if flag is not None:
+                flag.set()
+        return {"campaign": campaign_id,
+                "state": self.store.campaign(campaign_id).state}
+
+    async def watch(self, campaign_id: int):
+        """Yield progress events until the campaign goes terminal."""
+        row = self.store.campaign(campaign_id)
+        if row.state in TERMINAL_STATES:
+            yield {"event": "state", "campaign": campaign_id,
+                   "state": row.state}
+            return
+        queue: asyncio.Queue = asyncio.Queue()
+        self._watchers.setdefault(campaign_id, []).append(queue)
+        try:
+            while True:
+                event = await queue.get()
+                yield event
+                if (event.get("event") == "state"
+                        and event.get("state") in TERMINAL_STATES):
+                    return
+        finally:
+            watchers = self._watchers.get(campaign_id, [])
+            if queue in watchers:
+                watchers.remove(queue)
+
+    # ------------------------------------------------------------------
+    # dispatcher
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        while not self._halt:
+            campaign_id = self.store.claim_next()
+            if campaign_id is None:
+                self._idle.set()
+                if self._draining:
+                    return
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            self._idle.clear()
+            await self._run_campaign(campaign_id)
+        self._idle.set()
+
+    async def _run_campaign(self, campaign_id: int) -> None:
+        loop = asyncio.get_running_loop()
+        row = self.store.campaign(campaign_id)
+        try:
+            submission = row.submission()
+            specs = submission.specs()
+        except Exception:
+            self._finish(campaign_id, "failed",
+                         error=traceback.format_exc(limit=5))
+            return
+        total = len(specs)
+        self.store.set_total_jobs(campaign_id, total)
+        self._emit(campaign_id, {"event": "state",
+                                 "campaign": campaign_id,
+                                 "state": "running",
+                                 "jobs_total": total})
+        cancel = threading.Event()
+        self._cancel_flags[campaign_id] = cancel
+        merged = MetricsSnapshot()
+        done_jobs = 0
+
+        def on_result(job) -> None:
+            # Runs on the run_in_executor thread, in submission order.
+            nonlocal merged, done_jobs
+            done_jobs += 1
+            if job.summary is not None and job.summary.metrics:
+                merged = merged.merge(job.summary.metrics)
+            progress = {"jobs_done": done_jobs, "jobs_total": total,
+                        "metrics": progress_view(merged)}
+            loop.call_soon_threadsafe(self._progress, campaign_id,
+                                      progress)
+
+        def run_blocking():
+            executor = self._executor_factory(submission)
+            return executor.run(specs, on_result=on_result,
+                                should_stop=cancel.is_set)
+
+        try:
+            campaign = await loop.run_in_executor(None, run_blocking)
+        except Exception:
+            self._finish(campaign_id, "failed",
+                         error=traceback.format_exc(limit=5))
+            return
+        finally:
+            self._cancel_flags.pop(campaign_id, None)
+
+        if campaign.stats.stopped:
+            if campaign_id in self._user_cancelled:
+                self._user_cancelled.discard(campaign_id)
+                self._finish(campaign_id, "cancelled")
+            else:
+                # Shutdown stop: put accepted work back on the queue for
+                # the next server instance.
+                self.store.set_state(campaign_id, "queued")
+            return
+        report = submission.render(campaign)
+        self.store.store_result(campaign_id, campaign, report)
+        self._emit(campaign_id, {"event": "state",
+                                 "campaign": campaign_id,
+                                 "state": "done"})
+
+    # ------------------------------------------------------------------
+    def _finish(self, campaign_id: int, state: str,
+                error: Optional[str] = None) -> None:
+        self.store.set_state(campaign_id, state, error=error)
+        self._emit(campaign_id, {"event": "state",
+                                 "campaign": campaign_id, "state": state,
+                                 **({"error": error} if error else {})})
+
+    def _progress(self, campaign_id: int, progress: dict) -> None:
+        self.store.set_progress(campaign_id, progress)
+        self._emit(campaign_id, {"event": "progress",
+                                 "campaign": campaign_id, **progress})
+
+    def _emit(self, campaign_id: int, event: dict) -> None:
+        for queue in self._watchers.get(campaign_id, []):
+            queue.put_nowait(event)
+
+
+class ServiceServer:
+    """Newline-delimited-JSON transport in front of a CampaignService.
+
+    One JSON object per line; ops: ``submit``, ``status``, ``results``,
+    ``cancel``, ``watch``, ``ping``.  Responses carry ``"ok"``; errors
+    echo the validation message so clients can fix and resubmit.
+    ``watch`` streams event objects and terminates on the terminal-state
+    event.
+    """
+
+    def __init__(self, service: CampaignService,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def address(self):
+        """The bound ``(host, port)`` — resolves ``port=0`` ephemerals."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self) -> List[int]:
+        orphans = await self.service.start()
+        self._server = await asyncio.start_server(self._handle,
+                                                  self.host, self.port)
+        return orphans
+
+    async def stop(self, drain: bool = True) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop(drain=drain)
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("server not started")
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        peer = writer.get_extra_info("peername")
+        default_client = f"{peer[0]}:{peer[1]}" if peer else "tcp"
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                try:
+                    await self._dispatch(line, default_client, writer)
+                except (ConnectionError, asyncio.CancelledError):
+                    raise
+                except Exception as exc:
+                    self._send(writer, {"ok": False, "error": str(exc)})
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+
+    async def _dispatch(self, line: bytes, default_client: str,
+                        writer: asyncio.StreamWriter) -> None:
+        request = json.loads(line.decode("utf-8"))
+        op = request.get("op")
+        if op == "ping":
+            self._send(writer, {"ok": True, "pong": True})
+        elif op == "submit":
+            try:
+                reply = await self.service.submit(
+                    request["kind"], request.get("params") or {},
+                    client=request.get("client", default_client))
+            except RateLimited as exc:
+                self._send(writer, {"ok": False, "error": str(exc),
+                                    "rate_limited": True})
+                return
+            self._send(writer, {"ok": True, **reply})
+        elif op == "status":
+            reply = await self.service.status(int(request["campaign"]))
+            self._send(writer, {"ok": True, **reply})
+        elif op == "results":
+            reply = await self.service.results(int(request["campaign"]))
+            self._send(writer, {"ok": True, **reply})
+        elif op == "cancel":
+            reply = await self.service.cancel(int(request["campaign"]))
+            self._send(writer, {"ok": True, **reply})
+        elif op == "watch":
+            async for event in self.service.watch(
+                    int(request["campaign"])):
+                self._send(writer, {"ok": True, **event})
+                await writer.drain()
+        else:
+            self._send(writer, {"ok": False,
+                                "error": f"unknown op {op!r}"})
+
+    @staticmethod
+    def _send(writer: asyncio.StreamWriter, doc: dict) -> None:
+        writer.write(json.dumps(doc, sort_keys=True).encode("utf-8")
+                     + b"\n")

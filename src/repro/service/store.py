@@ -1,0 +1,422 @@
+"""Durable job queue + result store of the campaign service.
+
+Grown from the :mod:`repro.toolkit.sqltrace` SQLite layer (it shares
+``toolkit.connect``'s WAL / ``synchronous=NORMAL`` connection setup),
+this module gives the service its persistence guarantees:
+
+* **durable submissions** — a campaign accepted into the ``campaigns``
+  table survives server restarts; the queue is the table itself
+  (``state='queued'`` rows, FIFO by rowid), so there is nothing
+  in-memory to lose.
+* **content dedup** — ``fingerprint`` (the canonical config hash from
+  :mod:`repro.service.fingerprint`) is UNIQUE: resubmitting an identical
+  campaign returns the existing row, and once that row is ``done`` the
+  resubmission is a pure cache hit — no executor jobs run.
+* **value-identical reload** — finished campaigns are exploded into
+  ``jobs`` / ``run_summaries`` / ``mismatches`` / ``metric_snapshots``
+  rows and :meth:`ServiceStore.load_result` reassembles a
+  :class:`~repro.parallel.executor.CampaignResult` whose deterministic
+  render is byte-identical to the live campaign's (wall-clock fields
+  are deliberately dropped — they never appear in reports).
+
+Job lifecycle states: ``queued → running → done | failed | cancelled``.
+``failed`` means the *service* broke (an exception outside the runs);
+runs that merely detect mismatches are valid results and end ``done``.
+A server that died mid-campaign leaves ``running`` rows behind;
+:meth:`recover_orphans` re-queues them (and drops any partial result
+rows) on the next start.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..obs import MetricsSnapshot
+from ..core.summary import (
+    MismatchSummary,
+    summary_from_dict,
+    summary_to_dict,
+)
+from ..parallel.executor import CampaignResult, CampaignStats
+from ..parallel.jobs import JobResult
+from ..toolkit.sqltrace import connect
+from .catalog import Submission, build_submission
+
+#: The legal lifecycle states, in canonical order.
+STATES = ("queued", "running", "done", "failed", "cancelled")
+#: States a campaign can never leave.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS campaigns (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    fingerprint TEXT NOT NULL UNIQUE,
+    kind TEXT NOT NULL,
+    params TEXT NOT NULL,
+    state TEXT NOT NULL DEFAULT 'queued',
+    short_circuited INTEGER NOT NULL DEFAULT 0,
+    stopped INTEGER NOT NULL DEFAULT 0,
+    total_jobs INTEGER NOT NULL DEFAULT 0,
+    error TEXT,
+    progress TEXT NOT NULL DEFAULT '{}',
+    report TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_campaigns_state ON campaigns(state);
+CREATE TABLE IF NOT EXISTS jobs (
+    campaign_id INTEGER NOT NULL REFERENCES campaigns(id),
+    idx INTEGER NOT NULL,
+    kind TEXT NOT NULL,
+    label TEXT NOT NULL,
+    ok INTEGER NOT NULL,
+    timed_out INTEGER NOT NULL DEFAULT 0,
+    attempts INTEGER NOT NULL DEFAULT 1,
+    error TEXT,
+    PRIMARY KEY (campaign_id, idx)
+);
+CREATE TABLE IF NOT EXISTS run_summaries (
+    campaign_id INTEGER NOT NULL REFERENCES campaigns(id),
+    idx INTEGER NOT NULL,
+    doc TEXT NOT NULL,
+    PRIMARY KEY (campaign_id, idx)
+);
+CREATE TABLE IF NOT EXISTS mismatches (
+    campaign_id INTEGER NOT NULL REFERENCES campaigns(id),
+    idx INTEGER NOT NULL,
+    core_id INTEGER NOT NULL,
+    slot INTEGER NOT NULL,
+    event_type TEXT NOT NULL,
+    field_name TEXT NOT NULL,
+    expected TEXT NOT NULL,
+    actual TEXT NOT NULL,
+    component TEXT NOT NULL,
+    cycle INTEGER,
+    description TEXT NOT NULL,
+    PRIMARY KEY (campaign_id, idx)
+);
+CREATE TABLE IF NOT EXISTS metric_snapshots (
+    campaign_id INTEGER NOT NULL REFERENCES campaigns(id),
+    scope TEXT NOT NULL,
+    doc TEXT NOT NULL,
+    PRIMARY KEY (campaign_id, scope)
+);
+"""
+
+_RESULT_TABLES = ("jobs", "run_summaries", "mismatches",
+                  "metric_snapshots")
+
+
+@dataclass(frozen=True)
+class CampaignRow:
+    """One ``campaigns`` row, decoded."""
+
+    id: int
+    fingerprint: str
+    kind: str
+    params: Dict[str, object]
+    state: str
+    short_circuited: bool
+    stopped: bool
+    total_jobs: int
+    error: Optional[str]
+    progress: Dict[str, object]
+    report: Optional[str]
+
+    def submission(self) -> Submission:
+        """Rebuild the validated submission this row was queued from."""
+        return build_submission(self.kind, self.params)
+
+
+class ServiceStore:
+    """SQLite-backed queue + result store (one connection, WAL mode)."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        self.db = connect(path)
+        self.db.executescript(_SCHEMA)
+        self.db.commit()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if not self._closed:
+            self.db.commit()
+            self.db.close()
+            self._closed = True
+
+    def __enter__(self) -> "ServiceStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # queue side
+    # ------------------------------------------------------------------
+    def submit(self, submission: Submission) -> Tuple[int, bool]:
+        """Queue a submission; dedup by fingerprint.
+
+        Returns ``(campaign_id, cached)``.  ``cached`` is True only when
+        an identical campaign already finished (``done``) — the caller
+        can serve its stored report without running anything.  An
+        identical campaign still ``queued``/``running`` coalesces onto
+        the in-flight row; one that previously ``failed`` or was
+        ``cancelled`` is re-queued (its stale partial rows dropped).
+        """
+        row = self.db.execute(
+            "SELECT id, state FROM campaigns WHERE fingerprint = ?",
+            (submission.fingerprint,)).fetchone()
+        if row is not None:
+            campaign_id, state = row
+            if state == "done":
+                return campaign_id, True
+            if state in ("failed", "cancelled"):
+                self._drop_result_rows(campaign_id)
+                self.db.execute(
+                    "UPDATE campaigns SET state='queued', error=NULL, "
+                    "progress='{}', report=NULL, short_circuited=0, "
+                    "stopped=0, total_jobs=0 WHERE id = ?",
+                    (campaign_id,))
+                self.db.commit()
+            return campaign_id, False
+        cursor = self.db.execute(
+            "INSERT INTO campaigns (fingerprint, kind, params) "
+            "VALUES (?, ?, ?)",
+            (submission.fingerprint, submission.kind,
+             json.dumps(submission.params, sort_keys=True)))
+        self.db.commit()
+        return cursor.lastrowid, False
+
+    def claim_next(self) -> Optional[int]:
+        """Atomically move the oldest queued campaign to ``running``."""
+        row = self.db.execute(
+            "SELECT id FROM campaigns WHERE state='queued' "
+            "ORDER BY id LIMIT 1").fetchone()
+        if row is None:
+            return None
+        self.db.execute(
+            "UPDATE campaigns SET state='running' WHERE id = ?", row)
+        self.db.commit()
+        return row[0]
+
+    def recover_orphans(self) -> List[int]:
+        """Re-queue campaigns a dead server left ``running``.
+
+        Partial result rows from the interrupted attempt are dropped so
+        the re-run starts clean; campaign determinism guarantees the
+        re-run's stored report matches what the uninterrupted run would
+        have produced.
+        """
+        rows = self.db.execute(
+            "SELECT id FROM campaigns WHERE state='running' "
+            "ORDER BY id").fetchall()
+        orphans = [row[0] for row in rows]
+        for campaign_id in orphans:
+            self._drop_result_rows(campaign_id)
+            self.db.execute(
+                "UPDATE campaigns SET state='queued', progress='{}', "
+                "total_jobs=0 WHERE id = ?", (campaign_id,))
+        if orphans:
+            self.db.commit()
+        return orphans
+
+    def _drop_result_rows(self, campaign_id: int) -> None:
+        for table in _RESULT_TABLES:
+            self.db.execute(
+                f"DELETE FROM {table} WHERE campaign_id = ?",
+                (campaign_id,))
+
+    # ------------------------------------------------------------------
+    # lifecycle + progress
+    # ------------------------------------------------------------------
+    def set_state(self, campaign_id: int, state: str,
+                  error: Optional[str] = None) -> None:
+        if state not in STATES:
+            raise ValueError(f"unknown state {state!r}; valid: "
+                             f"{', '.join(STATES)}")
+        self.db.execute(
+            "UPDATE campaigns SET state = ?, error = ? WHERE id = ?",
+            (state, error, campaign_id))
+        self.db.commit()
+
+    def set_progress(self, campaign_id: int,
+                     progress: Dict[str, object]) -> None:
+        self.db.execute(
+            "UPDATE campaigns SET progress = ? WHERE id = ?",
+            (json.dumps(progress, sort_keys=True), campaign_id))
+        self.db.commit()
+
+    def set_total_jobs(self, campaign_id: int, total: int) -> None:
+        self.db.execute(
+            "UPDATE campaigns SET total_jobs = ? WHERE id = ?",
+            (total, campaign_id))
+        self.db.commit()
+
+    def campaign(self, campaign_id: int) -> CampaignRow:
+        row = self.db.execute(
+            "SELECT id, fingerprint, kind, params, state, "
+            "short_circuited, stopped, total_jobs, error, progress, "
+            "report FROM campaigns WHERE id = ?",
+            (campaign_id,)).fetchone()
+        if row is None:
+            raise KeyError(f"no campaign #{campaign_id}")
+        return CampaignRow(
+            id=row[0], fingerprint=row[1], kind=row[2],
+            params=json.loads(row[3]), state=row[4],
+            short_circuited=bool(row[5]), stopped=bool(row[6]),
+            total_jobs=row[7], error=row[8], progress=json.loads(row[9]),
+            report=row[10])
+
+    def find(self, fingerprint: str) -> Optional[int]:
+        row = self.db.execute(
+            "SELECT id FROM campaigns WHERE fingerprint = ?",
+            (fingerprint,)).fetchone()
+        return row[0] if row else None
+
+    def campaigns(self) -> List[CampaignRow]:
+        rows = self.db.execute(
+            "SELECT id FROM campaigns ORDER BY id").fetchall()
+        return [self.campaign(row[0]) for row in rows]
+
+    # ------------------------------------------------------------------
+    # result side
+    # ------------------------------------------------------------------
+    def store_result(self, campaign_id: int, campaign: CampaignResult,
+                     report: str) -> None:
+        """Persist a finished campaign and mark it ``done``.
+
+        The summary JSON in ``run_summaries`` is stored with its
+        mismatch and metrics *stripped*: those live in their own
+        queryable tables (``mismatches``, ``metric_snapshots``) and are
+        re-joined on load, so the normalised rows are load-bearing, not
+        decoration.
+        """
+        self._drop_result_rows(campaign_id)
+        for job in campaign.jobs:
+            self.db.execute(
+                "INSERT INTO jobs (campaign_id, idx, kind, label, ok, "
+                "timed_out, attempts, error) VALUES (?,?,?,?,?,?,?,?)",
+                (campaign_id, job.index, job.kind, job.label,
+                 int(job.ok), int(job.timed_out), job.attempts,
+                 job.error))
+            if job.summary is None:
+                continue
+            doc = summary_to_dict(job.summary)
+            mismatch = doc.pop("mismatch")
+            metrics = doc.pop("metrics")
+            self.db.execute(
+                "INSERT INTO run_summaries (campaign_id, idx, doc) "
+                "VALUES (?,?,?)",
+                (campaign_id, job.index,
+                 json.dumps(doc, sort_keys=True)))
+            if mismatch is not None:
+                self.db.execute(
+                    "INSERT INTO mismatches (campaign_id, idx, core_id, "
+                    "slot, event_type, field_name, expected, actual, "
+                    "component, cycle, description) "
+                    "VALUES (?,?,?,?,?,?,?,?,?,?,?)",
+                    (campaign_id, job.index, mismatch["core_id"],
+                     mismatch["slot"], mismatch["event_type"],
+                     mismatch["field_name"], mismatch["expected"],
+                     mismatch["actual"], mismatch["component"],
+                     mismatch["cycle"], mismatch["description"]))
+            if metrics is not None:
+                self.db.execute(
+                    "INSERT INTO metric_snapshots (campaign_id, scope, "
+                    "doc) VALUES (?,?,?)",
+                    (campaign_id, f"job:{job.index}",
+                     json.dumps(metrics, sort_keys=True)))
+        aggregate = campaign.aggregate_metrics()
+        if aggregate.metrics:
+            self.db.execute(
+                "INSERT INTO metric_snapshots (campaign_id, scope, doc) "
+                "VALUES (?,?,?)",
+                (campaign_id, "aggregate",
+                 json.dumps(aggregate.to_dicts(), sort_keys=True)))
+        self.db.execute(
+            "UPDATE campaigns SET state='done', report=?, "
+            "short_circuited=?, stopped=?, total_jobs=?, error=NULL "
+            "WHERE id = ?",
+            (report, int(campaign.stats.short_circuited),
+             int(campaign.stats.stopped), len(campaign.jobs),
+             campaign_id))
+        self.db.commit()
+
+    def load_result(self, campaign_id: int) -> CampaignResult:
+        """Reassemble a value-identical :class:`CampaignResult`.
+
+        Wall-clock fields (``duration_s``, the stats timing rollup) are
+        not persisted and reload as zero — they are excluded from every
+        deterministic render, so reports still match byte-for-byte.
+        """
+        meta = self.campaign(campaign_id)
+        summaries: Dict[int, dict] = {
+            idx: json.loads(doc) for idx, doc in self.db.execute(
+                "SELECT idx, doc FROM run_summaries "
+                "WHERE campaign_id = ?", (campaign_id,))}
+        mismatch_rows: Dict[int, MismatchSummary] = {}
+        for row in self.db.execute(
+                "SELECT idx, core_id, slot, event_type, field_name, "
+                "expected, actual, component, cycle, description "
+                "FROM mismatches WHERE campaign_id = ?", (campaign_id,)):
+            mismatch_rows[row[0]] = MismatchSummary(
+                core_id=row[1], slot=row[2], event_type=row[3],
+                field_name=row[4], expected=row[5], actual=row[6],
+                component=row[7], cycle=row[8], description=row[9])
+        metric_rows: Dict[str, list] = {
+            scope: json.loads(doc) for scope, doc in self.db.execute(
+                "SELECT scope, doc FROM metric_snapshots "
+                "WHERE campaign_id = ?", (campaign_id,))}
+        jobs: List[JobResult] = []
+        for row in self.db.execute(
+                "SELECT idx, kind, label, ok, timed_out, attempts, error "
+                "FROM jobs WHERE campaign_id = ? ORDER BY idx",
+                (campaign_id,)):
+            idx = row[0]
+            summary = None
+            if idx in summaries:
+                doc = summaries[idx]
+                doc["mismatch"] = None
+                doc["metrics"] = None
+                summary = summary_from_dict(doc)
+                patch = {}
+                if idx in mismatch_rows:
+                    patch["mismatch"] = mismatch_rows[idx]
+                if f"job:{idx}" in metric_rows:
+                    patch["metrics"] = MetricsSnapshot.from_dicts(
+                        metric_rows[f"job:{idx}"])
+                if patch:
+                    summary = replace(summary, **patch)
+            jobs.append(JobResult(
+                index=idx, label=row[2], kind=row[1], ok=bool(row[3]),
+                summary=summary, error=row[6], timed_out=bool(row[4]),
+                attempts=row[5]))
+        stats = CampaignStats(
+            jobs_total=len(jobs),
+            jobs_ok=sum(1 for job in jobs if job.passed),
+            jobs_failed=sum(1 for job in jobs
+                            if job.ok and not job.passed),
+            jobs_broken=sum(1 for job in jobs if not job.ok),
+            jobs_timed_out=sum(1 for job in jobs if job.timed_out),
+            retries_used=sum(job.attempts - 1 for job in jobs),
+            short_circuited=meta.short_circuited,
+            stopped=meta.stopped)
+        return CampaignResult(jobs=jobs, stats=stats)
+
+    def aggregate_metrics(self,
+                          campaign_id: int) -> Optional[MetricsSnapshot]:
+        row = self.db.execute(
+            "SELECT doc FROM metric_snapshots WHERE campaign_id = ? "
+            "AND scope = 'aggregate'", (campaign_id,)).fetchone()
+        if row is None:
+            return None
+        return MetricsSnapshot.from_dicts(json.loads(row[0]))
+
+    def report(self, campaign_id: int) -> str:
+        """The stored deterministic report of a finished campaign."""
+        meta = self.campaign(campaign_id)
+        if meta.state != "done" or meta.report is None:
+            raise ValueError(
+                f"campaign #{campaign_id} is {meta.state}, no report")
+        return meta.report

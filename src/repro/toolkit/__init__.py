@@ -3,7 +3,7 @@
 from .compare import compare_runs, load_stats_dict, stats_to_dict, stats_to_json
 from .perfcounters import render_event_profile, render_report, \
     render_snapshot_report
-from .sqltrace import TraceDb
+from .sqltrace import TraceDb, connect
 from .tracedump import TraceCheckResult, TraceReader, TraceWriter, replay_trace
 
 __all__ = [
@@ -15,6 +15,7 @@ __all__ = [
     "render_report",
     "render_snapshot_report",
     "TraceDb",
+    "connect",
     "TraceCheckResult",
     "TraceReader",
     "TraceWriter",

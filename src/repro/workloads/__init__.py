@@ -5,6 +5,7 @@ from .fuzz import (
     ProgramGenerator,
     RandomProgram,
     fuzz_campaign,
+    fuzz_specs,
     fuzz_workload,
     generate,
 )
@@ -24,6 +25,7 @@ __all__ = [
     "ProgramGenerator",
     "RandomProgram",
     "fuzz_campaign",
+    "fuzz_specs",
     "fuzz_workload",
     "generate",
     "Workload",

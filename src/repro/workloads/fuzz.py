@@ -255,6 +255,29 @@ def fuzz_workload(seed: int, length: int = 120,
                     description=f"random program (seed {seed})")
 
 
+def fuzz_specs(seeds, length: int = 120, dut_config=None,
+               diff_config=None):
+    """The job specs of a fuzz campaign, in seed order.
+
+    Split out of :func:`fuzz_campaign` so other schedulers (the
+    campaign service queue) submit the identical job definitions.
+    """
+    from ..parallel import JobSpec
+
+    if dut_config is None or diff_config is None:
+        from ..core.config import CONFIG_BNSD
+        from ..dut.config import XIANGSHAN_DEFAULT
+        dut_config = dut_config or XIANGSHAN_DEFAULT
+        diff_config = diff_config or CONFIG_BNSD
+
+    return [
+        JobSpec(kind="fuzz", label=f"seed {seed}",
+                params={"seed": seed, "length": length,
+                        "dut": dut_config, "config": diff_config})
+        for seed in seeds
+    ]
+
+
 def fuzz_campaign(seeds, length: int = 120, dut_config=None,
                   diff_config=None, workers=None, job_timeout=None,
                   retries: int = 1, fail_fast: bool = False,
@@ -273,20 +296,10 @@ def fuzz_campaign(seeds, length: int = 120, dut_config=None,
     """
     # Imported lazily: repro.parallel's built-in runners build on this
     # module, so a top-level import would be circular.
-    from ..parallel import CampaignExecutor, JobSpec
+    from ..parallel import CampaignExecutor
 
-    if dut_config is None or diff_config is None:
-        from ..core.config import CONFIG_BNSD
-        from ..dut.config import XIANGSHAN_DEFAULT
-        dut_config = dut_config or XIANGSHAN_DEFAULT
-        diff_config = diff_config or CONFIG_BNSD
-
-    specs = [
-        JobSpec(kind="fuzz", label=f"seed {seed}",
-                params={"seed": seed, "length": length,
-                        "dut": dut_config, "config": diff_config})
-        for seed in seeds
-    ]
+    specs = fuzz_specs(seeds, length=length, dut_config=dut_config,
+                       diff_config=diff_config)
     executor = CampaignExecutor(workers=workers, job_timeout=job_timeout,
                                 retries=retries, short_circuit=fail_fast,
                                 collect_metrics=collect_metrics, obs=obs)

@@ -213,6 +213,44 @@ class TestListings:
         assert len(out.strip().splitlines()) == 32
         assert "VecRegState" in out
 
+    def test_workloads_json(self, capsys):
+        import json
+
+        assert main(["workloads", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        names = {row["name"] for row in rows}
+        assert {"linux_boot_like", "kvm_like"} <= names
+        assert all(row["description"] for row in rows)
+
+    def test_faults_json(self, capsys):
+        import json
+
+        assert main(["faults", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 19
+        assert {"pull_request", "name", "component",
+                "description"} <= set(rows[0])
+
+    def test_events_json(self, capsys):
+        import json
+
+        assert main(["events", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 32
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["ArchInterrupt"]["nde"] is True
+        assert by_name["InstrCommit"]["payload_bytes"] > 0
+
+    def test_json_listing_matches_text_listing(self, capsys):
+        import json
+
+        assert main(["faults", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert main(["faults"]) == 0
+        text = capsys.readouterr().out
+        for row in rows:
+            assert row["name"] in text
+
     def test_module_invocation(self):
         import subprocess
         import sys

@@ -25,6 +25,8 @@ EXPECT = {
                        "Chrome trace", "metrics JSONL"],
     "sliced_run.py": ["per-slice windows", "stitched counters",
                       "byte-identical to serial: True"],
+    "service_demo.py": ["cache hit: True", "re-queued orphans",
+                        "re-run report identical to original: True"],
 }
 
 

@@ -144,6 +144,29 @@ class TestDeterminism:
                      on_result=lambda job: seen.append(job.index))
         assert seen == list(range(8))
 
+    def test_on_result_order_survives_staggered_completion(self):
+        """The hard case for callback ordering: the *first* submitted
+        job finishes last (its sleep dwarfs the others), so a
+        completion-order implementation would fire callbacks 1..5
+        before 0.  The consumer must still fold in submission order."""
+        specs = [JobSpec(kind="test-hang", label=f"job {i}",
+                         params={"sleep": 0.4 if i == 0 else 0.01})
+                 for i in range(6)]
+        seen = []
+        campaign = CampaignExecutor(workers=4).run(
+            specs, on_result=lambda job: seen.append(job.index))
+        assert seen == list(range(6))
+        assert campaign.passed
+
+    def test_on_result_sees_results_before_aggregation(self):
+        """Each callback's JobResult is final (summary attached) and the
+        callback list equals the aggregated campaign.jobs list."""
+        streamed = []
+        campaign = CampaignExecutor(workers=4).run(
+            _specs("test-pass", 5), on_result=streamed.append)
+        assert streamed == campaign.jobs
+        assert all(job.summary is not None for job in streamed)
+
     def test_render_has_no_wallclock(self):
         campaign = CampaignExecutor(workers=1).run(_specs("test-pass", 2))
         rendered = campaign.render()
@@ -151,6 +174,37 @@ class TestDeterminism:
         assert "aggregate: 2/2 passed" in rendered
         # Timing lives in the separate rollup instead.
         assert "jobs/s" in campaign.stats.rollup()
+
+
+# ----------------------------------------------------------------------
+# Cooperative stop (the campaign service's cancellation hook)
+# ----------------------------------------------------------------------
+class TestShouldStop:
+    @pytest.mark.campaign
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_stop_after_three_consumed_jobs(self, workers):
+        if workers > 1:
+            pytest.importorskip("multiprocessing")
+        consumed = []
+        campaign = CampaignExecutor(workers=workers).run(
+            _specs("test-pass", 8),
+            on_result=lambda job: consumed.append(job.index),
+            should_stop=lambda: len(consumed) >= 3)
+        assert consumed == [0, 1, 2]
+        assert len(campaign.jobs) == 3
+        assert campaign.stats.stopped
+        # the consumed prefix is identical to a serial run's prefix
+        assert [job.index for job in campaign.jobs] == [0, 1, 2]
+
+    def test_stop_before_first_job_runs_nothing(self):
+        campaign = CampaignExecutor(workers=1).run(
+            _specs("test-pass", 4), should_stop=lambda: True)
+        assert campaign.jobs == []
+        assert campaign.stats.stopped
+
+    def test_no_stop_hook_leaves_flag_clear(self):
+        campaign = CampaignExecutor(workers=1).run(_specs("test-pass", 2))
+        assert not campaign.stats.stopped
 
 
 # ----------------------------------------------------------------------

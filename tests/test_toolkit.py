@@ -12,6 +12,7 @@ from repro.toolkit import (
     TraceDb,
     TraceReader,
     TraceWriter,
+    connect,
     render_event_profile,
     render_report,
     replay_trace,
@@ -62,6 +63,38 @@ class TestSqlTrace:
             for cycle, events in collect_trace(small_image):
                 db.record_cycle(cycle, events)
             yield db
+
+    def test_file_backed_db_uses_wal(self, tmp_path):
+        # durable-queue configuration: WAL journaling with
+        # synchronous=NORMAL (fsync on checkpoint, not on every commit)
+        with TraceDb(str(tmp_path / "trace.db")) as db:
+            (journal,) = db._db.execute("PRAGMA journal_mode").fetchone()
+            (sync,) = db._db.execute("PRAGMA synchronous").fetchone()
+            assert journal == "wal"
+            assert sync == 1  # NORMAL
+
+    def test_shared_connect_helper_applies_pragmas(self, tmp_path):
+        conn = connect(str(tmp_path / "shared.db"))
+        try:
+            (journal,) = conn.execute("PRAGMA journal_mode").fetchone()
+            assert journal == "wal"
+        finally:
+            conn.close()
+
+    def test_close_is_idempotent(self, small_image):
+        db = TraceDb()
+        for cycle, events in collect_trace(small_image, max_cycles=500):
+            db.record_cycle(cycle, events)
+        db.close()
+        db.close()  # second close must be a no-op, not an error
+        with pytest.raises(Exception):
+            db.volume_by_type()
+
+    def test_context_manager_closes_on_exit(self):
+        with TraceDb() as db:
+            pass
+        with pytest.raises(Exception):
+            db._db.execute("SELECT 1")
 
     def test_volume_by_type(self, db):
         rows = db.volume_by_type()
