@@ -21,13 +21,7 @@ from repro.core import (
     RunResult,
     run_cosim,
 )
-from repro.dut import (
-    NUTSHELL,
-    XIANGSHAN_DEFAULT,
-    XIANGSHAN_DUAL,
-    XIANGSHAN_MINIMAL,
-    DutConfig,
-)
+from repro.dut import DutConfig
 from repro.workloads import build
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"

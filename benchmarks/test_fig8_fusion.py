@@ -10,7 +10,7 @@ import pytest
 from conftest import write_result
 
 from repro.comm.fusion import OrderCoupledFuser, SquashFuser
-from repro.workloads import LINUX_BOOT, StreamProfile, SyntheticStream
+from repro.workloads import StreamProfile, SyntheticStream
 
 CYCLES = 2500
 

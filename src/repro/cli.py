@@ -117,6 +117,13 @@ def _build_parser() -> argparse.ArgumentParser:
                           "later slices to offset their seeding delay")
     run.add_argument("--profile", action="store_true",
                      help="print the per-event-type profile (Figure 4)")
+    run.add_argument("--jit", action="store_true",
+                     help="enable the compiled-simulation tier "
+                          "(superblock trace cache; byte-identical "
+                          "events, counters and report)")
+    run.add_argument("--jit-warmup", type=int, default=None,
+                     help="invocations of an entry PC before its block "
+                          "is compiled (default 16; implies --jit)")
     _add_obs_flags(run)
 
     profile = sub.add_parser(
@@ -259,12 +266,22 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 # ----------------------------------------------------------------------
+def _apply_jit_flags(config, args):
+    """Apply ``--jit`` / ``--jit-warmup`` to a DiffConfig."""
+    warmup = getattr(args, "jit_warmup", None)
+    if warmup is not None:
+        return config.with_(jit=True, jit_warmup=warmup)
+    if getattr(args, "jit", False):
+        return config.with_(jit=True)
+    return config
+
+
 def _cmd_run(args) -> int:
     if getattr(args, "slices", 1) > 1:
         return _cmd_run_sliced(args)
     workload = build(args.workload)
     dut = _DUTS[args.dut]
-    config = _CONFIGS[args.config]
+    config = _apply_jit_flags(_CONFIGS[args.config], args)
     platform = _PLATFORMS[args.platform]
     obs = ObsContext() if (args.trace_out or args.metrics_out) else None
     result = run_cosim(dut, config, workload.image,
@@ -307,7 +324,7 @@ def _cmd_run_sliced(args) -> int:
 
     workload = build(args.workload)
     dut = _DUTS[args.dut]
-    config = _CONFIGS[args.config]
+    config = _apply_jit_flags(_CONFIGS[args.config], args)
     platform = _PLATFORMS[args.platform]
     want_obs = bool(args.trace_out or args.metrics_out)
     obs = ObsContext() if want_obs else None

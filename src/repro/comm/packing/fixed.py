@@ -17,8 +17,7 @@ import struct
 from typing import Dict, List, Sequence, Tuple, Type
 
 from ...events import VerificationEvent
-from .base import ENC_FULL, Packer, Transfer, TransferDecodeError, \
-    Unpacker, WireItem
+from .base import Packer, Transfer, TransferDecodeError, Unpacker, WireItem
 
 _SLOT_HEADER = struct.Struct("<BIBH")  # valid, tag, encoding, payload length
 SLOT_HEADER_SIZE = _SLOT_HEADER.size

@@ -21,7 +21,6 @@ DiffTest-H rows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 from .loggp import CommCounters, model_overhead
 from .platform import PlatformSpec

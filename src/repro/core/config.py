@@ -85,6 +85,14 @@ class DiffConfig:
     #: the serial reference run to use the same epoch so both sides see
     #: identical barrier effects.
     slice_epoch_cycles: int = 0
+    #: Compiled-simulation tier (:mod:`repro.isa.jit`): exec-compile hot
+    #: straight-line superblocks on both the DUT and REF harts.
+    #: Semantically equivalent to the interpreted path — events, counters
+    #: and reports are byte-identical with it on or off; any armed fault,
+    #: trap, interrupt or translation window falls back to the interpreter.
+    jit: bool = False
+    #: Times an entry PC must be seen before its superblock is compiled.
+    jit_warmup: int = 16
 
     def with_(self, **changes) -> "DiffConfig":
         return replace(self, **changes)

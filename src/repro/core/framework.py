@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..comm.channel import Channel, LinkFailure, ReliableChannel
 from ..comm.framing import PACKER_IDS, PACKER_NAMES
@@ -30,7 +30,6 @@ from ..comm.packing import (
     FixedLayout,
     FixedPacker,
     FixedUnpacker,
-    Transfer,
     WireItem,
 )
 from ..dut.config import DutConfig
@@ -39,6 +38,7 @@ from ..dut.snapshotting import SystemSnapshot, restore_snapshot, take_snapshot
 from ..events import all_event_classes
 from ..isa import csr as CSR
 from ..isa.const import DRAM_BASE
+from ..isa.jit import TraceCache
 from ..isa.devices import CLINT_BASE, CLINT_SIZE, PLIC_BASE, PLIC_SIZE, \
     UART_BASE, UART_SIZE
 from ..obs import MetricsSnapshot, ObsContext, record_run_stats, resolve_obs
@@ -190,6 +190,32 @@ class CoSimulation:
         #: Slice workers suppress the end-of-run metric fold so the
         #: stitched campaign snapshot carries exactly one set of totals.
         self.record_final_metrics = True
+        self._jit_caches: List[TraceCache] = []
+        self._attach_jit()
+
+    def _attach_jit(self) -> None:
+        """(Re)attach the compiled-simulation tier (:mod:`repro.isa.jit`)
+        to every DUT core and REF hart.
+
+        Mode selection happens here, once per run.  Called again after
+        any pipeline rebuild that replaces REF harts (recovery-point
+        restore, boundary resume); DUT cores persist across restores and
+        keep their caches — their stale blocks re-validate against the
+        page write epochs bumped by the snapshot restore.
+        """
+        self._jit_caches = []
+        if not self.diff_config.jit:
+            return
+        warmup = self.diff_config.jit_warmup
+        for core in self.dut.cores:
+            if core.jit is None:
+                core.jit = TraceCache(core.bus, "dut", warmup=warmup)
+            self._jit_caches.append(core.jit)
+        for ref in self.refs:
+            hart = ref.hart
+            if hart.jit is None:
+                hart.jit = TraceCache(hart.bus, "ref", warmup=warmup)
+            self._jit_caches.append(hart.jit)
 
     def _build_fuser(self):
         if not self.diff_config.squash:
@@ -510,6 +536,7 @@ class CoSimulation:
         self._last_recovery_cycle = self._cycle
         self._recoveries += 1
         self.stats.link_recoveries += 1
+        self._attach_jit()
 
     def _rebuild_packer(self) -> None:
         """Fresh packer/unpacker for the (possibly degraded) packing;
@@ -608,6 +635,7 @@ class CoSimulation:
         self._window_start_cycle = self._cycle
         self._window_start_instructions = sum(
             core.retired for core in self.dut.cores)
+        self._attach_jit()
 
     def _degrade_transport(self) -> bool:
         """Step down the degradation ladder: configured packing ->
@@ -717,6 +745,26 @@ class CoSimulation:
         software_drain()
         return self._finish()
 
+    def _fold_jit_stats(self, registry) -> None:
+        """Fold trace-cache counters into the metric registry.
+
+        Counters are only emitted when nonzero, so a JIT-off (or
+        never-warm) observed run snapshots identically to one without
+        the tier at all.
+        """
+        totals = {"jit.blocks_compiled": 0, "jit.hits": 0, "jit.steps": 0,
+                  "jit.evictions": 0, "jit.bailouts": 0}
+        for cache in self._jit_caches:
+            stats = cache.stats
+            totals["jit.blocks_compiled"] += stats.blocks_compiled
+            totals["jit.hits"] += stats.hits
+            totals["jit.steps"] += stats.steps
+            totals["jit.evictions"] += stats.evictions
+            totals["jit.bailouts"] += stats.bailouts
+        for name, value in totals.items():
+            if value:
+                registry.counter(name).inc(value)
+
     def _finish(self) -> RunResult:
         counters = self.stats.counters
         # Window-relative: identical to the raw cycle/retired totals for a
@@ -757,6 +805,7 @@ class CoSimulation:
                 self.packer.stats.fold_into(registry)
                 if self.fuser is not None:
                     self.fuser.stats.fold_into(registry)
+                self._fold_jit_stats(registry)
             metrics = registry.snapshot()
         return RunResult(
             exit_code=self.dut.exit_code(),

@@ -17,7 +17,7 @@ restores instruction-level debuggability:
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, List
 
 from ..events import VerificationEvent
 from ..ref.model import RefModel

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from ..dut.snapshotting import SystemSnapshot, restore_snapshot, take_snapshot
+from ..dut.snapshotting import restore_snapshot, take_snapshot
 from .checker import Checker
 from .framework import CoSimulation, RunResult
 from .report import DebugReport, Mismatch

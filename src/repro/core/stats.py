@@ -9,7 +9,7 @@ modeled time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..comm.loggp import CommCounters, OverheadBreakdown, model_overhead
 from ..events import VerificationEvent, all_event_classes

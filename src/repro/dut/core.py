@@ -85,6 +85,14 @@ class DutCore:
         self.retired = 0
         self._stall = 0
         self.finished: Optional[int] = None
+        #: Optional :class:`repro.isa.jit.TraceCache` (mode="dut") attached
+        #: by the framework; :meth:`cycle` dispatches through it when set.
+        self.jit = None
+        #: Armed fault latch (set by :mod:`repro.dut.faults`); any armed
+        #: fault pins this core to the interpreted path for the whole run.
+        self._fault_latch = None
+        #: (csr version, mtip, msip, eip) after the last MIP line force.
+        self._irq_lines: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     def load_image(self, image: bytes, base: int = DRAM_BASE) -> None:
@@ -96,11 +104,23 @@ class DutCore:
     # ------------------------------------------------------------------
     def _update_interrupt_lines(self) -> None:
         clint, plic = self.clint, self.plic
+        mtip = clint.mtip(self.core_id) if clint is not None else None
+        msip = clint.msip_pending(self.core_id) if clint is not None else None
+        eip = plic.eip() if plic is not None else None
+        # Forcing MIP bumps the CSR version and rebuilds downstream
+        # snapshot caches; skip when the lines and every non-counter CSR
+        # are unchanged since the last force (any MIP write — software,
+        # trap hardware or journal revert — bumps the version, so a stale
+        # skip is impossible).
+        csr = self.hart.state.csr
+        if self._irq_lines == (csr._version, mtip, msip, eip):
+            return
         if clint is not None:
-            self.hart.set_mip_bit(IRQ_M_TIMER, clint.mtip(self.core_id))
-            self.hart.set_mip_bit(IRQ_M_SOFT, clint.msip_pending(self.core_id))
+            self.hart.set_mip_bit(IRQ_M_TIMER, mtip)
+            self.hart.set_mip_bit(IRQ_M_SOFT, msip)
         if plic is not None:
-            self.hart.set_mip_bit(IRQ_M_EXT, plic.eip())
+            self.hart.set_mip_bit(IRQ_M_EXT, eip)
+        self._irq_lines = (csr._version, mtip, msip, eip)
 
     def _commit_budget(self) -> int:
         if self._rng.random() < self._stall_prob:
@@ -124,7 +144,20 @@ class DutCore:
 
         budget = self._commit_budget()
         events = bundle.events
-        for _ in range(budget):
+        # Compiled-simulation tier (repro.isa.jit): eligible only while no
+        # fault is armed and no hooks are installed — injected bugs must
+        # flow through the interpreted path they were written against.
+        jit = self.jit
+        hooks = self.hart.hooks
+        if jit is not None and (
+            self._fault_latch is not None
+            or hooks.on_reg_write is not None
+            or hooks.on_store is not None
+            or hooks.on_trap is not None
+        ):
+            jit = None
+        remaining = budget
+        while remaining > 0:
             interrupt = self.hart.pending_interrupt()
             if interrupt is not None:
                 self.monitor.on_interrupt(events, interrupt, self.state.pc)
@@ -132,6 +165,20 @@ class DutCore:
                 break  # redirect ends the commit group
             translating = translation_active(
                 self.state.csr.peek(CSR.SATP), self.state.priv)
+            if jit is not None and not translating:
+                results = jit.run_block(self.hart, self.state.pc, remaining)
+                if results is not None:
+                    # Blocks hold only straight-line, trap-free, non-MMIO
+                    # instructions: every step in the batch retired.
+                    for result in results:
+                        self._model_hierarchy(events, result, False)
+                        self.monitor.on_step(events, result)
+                    count = len(results)
+                    self.retired += count
+                    bundle.committed += count
+                    remaining -= count
+                    continue
+            remaining -= 1
             result = self.hart.step()
             if result.trap_finish is not None:
                 self._drain_sbuffer(events)

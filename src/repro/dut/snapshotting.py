@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import copy
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from .core import DutCore, DutSystem
@@ -144,7 +144,9 @@ def take_snapshot(system: DutSystem) -> SystemSnapshot:
 def restore_snapshot(system: DutSystem, snapshot: SystemSnapshot) -> None:
     """Rewind the system to a previously captured image."""
     restored = snapshot.memory.clone()
-    system.bus.memory._pages = restored._pages
+    # replace_pages (not a bare _pages swap) bumps the JIT code-page
+    # epochs: compiled blocks re-validate against the restored contents.
+    system.bus.memory.replace_pages(restored._pages)
     for core, snap in zip(system.cores, snapshot.cores):
         _restore_core(core, snap)
     system.uart.restore(snapshot.uart_output, bytes(snapshot.uart_input))

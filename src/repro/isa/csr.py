@@ -280,16 +280,23 @@ class CsrFile:
         key = (addrs if type(addrs) is tuple else tuple(addrs), pad_to)
         entry = self._snap_cache.get(key)
         if entry is not None and entry[0] == self._version:
-            return entry[1]
+            hot = entry[2]
+            if hot is None:
+                return entry[1]
+            # Free-running counters advance without bumping the version:
+            # patch only their slots into the cached template.
+            values = list(entry[1])
+            get = self._values.get
+            for i, addr in hot:
+                values[i] = get(addr, 0)
+            return tuple(values)
         values = [self.read(a) if a in self._VIEW_CSRS
                   else self._values.get(a, 0) for a in key[0]]
         if pad_to is not None:
             values.extend([0] * (pad_to - len(values)))
         result = tuple(values)
-        if _HOT_COUNTERS.isdisjoint(key[0]):
-            # Snapshots containing the free-running counters change every
-            # instruction and are never worth caching.
-            self._snap_cache[key] = (self._version, result)
+        hot = [(i, a) for i, a in enumerate(key[0]) if a in _HOT_COUNTERS]
+        self._snap_cache[key] = (self._version, result, hot or None)
         return result
 
     def items(self):

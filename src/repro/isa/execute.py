@@ -57,7 +57,7 @@ from .const import (
     to_s64,
     to_u64,
 )
-from .csr import CsrFile, IllegalCsr
+from .csr import IllegalCsr
 from .compressed import decode_compressed, is_compressed
 from .decode import DecodedInstr, IllegalInstruction, decode
 from .memory import Bus, MemoryError64
@@ -143,6 +143,13 @@ class Hart:
         self.instret = 0
         self.hooks = FaultHooks()
         self._decode_cache = {}
+        #: Optional :class:`repro.isa.jit.TraceCache` (mode="ref") attached
+        #: by the framework; :meth:`step` dispatches through it when set.
+        self.jit = None
+        #: ``(csr_version, priv) -> pending cause`` memo for
+        #: :meth:`pending_interrupt` (every mip/mie/mstatus/mideleg write
+        #: bumps the CSR version; the hot counters do not).
+        self._irq_cache: Optional[Tuple[Tuple[int, int], Optional[int]]] = None
 
     # ------------------------------------------------------------------
     # Interrupt arbitration
@@ -156,6 +163,16 @@ class Hart:
         Only the DUT calls this (it owns device state and mip); the REF
         takes interrupts exclusively when synchronised from DUT events.
         """
+        state = self.state
+        key = (state.csr._version, state.priv)
+        cached = self._irq_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        cause = self._arbitrate_interrupt()
+        self._irq_cache = (key, cause)
+        return cause
+
+    def _arbitrate_interrupt(self) -> Optional[int]:
         state = self.state
         pending = state.csr.peek(CSR.MIP) & state.csr.peek(CSR.MIE)
         if not pending:
@@ -350,6 +367,13 @@ class Hart:
             self.enter_trap(interrupt, 0, is_interrupt=True)
             result.next_pc = state.pc
             return result
+
+        if self.jit is not None and mmio_load_value is None:
+            # Compiled-simulation tier (repro.isa.jit): one specialised
+            # stepper per hot PC; None means "interpret this one".
+            compiled = self.jit.ref_step(self)
+            if compiled is not None:
+                return compiled
 
         result = StepResult(pc=state.pc, next_pc=state.pc)
         try:

@@ -29,6 +29,13 @@ class PhysicalMemory:
     def __init__(self) -> None:
         self._pages: Dict[int, bytearray] = {}
         self.journal = None
+        #: Write-epoch counters for pages holding JIT-compiled code
+        #: (:mod:`repro.isa.jit`).  Same versioning idea as the CSR
+        #: snapshot cache: a compiled block records the epoch of its page
+        #: at compile time and is evicted when the epoch has moved on.
+        #: Empty (one falsy check per store) unless a trace cache
+        #: registered interest.
+        self._code_pages: Dict[int, int] = {}
 
     def _page(self, addr: int) -> bytearray:
         index = addr >> PAGE_SHIFT
@@ -56,6 +63,8 @@ class PhysicalMemory:
     def store_bytes(self, addr: int, data: bytes) -> None:
         if self.journal is not None:
             self.journal.record_mem(addr, self.load_bytes(addr, len(data)))
+        if self._code_pages:
+            self._bump_code_epochs(addr, len(data))
         page_offset = addr & (PAGE_SIZE - 1)
         if page_offset + len(data) <= PAGE_SIZE:
             self._page(addr)[page_offset : page_offset + len(data)] = data
@@ -79,6 +88,38 @@ class PhysicalMemory:
         """Read ``count`` 64-bit little-endian words (cache-line captures)."""
         data = self.load_bytes(addr, count * 8)
         return struct.unpack("<" + "Q" * count, data)
+
+    # ------------------------------------------------------------------
+    # Code-page write versioning (JIT invalidation)
+    # ------------------------------------------------------------------
+    def _bump_code_epochs(self, addr: int, size: int) -> None:
+        """Advance the epoch of every registered code page the write hits
+        (self-modifying code eviction)."""
+        code = self._code_pages
+        first = addr >> PAGE_SHIFT
+        last = (addr + size - 1) >> PAGE_SHIFT
+        for index in range(first, last + 1):
+            if index in code:
+                code[index] += 1
+
+    def register_code_page(self, index: int) -> int:
+        """Start tracking writes to page ``index``; returns its epoch."""
+        return self._code_pages.setdefault(index, 0)
+
+    def code_epoch(self, index: int) -> Optional[int]:
+        return self._code_pages.get(index)
+
+    def invalidate_code(self) -> None:
+        """Advance every code-page epoch (wholesale content replacement,
+        e.g. snapshot restore: compiled blocks must all re-validate)."""
+        for index in self._code_pages:
+            self._code_pages[index] += 1
+
+    def replace_pages(self, pages: Dict[int, bytearray]) -> None:
+        """Adopt a new page table (snapshot restore).  Bypasses
+        :meth:`store_bytes`, so code-page epochs are bumped explicitly."""
+        self._pages = pages
+        self.invalidate_code()
 
     # ------------------------------------------------------------------
     def clone(self) -> "PhysicalMemory":

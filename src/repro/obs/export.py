@@ -17,7 +17,7 @@ Two machine formats and two human ones:
 from __future__ import annotations
 
 import json
-from typing import BinaryIO, Dict, List, TextIO, Union
+from typing import Dict, List, TextIO, Union
 
 from .metrics import MetricsSnapshot
 from .tracer import Tracer

@@ -9,7 +9,7 @@ relative changes, so sweeps can be scripted and archived.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..core.stats import RunStats
 

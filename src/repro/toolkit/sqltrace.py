@@ -17,9 +17,8 @@ never corrupt the database).
 from __future__ import annotations
 
 import sqlite3
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Tuple
 
-from ..comm.fusion.differencing import Differencer
 from ..comm.fusion.squash import OrderCoupledFuser, SquashFuser
 from ..events import VerificationEvent, event_class
 

@@ -14,10 +14,9 @@ churn, then memory-heavy setup, then steady compute.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict
 
 from ..isa.assembler import assemble
-from ..isa.const import DRAM_BASE
 from ..isa.devices import CLINT_BASE, UART_BASE
 
 # Handy absolute addresses for `li`.
@@ -96,6 +95,39 @@ bad:
 """
     return Workload("microbench", assemble(source), iterations * 40 + 4000,
                     "mixed ALU/memory/branch kernel")
+
+
+@workload("alu_hotloop")
+def alu_hotloop(iterations: int = 4000) -> Workload:
+    """Long straight-line ALU superblocks: the compiled-simulation tier's
+    best case (``repro.isa.jit``).  The loop body is one branch-free run
+    of register-only arithmetic, so instruction stepping — not the cache
+    hierarchy or the event stream — dominates the interpreted run."""
+    body = "\n".join(
+        f"""    add t3, t1, t2
+    xor t4, t3, t0
+    slli t5, t4, {3 + unroll}
+    srli t6, t5, 7
+    and t3, t6, t2
+    or t1, t3, t4
+    sub t2, t1, t6
+    addi t2, t2, {17 + unroll}"""
+        for unroll in range(3)
+    )
+    source = f"""
+_start:
+    csrr s10, mhartid
+    li t0, {iterations}
+    li t1, 0x9e3779b9
+    li t2, 0x517cc1b7
+hot:
+{body}
+    addi t0, t0, -1
+    bnez t0, hot
+{_EXIT_GOOD}
+"""
+    return Workload("alu_hotloop", assemble(source), iterations * 60 + 4000,
+                    "register-only ALU hot loop (stepping-bound)")
 
 
 @workload("memory_churn")

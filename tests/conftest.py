@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import CONFIG_BNSD, CONFIG_Z, CoSimulation, run_cosim
+from repro.core import CONFIG_BNSD, run_cosim
 from repro.dut import XIANGSHAN_DEFAULT
 from repro.isa import assemble
 from repro.workloads import build

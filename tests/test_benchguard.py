@@ -1,0 +1,149 @@
+"""Unit tests for the bench regression gate (toolkit/benchguard.py)."""
+
+import json
+
+from repro.toolkit.benchguard import (
+    compare_dirs,
+    compare_docs,
+    headline_ratios,
+    is_headline_key,
+    main,
+)
+
+
+class TestHeadlineExtraction:
+    def test_collects_speedup_leaves_recursively(self):
+        doc = {
+            "microbench": {"speedup": 2.25, "ops_per_sec": 1e6},
+            "end_to_end": {
+                "memory_churn": {"speedup": 1.17, "cycles_per_sec": 40000},
+                "best_speedup": 1.37,
+            },
+            "stepping": {"dut_speedup": 3.3, "ref_speedup": 2.3},
+            "mode": "full",
+        }
+        assert headline_ratios(doc) == {
+            "microbench.speedup": 2.25,
+            "end_to_end.memory_churn.speedup": 1.17,
+            "end_to_end.best_speedup": 1.37,
+            "stepping.dut_speedup": 3.3,
+            "stepping.ref_speedup": 2.3,
+        }
+
+    def test_cross_trajectory_ratios_excluded(self):
+        assert not is_headline_key("ratio_vs_bnsd")
+        assert not is_headline_key("ratio_vs_z")
+        doc = {"vs_committed": {"ratio_vs_bnsd": 1.2, "speedup": 1.5}}
+        assert headline_ratios(doc) == {"vs_committed.speedup": 1.5}
+
+    def test_raw_throughput_and_non_numeric_excluded(self):
+        doc = {"cycles_per_sec": 40000, "workload": "memory_churn",
+               "speedup": True}  # bool is not a ratio
+        assert headline_ratios(doc) == {}
+
+
+class TestCompareDocs:
+    def test_within_tolerance_passes(self):
+        committed = {"a": {"speedup": 2.0}}
+        fresh = {"a": {"speedup": 1.81}}  # -9.5%
+        assert compare_docs("f", committed, fresh, tolerance=0.10) == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        committed = {"a": {"speedup": 2.0}}
+        fresh = {"a": {"speedup": 1.79}}  # -10.5%
+        regressions = compare_docs("f", committed, fresh, tolerance=0.10)
+        assert len(regressions) == 1
+        assert regressions[0].path == "a.speedup"
+        assert "regressed" in str(regressions[0])
+
+    def test_missing_headline_is_a_regression(self):
+        committed = {"a": {"speedup": 2.0}}
+        regressions = compare_docs("f", committed, {}, tolerance=0.10)
+        assert len(regressions) == 1
+        assert regressions[0].fresh is None
+        assert "missing" in str(regressions[0])
+
+    def test_improvements_and_new_keys_pass(self):
+        committed = {"a": {"speedup": 2.0}}
+        fresh = {"a": {"speedup": 2.6}, "b": {"speedup": 0.1}}
+        assert compare_docs("f", committed, fresh) == []
+
+
+class TestCompareDirs:
+    def _write(self, directory, name, doc):
+        (directory / name).write_text(json.dumps(doc))
+
+    def test_matches_by_filename_and_skips_unpaired(self, tmp_path):
+        committed = tmp_path / "committed"
+        fresh = tmp_path / "fresh"
+        committed.mkdir()
+        fresh.mkdir()
+        self._write(committed, "BENCH_a.json", {"speedup": 2.0})
+        self._write(fresh, "BENCH_a.json", {"speedup": 1.0})
+        self._write(committed, "BENCH_old.json", {"speedup": 9.0})
+        self._write(fresh, "BENCH_new.json", {"speedup": 0.1})
+        regressions, compared, skipped = compare_dirs(committed, fresh)
+        assert compared == ["BENCH_a.json"]
+        assert skipped == ["BENCH_old.json"]
+        assert [r.path for r in regressions] == ["speedup"]
+
+
+class TestCli:
+    def _dirs(self, tmp_path, committed_doc, fresh_doc):
+        committed = tmp_path / "committed"
+        fresh = tmp_path / "fresh"
+        committed.mkdir()
+        fresh.mkdir()
+        (committed / "BENCH_x.json").write_text(json.dumps(committed_doc))
+        (fresh / "BENCH_x.json").write_text(json.dumps(fresh_doc))
+        return committed, fresh
+
+    def test_exit_zero_on_pass(self, tmp_path, capsys):
+        committed, fresh = self._dirs(tmp_path, {"speedup": 2.0},
+                                      {"speedup": 2.1})
+        assert main(["--committed", str(committed),
+                     "--fresh", str(fresh)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        committed, fresh = self._dirs(tmp_path, {"speedup": 2.0},
+                                      {"speedup": 1.0})
+        assert main(["--committed", str(committed),
+                     "--fresh", str(fresh)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_skip_label_disables_gate(self, tmp_path, capsys):
+        committed, fresh = self._dirs(tmp_path, {"speedup": 2.0},
+                                      {"speedup": 1.0})
+        code = main(["--committed", str(committed), "--fresh", str(fresh),
+                     "--labels", "docs,skip-benchguard"])
+        assert code == 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_skip_label_from_environment(self, tmp_path, monkeypatch):
+        committed, fresh = self._dirs(tmp_path, {"speedup": 2.0},
+                                      {"speedup": 1.0})
+        monkeypatch.setenv("BENCHGUARD_LABELS", "skip-benchguard")
+        assert main(["--committed", str(committed),
+                     "--fresh", str(fresh)]) == 0
+
+    def test_custom_tolerance(self, tmp_path):
+        committed, fresh = self._dirs(tmp_path, {"speedup": 2.0},
+                                      {"speedup": 1.5})
+        assert main(["--committed", str(committed), "--fresh", str(fresh),
+                     "--tolerance", "0.30"]) == 0
+
+    def test_no_files_passes(self, tmp_path, capsys):
+        (tmp_path / "committed").mkdir()
+        (tmp_path / "fresh").mkdir()
+        assert main(["--committed", str(tmp_path / "committed"),
+                     "--fresh", str(tmp_path / "fresh")]) == 0
+        assert "no benchmark files" in capsys.readouterr().out
+
+    def test_gate_catches_real_trajectories(self, tmp_path):
+        """The committed repo trajectories pass against themselves."""
+        import pathlib
+        root = pathlib.Path(__file__).resolve().parent.parent
+        regressions, compared, _ = compare_dirs(root, root)
+        assert compared  # BENCH_*.json exist at the repo root
+        assert regressions == []

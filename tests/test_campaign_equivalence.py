@@ -16,7 +16,7 @@ from repro.core import CONFIG_BNSD, CoSimulation
 from repro.dut import XIANGSHAN_DEFAULT
 from repro.isa import assemble
 from repro.parallel import FaultCase, fault_campaign
-from repro.workloads import build, fuzz_campaign
+from repro.workloads import fuzz_campaign
 
 from tests.test_faults_campaign import INT_LOOP, MEM_WALK
 

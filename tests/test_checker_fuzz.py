@@ -13,7 +13,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 import repro.events as EV
-from repro.core.checker import UNCHECKED_CSRS, Checker
+from repro.core.checker import Checker
 from repro.core.framework import REF_MMIO_RANGES
 from repro.dut import XIANGSHAN_DEFAULT, DutSystem
 from repro.isa import assemble

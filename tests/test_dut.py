@@ -1,10 +1,8 @@
 """Tests for the DUT simulator: event generation, caches, TLBs, faults."""
 
-import pytest
 
 import repro.events as EV
 from repro.dut import (
-    ALL_CONFIGS,
     FAULT_CATALOGUE,
     NUTSHELL,
     XIANGSHAN_DEFAULT,

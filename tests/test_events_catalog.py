@@ -9,7 +9,6 @@ import struct
 
 import pytest
 
-import repro.events as EV
 from repro.comm.fusion.differencing import Completer, Differencer
 from repro.events import VerificationEvent, all_event_classes
 

@@ -7,7 +7,7 @@ must flag a mismatch and (where applicable) Replay must localize it.
 
 import pytest
 
-from repro.core import CONFIG_BNSD, CONFIG_Z, CoSimulation
+from repro.core import CONFIG_BNSD, CoSimulation
 from repro.dut import (
     CATEGORY_EXCEPTION,
     CATEGORY_MEMORY,

@@ -9,7 +9,6 @@ from repro.core import (
     CONFIG_COUPLED,
     CONFIG_FIXED,
     CONFIG_Z,
-    CoSimulation,
     run_cosim,
 )
 from repro.comm import FPGA_VU19P, PALLADIUM
@@ -19,7 +18,6 @@ from repro.dut import (
     XIANGSHAN_DUAL,
     XIANGSHAN_MINIMAL,
 )
-from repro.workloads import build
 
 ALL_CONFIGS = (CONFIG_Z, CONFIG_FIXED, CONFIG_B, CONFIG_BN, CONFIG_BNSD,
                CONFIG_COUPLED)

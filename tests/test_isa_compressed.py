@@ -4,7 +4,7 @@ import pytest
 
 from repro.isa import ArchState, Bus, Hart, assemble
 from repro.isa.compressed import decode_compressed, is_compressed
-from repro.isa.const import DRAM_BASE, MASK64
+from repro.isa.const import DRAM_BASE
 from repro.isa.decode import IllegalInstruction
 
 

@@ -1,6 +1,5 @@
 """Tests for the functional hart: instruction semantics, traps, interrupts."""
 
-import pytest
 
 from repro.isa import (
     ArchState,
@@ -14,14 +13,12 @@ from repro.isa.const import (
     DRAM_BASE,
     EXC_BREAKPOINT,
     EXC_ECALL_M,
-    EXC_ECALL_S,
     EXC_ECALL_U,
     EXC_ILLEGAL,
     INTERRUPT_BIT,
     IRQ_M_TIMER,
     MASK64,
     PRIV_M,
-    PRIV_S,
     PRIV_U,
 )
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.isa import Bus, PhysicalMemory
 from repro.isa.devices import (
-    CLINT_BASE,
     CLINT_MSIP,
     CLINT_MTIME,
     CLINT_MTIMECMP,

@@ -9,7 +9,6 @@ from repro.isa.const import (
     ACCESS_STORE,
     MSTATUS_MXR,
     MSTATUS_SUM,
-    PAGE_SIZE,
     PRIV_M,
     PRIV_S,
     PRIV_U,

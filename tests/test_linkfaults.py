@@ -16,7 +16,6 @@ from repro.comm.framing import (
     FRAME_VERSION,
     HEADER_SIZE,
     MAGIC,
-    PACKER_IDS,
     FrameCrcError,
     FrameError,
     FrameMagicError,
@@ -28,7 +27,6 @@ from repro.comm.framing import (
 from repro.comm.linkfaults import (
     LINK_FAULT_CATALOGUE,
     LINK_FAULT_KINDS,
-    FaultyLink,
     LinkFaultInjector,
     LinkFaultPlan,
     link_fault_by_name,

@@ -16,7 +16,7 @@ from hypothesis import strategies as st
 import repro.events as EV
 from repro.comm.channel import Channel
 from repro.comm.fusion import Completer, SquashFuser
-from repro.comm.packing import BatchPacker, BatchUnpacker, WireItem
+from repro.comm.packing import BatchPacker, BatchUnpacker
 from repro.workloads import KVM_IO, LINUX_BOOT, RVV_TEST, SyntheticStream
 
 

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.isa import assemble
 from repro.isa import csr as CSR
-from repro.isa.const import DRAM_BASE, IRQ_M_TIMER, INTERRUPT_BIT
+from repro.isa.const import IRQ_M_TIMER, INTERRUPT_BIT
 from repro.isa.devices import UART_BASE, UART_SIZE
 from repro.ref import RefModel
 

@@ -1,6 +1,5 @@
 """Tests for DUT snapshot/restore and snapshot-based debugging."""
 
-import pytest
 
 from repro.core import CONFIG_BNSD, SnapshotCoSimulation
 from repro.dut import (

@@ -7,7 +7,7 @@ from repro.analysis import (
     required_reduction,
     speed_vs_parameter,
 )
-from repro.comm import FPGA_VU19P, PALLADIUM, CommCounters
+from repro.comm import FPGA_VU19P, PALLADIUM
 from repro.core import CONFIG_B, CONFIG_BNSD, CONFIG_Z, run_cosim
 from repro.dut import XIANGSHAN_DEFAULT
 from repro.workloads import build

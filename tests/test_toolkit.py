@@ -7,7 +7,6 @@ import pytest
 import repro.events as EV
 from repro.core import CONFIG_BNSD, run_cosim
 from repro.dut import XIANGSHAN_DEFAULT, DutSystem
-from repro.isa import assemble
 from repro.toolkit import (
     TraceDb,
     TraceReader,
