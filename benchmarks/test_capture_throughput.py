@@ -1,0 +1,355 @@
+"""Straight-to-wire capture throughput: the emit→encode→pack tier.
+
+This benchmark quantifies the ``repro.comm.fastcapture`` tier and
+records the numbers in ``BENCH_capture.json`` (repo root) plus
+``benchmarks/results/capture_throughput.txt``:
+
+1. **Capture microbenchmark** — events/sec through the capture pipeline
+   alone: the legacy object path (event construction → ``SquashFuser``
+   → ``Differencer`` → ``pack_cycle``) against the compiled emitter
+   table writing straight into the packer, on an identical hot-loop
+   event mix.  This is the interpretive overhead the tier compiles
+   away — the per-event materialisation that dominates once PR 8's JIT
+   removed the stepping cost — and where the ≥1.5x goal lives, exactly
+   as ``BENCH_jit.json`` asserts its 2x on the stepping microbenchmark.
+2. **End-to-end fast-capture on/off** — full co-simulation cycles/sec
+   with ``fast_capture=True`` against ``fast_capture=False`` on the
+   same commit, same machine, under the capture-eligible configuration
+   (``CONFIG_BNSD`` + JIT, no replay window).  Both sides must produce
+   identical counters (asserted): straight-to-wire capture is a pure
+   speedup, never a semantic fork.
+3. **Reference vs the committed JIT trajectory** — fresh fast-on
+   cycles/sec against the jit-on figures committed in
+   ``BENCH_jit.json`` (informational: cross-day comparisons are not
+   gated, and those figures include the replay-window capture cost this
+   configuration turns off).
+
+The ``speedup`` leaves are gated by ``repro.toolkit.benchguard`` like
+every other ``BENCH_*.json`` trajectory.
+
+Quick mode (the default) uses short runs and few repeats so the suite
+is CI-friendly; set ``CAPTURE_BENCH_FULL=1`` for the full measurement.
+
+Run with:
+``PYTHONPATH=src python -m pytest benchmarks/test_capture_throughput.py -q``
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import pathlib
+import time
+
+import pytest
+from conftest import write_result
+
+from repro.comm.fastcapture import FastCaptureEngine
+from repro.comm.fusion.squash import SquashFuser
+from repro.comm.packing import BatchPacker
+from repro.core import CONFIG_BNSD, run_cosim
+from repro.dut import XIANGSHAN_DEFAULT
+from repro.events import (
+    FLAG_RF_WEN,
+    CsrState,
+    FpCsrState,
+    FpRegState,
+    InstrCommit,
+    IntRegState,
+    IntWriteback,
+)
+from repro.workloads import build
+
+pytestmark = pytest.mark.bench
+
+FULL = os.environ.get("CAPTURE_BENCH_FULL", "") not in ("", "0")
+REPEATS = 4 if FULL else 2
+MICRO_CYCLES = 30_000 if FULL else 8_000
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_JSON = ROOT / "BENCH_capture.json"
+JIT_JSON = ROOT / "BENCH_jit.json"
+
+#: The capture-eligible benchmark configuration: batched, non-blocking,
+#: squashed, diff-encoded, JIT on, and no replay window (replay capture
+#: is a fallback reason — it buffers the event objects themselves).
+CONFIG_FAST = CONFIG_BNSD.with_(jit=True, replay=False)
+CONFIG_SLOW = CONFIG_FAST.with_(fast_capture=False)
+
+#: Results accumulated by the tests and flushed once per session.
+_RESULTS: dict = {}
+
+
+# ----------------------------------------------------------------------
+# Measurement helpers
+# ----------------------------------------------------------------------
+
+def _mix_stream(cycles):
+    """(cls, tag, kwargs) bundles shaped like a hot-loop commit cycle:
+    two writeback+commit pairs plus the per-cycle architectural state
+    snapshots (the mix ``Monitor.on_step`` / ``end_of_cycle_state``
+    produce on ``alu_hotloop``)."""
+    mask = (1 << 64) - 1
+    int_regs = [0] * 32
+    csrs = [0] * 64
+    csrs[0] = 0x1800
+    fp_regs = tuple(range(32))
+    bundles = []
+    tag = 0
+    for _ in range(cycles):
+        bundle = []
+        for _ in range(2):
+            rd = 5 + tag % 20
+            data = (tag * 0x9E3779B97F4A7C15) & mask
+            int_regs[rd] = data
+            bundle.append((IntWriteback, tag,
+                           {"addr": rd, "data": data}))
+            bundle.append((InstrCommit, tag,
+                           {"pc": (0x8000_0000 + 4 * tag) & mask,
+                            "instr": 0x00A3_0333, "wdata": data,
+                            "rd": rd, "flags": FLAG_RF_WEN,
+                            "fused_count": 1}))
+            tag += 1
+        csrs[1] = tag  # one changing CSR: the diff path stays non-empty
+        bundle.append((IntRegState, tag - 1, {"regs": tuple(int_regs)}))
+        bundle.append((CsrState, tag - 1, {"csrs": tuple(csrs)}))
+        bundle.append((FpCsrState, tag - 1,
+                       {"fcsr": 0, "frm": 0, "fflags": 0}))
+        bundle.append((FpRegState, tag - 1, {"regs": fp_regs}))
+        bundles.append(bundle)
+    return bundles
+
+
+class _MonitorShim:
+    """The two attributes ``emitter_table`` reads off a monitor."""
+
+    config = XIANGSHAN_DEFAULT
+    core_id = 0
+
+
+def _timed(run):
+    gc.collect()
+    gc.disable()
+    t0 = time.perf_counter()
+    events = run()
+    dt = time.perf_counter() - t0
+    gc.enable()
+    return events / dt
+
+
+def _legacy_pipeline(bundles):
+    """Object path: event construction → fuser → differencer → packer."""
+    packer = BatchPacker(4096)
+    fuser = SquashFuser(differencing=True)
+    wire = []
+
+    def run():
+        events = 0
+        for bundle in bundles:
+            cycle = [cls(core_id=0, order_tag=tag, **kwargs)
+                     for cls, tag, kwargs in bundle]
+            events += len(cycle)
+            wire.extend(packer.pack_cycle(fuser.on_cycle(cycle)))
+        wire.extend(packer.pack_cycle(fuser.flush()))
+        wire.extend(packer.flush())
+        return events
+
+    return _timed(run), wire, fuser
+
+
+def _fast_pipeline(bundles):
+    """Straight-to-wire path: compiled emitters → packer buffer."""
+    packer = BatchPacker(4096)
+    fuser = SquashFuser(differencing=True)
+    engine = FastCaptureEngine(fuser, packer)
+    table = engine.emitter_table(_MonitorShim())
+    wire = []
+
+    def run():
+        events = 0
+        for bundle in bundles:
+            engine.begin_bundle()
+            for cls, tag, kwargs in bundle:
+                table[cls](tag, **kwargs)
+            events += len(bundle)
+            wire.extend(engine.end_bundle())
+        wire.extend(engine.flush())
+        wire.extend(packer.flush())
+        return events
+
+    return _timed(run), wire, fuser
+
+
+def _fusion_key(fuser):
+    stats = fuser.stats
+    diff = fuser.differencer
+    return (stats.events_in, stats.events_out, stats.commits_in,
+            stats.fused_commits_out, stats.nde_sent_ahead,
+            diff.full_sent, diff.diff_sent, diff.bytes_saved)
+
+
+def _counters_key(result):
+    c = result.stats.counters
+    return (result.cycles, result.instructions, result.exit_code,
+            result.mismatch is None, c.bytes_sent, c.invokes,
+            c.sw_events_checked, c.sw_ref_steps, c.sw_dispatches,
+            result.stats.events_transmitted, result.stats.meta_bytes,
+            result.stats.events_captured)
+
+
+def _timed_run(config, workload):
+    t0 = time.perf_counter()
+    result = run_cosim(XIANGSHAN_DEFAULT, config, workload.image,
+                       max_cycles=workload.max_cycles)
+    dt = time.perf_counter() - t0
+    return result.cycles / dt, result
+
+
+def _interleaved_e2e(workload):
+    """Best-of interleaved fast-off/fast-on rounds (round 0 warms up)."""
+    configs = {"off": CONFIG_SLOW, "on": CONFIG_FAST}
+    best = {"off": 0.0, "on": 0.0}
+    results = {}
+    for round_index in range(REPEATS + 1):
+        for label, config in configs.items():
+            cps, result = _timed_run(config, workload)
+            results[label] = result
+            if round_index:
+                best[label] = max(best[label], cps)
+    return best, results
+
+
+def _flush_results():
+    if not _RESULTS:
+        return
+    existing = {}
+    if BENCH_JSON.exists():
+        try:
+            existing = json.loads(BENCH_JSON.read_text())
+        except ValueError:
+            existing = {}
+    existing.update(_RESULTS)
+    existing["mode"] = "full" if FULL else "quick"
+    BENCH_JSON.write_text(json.dumps(existing, indent=2, sort_keys=True)
+                          + "\n")
+    lines = [f"capture throughput ({existing['mode']} mode)"]
+    micro = existing.get("capture_microbench")
+    if micro:
+        lines.append(
+            f"  pipeline: {micro['fast_events_per_sec']:,.0f} events/s "
+            f"straight-to-wire vs {micro['legacy_events_per_sec']:,.0f} "
+            f"object path = {micro['capture_speedup']:.2f}x")
+    for workload, row in sorted(existing.get("end_to_end", {}).items()):
+        if not isinstance(row, dict):
+            continue
+        lines.append(
+            f"  e2e {workload}: {row['fast_on_cycles_per_sec']:,.0f} cyc/s "
+            f"on vs {row['fast_off_cycles_per_sec']:,.0f} off "
+            f"= {row['speedup']:.2f}x")
+    committed = existing.get("vs_committed_jit", {})
+    for workload, row in sorted(committed.items()):
+        if not isinstance(row, dict):
+            continue
+        lines.append(
+            f"  vs committed BENCH_jit {workload} jit-on "
+            f"({row['committed_jit_on_cycles_per_sec']:,.0f} cyc/s): "
+            f"{row['ratio_vs_jit_on']:.2f}x")
+    write_result("capture_throughput", "\n".join(lines))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _persist_results():
+    yield
+    _flush_results()
+
+
+# ----------------------------------------------------------------------
+# 1. Capture microbenchmark
+# ----------------------------------------------------------------------
+
+def test_capture_pipeline_speedup():
+    bundles = _mix_stream(MICRO_CYCLES)
+    best_legacy = best_fast = 0.0
+    for _ in range(REPEATS + 1):
+        legacy_eps, legacy_wire, legacy_fuser = _legacy_pipeline(bundles)
+        fast_eps, fast_wire, fast_fuser = _fast_pipeline(bundles)
+        best_legacy = max(best_legacy, legacy_eps)
+        best_fast = max(best_fast, fast_eps)
+    # Semantics guard: same bytes, same counters — the tier only
+    # removes host-side materialisation, never wire content.
+    assert [bytes(t.data) for t in legacy_wire] \
+        == [bytes(t.data) for t in fast_wire]
+    assert _fusion_key(legacy_fuser) == _fusion_key(fast_fuser)
+
+    speedup = best_fast / best_legacy
+    _RESULTS["capture_microbench"] = {
+        "event_mix": "2x(IntWriteback+InstrCommit) + state snapshots",
+        "cycles_measured": MICRO_CYCLES,
+        "legacy_events_per_sec": round(best_legacy),
+        "fast_events_per_sec": round(best_fast),
+        "capture_speedup": round(speedup, 3),
+    }
+    # Measures ~2.5x on a quiet machine; the quick floor keeps CI
+    # headroom for noisy neighbours on shared runners.
+    assert speedup >= (1.5 if FULL else 1.4), (best_fast, best_legacy)
+
+
+# ----------------------------------------------------------------------
+# 2. End-to-end fast-capture on/off
+# ----------------------------------------------------------------------
+
+def test_end_to_end_capture_speedup():
+    rows = {}
+    for name, kwargs in (
+        ("memory_churn", dict(array_kb=32, passes=2)),
+        ("alu_hotloop", {}),
+    ):
+        workload = build(name, **kwargs)
+        best, results = _interleaved_e2e(workload)
+        # Semantics guard: straight-to-wire capture must be invisible in
+        # every counter the run reports.
+        assert _counters_key(results["on"]) == _counters_key(results["off"])
+        assert results["on"].passed, results["on"].mismatch
+        assert results["on"].stats.capture_fallbacks == ()
+        rows[name] = {
+            "fast_on_cycles_per_sec": round(best["on"]),
+            "fast_off_cycles_per_sec": round(best["off"]),
+            "speedup": round(best["on"] / best["off"], 3),
+        }
+    _RESULTS["end_to_end"] = rows
+    # The stepping loops and the software-side checker still bound the
+    # end-to-end figure, so the whole-run win is smaller than the
+    # pipeline win; the tier must simply never lose.
+    best = max(row["speedup"] for row in rows.values())
+    _RESULTS["end_to_end"]["best_speedup"] = best
+    assert best >= 1.05, rows
+
+
+# ----------------------------------------------------------------------
+# 3. Fresh fast-on numbers vs the committed JIT trajectory
+# ----------------------------------------------------------------------
+
+def test_vs_committed_jit():
+    committed = json.loads(JIT_JSON.read_text())["end_to_end"]
+    rows = {}
+    for name, kwargs in (
+        ("memory_churn", dict(array_kb=32, passes=2)),
+        ("alu_hotloop", {}),
+    ):
+        workload = build(name, **kwargs)
+        best = 0.0
+        for _ in range(REPEATS + 1):
+            cps, result = _timed_run(CONFIG_FAST, workload)
+            assert result.passed
+            best = max(best, cps)
+        reference = committed[name]["jit_on_cycles_per_sec"]
+        rows[name] = {
+            "fast_on_cycles_per_sec": round(best),
+            "committed_jit_on_cycles_per_sec": reference,
+            "ratio_vs_jit_on": round(best / reference, 3),
+        }
+    _RESULTS["vs_committed_jit"] = rows
+    # Informational only: the committed figures were measured on a
+    # different machine state (and with the replay window on), so no
+    # cross-day ratio is asserted here.  The gated claims are the
+    # same-machine ones above.

@@ -124,6 +124,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--jit-warmup", type=int, default=None,
                      help="invocations of an entry PC before its block "
                           "is compiled (default 16; implies --jit)")
+    run.add_argument("--no-fast-capture", action="store_true",
+                     help="disable the straight-to-wire capture tier "
+                          "(compiled emit->encode->pack; wire bytes are "
+                          "byte-identical either way)")
     _add_obs_flags(run)
 
     profile = sub.add_parser(
@@ -267,12 +271,15 @@ def _build_parser() -> argparse.ArgumentParser:
 
 # ----------------------------------------------------------------------
 def _apply_jit_flags(config, args):
-    """Apply ``--jit`` / ``--jit-warmup`` to a DiffConfig."""
+    """Apply ``--jit`` / ``--jit-warmup`` / ``--no-fast-capture`` to a
+    DiffConfig."""
     warmup = getattr(args, "jit_warmup", None)
     if warmup is not None:
-        return config.with_(jit=True, jit_warmup=warmup)
-    if getattr(args, "jit", False):
-        return config.with_(jit=True)
+        config = config.with_(jit=True, jit_warmup=warmup)
+    elif getattr(args, "jit", False):
+        config = config.with_(jit=True)
+    if getattr(args, "no_fast_capture", False):
+        config = config.with_(fast_capture=False)
     return config
 
 

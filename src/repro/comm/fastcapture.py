@@ -1,0 +1,505 @@
+"""Straight-to-wire capture: the hardware-side mirror of ``fast_compare``.
+
+The legacy capture path materialises every probe hit three times: the
+monitor constructs a :class:`~repro.events.VerificationEvent`, the
+differencer re-flattens it into units, and the fuser wraps it in a
+:class:`~repro.comm.packing.base.WireItem` before the packer copies the
+payload bytes once more.  None of that materialisation is *semantically*
+required — DiffTest-H's contract is about the wire (order tags, fusion,
+diff-encoding), not host-side objects — so this tier compiles it away:
+
+* each event class's exec-compiled ``_CAPTURE_UNITS`` (generated next to
+  the PR 4 codecs in :mod:`repro.events.base`) turns the monitor's raw
+  keyword arguments into the flat unit tuple;
+* a per-(class, core) *emitter* closure re-expresses the Squash fusion
+  rules and the XOR differencing chain over those raw tuples, sharing the
+  fuser's :class:`~repro.comm.fusion.squash.FusionStats` and the
+  differencer's counters and prior cache so every run-level statistic is
+  identical to the object path;
+* encoded payloads go through the packer's append-raw entry point
+  (:meth:`~repro.comm.packing.base.Packer.append_raw`), which for the
+  Batch packer serialises straight into the persistent frame buffer.
+
+Eligibility is decided once per run (:func:`fallback_reasons`), exactly
+like the drain-side ``fast_compare`` selection: any run that *needs*
+event objects — replay-window capture, obs instrumentation, armed fault
+latches or hart hooks, order-coupled fusion — keeps the legacy path, and
+the wire bytes are byte-identical either way (pinned by
+``tests/test_fastcapture_equivalence.py`` the same way
+``test_codec_equivalence.py`` pins the codecs).
+"""
+
+from __future__ import annotations
+
+import struct
+from functools import partial
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..events import FusionRule, InstrCommit, LoadEvent, TrapFinish, \
+    all_event_classes
+from ..events.base import generic_capture_units
+from .fusion.differencing import _UNIT_PACKERS
+from .fusion.squash import OrderCoupledFuser
+from .packing.base import ENC_DIFF
+
+#: Canonical fallback-reason order (stable across runs and slices, so
+#: sliced-window unions reproduce the serial tuple exactly).
+FALLBACK_REASONS = ("obs", "replay", "faults", "order_coupled")
+
+
+def _core_needs_objects(core) -> bool:
+    """An armed fault latch or hart hook pins a core to the object path
+    (mirrors the per-cycle JIT eligibility gate in ``DutCore.cycle``:
+    injected bugs must flow through the paths they were written against,
+    and reg-write/store/trap hooks observe materialised state)."""
+    if getattr(core, "_fault_latch", None) is not None:
+        return True
+    monitor = core.monitor
+    # Instance-level monitor overrides (probe-corruption faults wrap
+    # ``_emit``; CSR-corruption faults wrap ``end_of_cycle_state``) must
+    # keep the object path even if they forgot to arm a latch.  The fast
+    # dispatcher itself is ours and does not count.
+    override = monitor.__dict__.get("_emit")
+    if override is not None and override != monitor._emit_fast:
+        return True
+    if "end_of_cycle_state" in monitor.__dict__:
+        return True
+    hooks = core.hart.hooks
+    return (hooks.on_reg_write is not None or hooks.on_store is not None
+            or hooks.on_trap is not None)
+
+
+def fallback_reasons(diff_config, obs_on: bool, cores) -> List[str]:
+    """Why this run must keep the event-object capture path.
+
+    Returns a list drawn from :data:`FALLBACK_REASONS`, empty when the
+    straight-to-wire tier is eligible.  Deliberately independent of the
+    ``fast_capture`` knob itself: the reasons describe the *run*, so
+    metric snapshots stay identical whether the knob is on or off.
+    """
+    reasons: List[str] = []
+    if obs_on:
+        # The instrumented hardware cycle traces and counts per-bundle
+        # event objects.
+        reasons.append("obs")
+    if diff_config.replay:
+        # Replay buffers capture the event objects themselves.
+        reasons.append("replay")
+    if any(_core_needs_objects(core) for core in cores):
+        reasons.append("faults")
+    if diff_config.squash and diff_config.order_coupled:
+        # Order-coupled fusion breaks on every NDE/exception — a control
+        # flow the emitters do not re-express; it exists as a comparator,
+        # not a performance path.
+        reasons.append("order_coupled")
+    return reasons
+
+
+def _flat_index(cls, name: str) -> int:
+    """Index of scalar field ``name`` in the class's flat unit order."""
+    index = 0
+    for field_name, count in cls._FLAT_NAMES:
+        if field_name == name:
+            return index
+        index += count
+    raise KeyError(f"{cls.__name__} has no field {name!r}")
+
+
+def _capture_fn(cls):
+    compiled = getattr(cls, "_CAPTURE_UNITS", None)
+    if compiled is not None:
+        return compiled
+    return partial(generic_capture_units, cls)
+
+
+def _emit_signature(cls, namespace: dict):
+    """Parameter list, array-coercion lines and unit-tuple expression for
+    an exec-generated emitter whose keyword parameters *are* the class's
+    field names (same defaults and validation as the compiled
+    ``_CAPTURE_UNITS``, but fused into the emitter so each emission costs
+    a single call with no intermediate kwargs hop)."""
+    params = []
+    coerce = []
+    parts = []
+    for spec in cls.FIELDS:
+        name = spec.name
+        if spec.count == 1:
+            params.append(f"{name}=0")
+            parts.append(name)
+        else:
+            default = f"_default_{name}"
+            namespace[default] = (0,) * spec.count
+            params.append(f"{name}={default}")
+            coerce.append(f"    if type({name}) is not tuple:")
+            coerce.append(f"        {name} = tuple({name})")
+            coerce.append(f"    if len({name}) != {spec.count}:")
+            coerce.append("        raise ValueError(")
+            coerce.append(f"            \"{cls.__name__}.{name} expects \"")
+            coerce.append(f"            f\"{spec.count} elements, "
+                          f"got {{len({name})}}\")")
+            parts.append(f"*{name}")
+    if len(cls.FIELDS) == 1 and cls.FIELDS[0].count > 1:
+        # Single array field (the state-snapshot classes): the coerced
+        # tuple *is* the unit tuple — no copy.
+        units = cls.FIELDS[0].name
+    elif parts:
+        units = f"({', '.join(parts)},)"
+    else:
+        units = "()"
+    return ", ".join(params), coerce, units
+
+
+def _compile_emit(cls, body: list, namespace: dict) -> Callable:
+    """``exec`` one emitter; ``$UNITS`` in the body expands to the flat
+    unit-tuple expression built from the named parameters."""
+    params, coerce, units = _emit_signature(cls, namespace)
+    lines = [line.replace("$UNITS", units) for line in body]
+    source = f"def emit(tag, {params}):\n" + "\n".join(coerce + lines)
+    exec(source, namespace)
+    fn = namespace["emit"]
+    fn.__qualname__ = f"{cls.__name__}.emit"
+    return fn
+
+
+class FastCaptureEngine:
+    """Per-run compiled emit→encode→pack pipeline.
+
+    One engine serves every monitor of a run.  It *shares* the fuser's
+    stats object and the differencer's counters/prior cache rather than
+    keeping its own, so ``CoSimulation._finish``, recovery-point
+    restores and slice stitching read exactly the numbers the object
+    path would have produced.  Event-profile counts (which the legacy
+    path accumulates per bundle in ``_record_bundle``) are kept in cheap
+    per-class cells and folded into ``RunStats`` by :meth:`fold_stats`.
+    """
+
+    def __init__(self, fuser, packer) -> None:
+        if isinstance(fuser, OrderCoupledFuser):
+            raise ValueError(
+                "order-coupled fusion is not fast-capture eligible")
+        self.fuser = fuser
+        self.packer = packer
+        self.differencer = fuser.differencer if fuser is not None else None
+        #: Per-event-id (count cell, payload size) for profile folding.
+        self._cells: Dict[int, List[int]] = {}
+        self._sizes: Dict[int, int] = {}
+        # Fusion-window state, re-expressed over raw tuples.  Containers
+        # are mutated in place (never rebound): the emitter closures
+        # capture them once.
+        self._flush_box = [False]
+        self._passthrough: List[Tuple[Callable, int, tuple]] = []
+        self._latest: Dict[Tuple[int, int], Tuple[Callable, int, tuple]] = {}
+        self._accumulated: Dict[Tuple[int, int, int],
+                                Tuple[Callable, int, tuple]] = {}
+        self._fused: Dict[int, list] = {}
+        self._fused_count: Dict[int, int] = {}
+        #: Per-core InstrCommit encoder, registered when the commit
+        #: emitter for that core is built; used by the window flush.
+        self._commit_encoders: Dict[int, Callable] = {}
+        self._emitters: Dict[Tuple[type, int], Callable] = {}
+
+    # ------------------------------------------------------------------
+    # Emitter construction
+    # ------------------------------------------------------------------
+    def _cell(self, cls) -> List[int]:
+        eid = cls.DESCRIPTOR.event_id
+        cell = self._cells.get(eid)
+        if cell is None:
+            cell = self._cells[eid] = [0]
+            self._sizes[eid] = cls._STRUCT.size
+        return cell
+
+    def _make_encoder(self, cls, core_id: int) -> Callable:
+        """``encode(tag, units)``: byte-identical to ``fuser._emit`` /
+        ``WireItem.from_event`` on an equivalent event object."""
+        packer = self.packer
+        fuser = self.fuser
+        diff = self.differencer
+        if fuser is None:
+            def encode(tag, units, _append=packer.append_units, _cls=cls,
+                       _core=core_id):
+                _append(_cls, _core, tag, units)
+            return encode
+        fstats = fuser.stats
+        if diff is None:
+            def encode(tag, units, _append=packer.append_units, _cls=cls,
+                       _core=core_id, _fstats=fstats):
+                _fstats.events_out += 1
+                _append(_cls, _core, tag, units)
+            return encode
+        full_size = cls._STRUCT.size
+        if full_size < diff.min_payload:
+            def encode(tag, units, _append=packer.append_units, _cls=cls,
+                       _core=core_id, _fstats=fstats, _diff=diff):
+                _fstats.events_out += 1
+                _diff.full_sent += 1
+                _append(_cls, _core, tag, units)
+            return encode
+        # Diff-eligible: the Differencer.encode algorithm inlined over
+        # raw tuples, sharing its prior cache and counters.
+        eid = cls.DESCRIPTOR.event_id
+        key = (eid, core_id)
+        priors = diff._last
+        sizes = cls._UNIT_SIZES
+        count = len(sizes)
+        bitmap_len = (count + 7) // 8
+        fmts = tuple(_UNIT_PACKERS[size] for size in sizes)
+        pack = struct.pack
+        append_units = packer.append_units
+        append_raw = packer.append_raw
+
+        def encode(tag, units):
+            fstats.events_out += 1
+            last = priors.get(key)
+            if last is not None:
+                changed = [i for i in range(count) if units[i] != last[i]]
+                diff_size = bitmap_len + sum(sizes[i] for i in changed)
+                if diff_size < full_size:
+                    bitmap = bytearray(bitmap_len)
+                    body = bytearray()
+                    for i in changed:
+                        bitmap[i >> 3] |= 1 << (i & 7)
+                        body += pack(fmts[i], units[i])
+                    payload = bytes(bitmap + body)
+                    priors[key] = units
+                    diff.diff_sent += 1
+                    diff.bytes_saved += full_size - len(payload)
+                    append_raw(eid, core_id, tag, payload, ENC_DIFF)
+                    return
+            priors[key] = units
+            diff.full_sent += 1
+            append_units(cls, core_id, tag, units)
+
+        return encode
+
+    def _make_emitter(self, cls, core_id: int) -> Callable:
+        """``emit(tag, **fields)``: one event class on one core —
+        re-expresses ``SquashFuser.on_cycle`` for that class.  Each
+        emitter is exec-compiled with the class's field names as keyword
+        parameters, so the fusion rule reads fields (``flags``, ``mmio``,
+        ``addr``) as plain locals and the unit tuple is built inline."""
+        cell = self._cell(cls)
+        encode = self._make_encoder(cls, core_id)
+        fuser = self.fuser
+        ns: dict = {"_cell": cell, "_encode": encode}
+        if fuser is None:
+            # No fusion: every event is transmitted full, in order.
+            return _compile_emit(cls, [
+                "    _cell[0] += 1",
+                "    _encode(tag, $UNITS)",
+            ], ns)
+        fstats = fuser.stats
+        ns["_fstats"] = fstats
+        desc = cls.DESCRIPTOR
+        if cls is InstrCommit:
+            ns.update(_fused=self._fused, _counts=self._fused_count,
+                      _window=fuser.window, _flush_box=self._flush_box,
+                      _core=core_id)
+            self._commit_encoders[core_id] = encode
+            # Flat order is (pc, instr, wdata, rd, flags, fused_count);
+            # the window record keeps everything but fused_count, which
+            # the flush patches in from the run length.
+            return _compile_emit(cls, [
+                "    _cell[0] += 1",
+                "    _fstats.events_in += 1",
+                "    if flags & 8:",  # events.FLAG_SKIP
+                "        # MMIO-skip commit: an NDE, transmitted ahead",
+                "        # with its tag; fusion continues across the gap.",
+                "        _fstats.nde_sent_ahead += 1",
+                "        _encode(tag, $UNITS)",
+                "        return",
+                "    _fstats.commits_in += 1",
+                "    rec = _fused.get(_core)",
+                "    if rec is None:",
+                "        _fused[_core] = [tag, pc, instr, wdata, rd, flags]",
+                "        _counts[_core] = 1",
+                "    else:",
+                "        rec[0] = tag",
+                "        rec[1] = pc",
+                "        rec[2] = instr",
+                "        rec[3] = wdata",
+                "        rec[4] = rd",
+                "        rec[5] = flags",
+                "        _counts[_core] += 1",
+                "    if _counts[_core] >= _window:",
+                "        _flush_box[0] = True",
+            ], ns)
+        if desc.is_nde:
+            # Statically non-deterministic: always transmitted ahead.
+            return _compile_emit(cls, [
+                "    _cell[0] += 1",
+                "    _fstats.events_in += 1",
+                "    _fstats.nde_sent_ahead += 1",
+                "    _encode(tag, $UNITS)",
+            ], ns)
+        if cls is LoadEvent:
+            ns["_passthrough"] = self._passthrough
+            return _compile_emit(cls, [
+                "    _cell[0] += 1",
+                "    _fstats.events_in += 1",
+                "    if mmio:",
+                "        _fstats.nde_sent_ahead += 1",
+                "        _encode(tag, $UNITS)",
+                "    else:",
+                "        _passthrough.append((_encode, tag, $UNITS))",
+            ], ns)
+        if "is_nde" in cls.__dict__:
+            # Unknown instance-level NDE predicate: materialise the event
+            # to evaluate it (behavioural reference), then route like the
+            # fuser would.  No registered class takes this path today.
+            rule = desc.fusion_rule
+            passthrough = self._passthrough
+            capture = _capture_fn(cls)
+
+            def emit(tag, **fields):
+                cell[0] += 1
+                fstats.events_in += 1
+                units = capture(**fields)
+                event = cls.from_units(list(units), core_id=core_id,
+                                       order_tag=tag)
+                if event.is_nde():
+                    fstats.nde_sent_ahead += 1
+                    encode(tag, units)
+                elif rule is FusionRule.KEEP_LATEST:
+                    self._latest[(desc.event_id, core_id)] = \
+                        (encode, tag, units)
+                elif rule is FusionRule.ACCUMULATE:
+                    addr_idx = _flat_index(cls, "addr")
+                    self._accumulated[(desc.event_id, core_id,
+                                       units[addr_idx])] = \
+                        (encode, tag, units)
+                else:
+                    passthrough.append((encode, tag, units))
+            return emit
+        rule = desc.fusion_rule
+        if rule is FusionRule.KEEP_LATEST:
+            ns.update(_latest=self._latest,
+                      _key=(desc.event_id, core_id))
+            return _compile_emit(cls, [
+                "    _cell[0] += 1",
+                "    _fstats.events_in += 1",
+                "    _latest[_key] = (_encode, tag, $UNITS)",
+            ], ns)
+        if rule is FusionRule.ACCUMULATE:
+            # Every ACCUMULATE class keys on a scalar ``addr`` field.
+            _flat_index(cls, "addr")  # validate at build time
+            ns.update(_accumulated=self._accumulated,
+                      _eid=desc.event_id, _core=core_id)
+            return _compile_emit(cls, [
+                "    _cell[0] += 1",
+                "    _fstats.events_in += 1",
+                "    _accumulated[(_eid, _core, addr)] = "
+                "(_encode, tag, $UNITS)",
+            ], ns)
+        if cls is TrapFinish:
+            ns["_flush"] = self.flush_window
+            return _compile_emit(cls, [
+                "    _cell[0] += 1",
+                "    _fstats.events_in += 1",
+                "    # End of simulation: drain the window, then the trap.",
+                "    _flush()",
+                "    _encode(tag, $UNITS)",
+            ], ns)
+        # PASS_THROUGH (also COLLAPSE types that are not InstrCommit,
+        # mirroring the fuser's isinstance guard).
+        ns["_passthrough"] = self._passthrough
+        return _compile_emit(cls, [
+            "    _cell[0] += 1",
+            "    _fstats.events_in += 1",
+            "    _passthrough.append((_encode, tag, $UNITS))",
+        ], ns)
+
+    def emitter_table(self, monitor) -> Dict[type, Callable]:
+        """The per-class emitter table for one monitor, honouring its
+        ``DutConfig.event_enabled`` filter (disabled classes are simply
+        absent, so ``Monitor._emit_fast`` drops them like the memoised
+        legacy check does)."""
+        config = monitor.config
+        core_id = monitor.core_id
+        table: Dict[type, Callable] = {}
+        for cls in all_event_classes():
+            if not config.event_enabled(cls.__name__):
+                continue
+            emitter = self._emitters.get((cls, core_id))
+            if emitter is None:
+                emitter = self._make_emitter(cls, core_id)
+                self._emitters[(cls, core_id)] = emitter
+            table[cls] = emitter
+        return table
+
+    # ------------------------------------------------------------------
+    # Window / bundle control
+    # ------------------------------------------------------------------
+    def flush_window(self) -> None:
+        """Close the fusion window into the open append window —
+        buffered events first, fused commits last, in the exact order of
+        ``SquashFuser.flush``."""
+        self._flush_box[0] = False
+        passthrough = self._passthrough
+        for encode, tag, units in passthrough:
+            encode(tag, units)
+        passthrough.clear()
+        accumulated = self._accumulated
+        for key in sorted(accumulated):
+            encode, tag, units = accumulated[key]
+            encode(tag, units)
+        accumulated.clear()
+        latest = self._latest
+        for key in sorted(latest):
+            encode, tag, units = latest[key]
+            encode(tag, units)
+        latest.clear()
+        fused = self._fused
+        if fused:
+            fstats = self.fuser.stats
+            counts = self._fused_count
+            encoders = self._commit_encoders
+            for core in sorted(fused):
+                rec = fused[core]
+                fstats.fused_commits_out += 1
+                encoders[core](rec[0], (rec[1], rec[2], rec[3], rec[4],
+                                        rec[5], counts[core]))
+            fused.clear()
+            counts.clear()
+
+    def begin_bundle(self) -> None:
+        """Open the append window for one core's cycle bundle."""
+        self.packer.begin_append()
+
+    def end_bundle(self):
+        """Close the bundle; flush the fusion window if it filled (at the
+        bundle boundary, like ``SquashFuser.on_cycle``); return ready
+        transfers."""
+        if self._flush_box[0]:
+            self.flush_window()
+        return self.packer.end_append()
+
+    def flush(self):
+        """End-of-run / barrier flush (the fuser half of
+        ``CoSimulation._flush_hardware``); returns ready transfers."""
+        self.packer.begin_append()
+        if self.fuser is not None:
+            self.flush_window()
+        return self.packer.end_append()
+
+    # ------------------------------------------------------------------
+    # Stats folding
+    # ------------------------------------------------------------------
+    def fold_stats(self, stats) -> None:
+        """Fold the capture cells into ``RunStats`` (the fast-path twin
+        of ``_record_bundle``'s per-event accounting).  Idempotent: cells
+        are zeroed, so folding at detach *and* at ``_finish`` is safe."""
+        profile = stats.profile
+        counts = profile.counts
+        payload_bytes = profile.payload_bytes
+        sizes = self._sizes
+        total = 0
+        for eid, cell in self._cells.items():
+            n = cell[0]
+            if not n:
+                continue
+            cell[0] = 0
+            total += n
+            counts[eid] = counts.get(eid, 0) + n
+            payload_bytes[eid] = payload_bytes.get(eid, 0) + n * sizes[eid]
+        stats.events_captured += total

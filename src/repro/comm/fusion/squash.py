@@ -58,12 +58,21 @@ class FusionStats:
     def fold_into(self, registry) -> None:
         """Publish the fusion-unit counters into a metric registry
         (:class:`repro.obs.MetricRegistry`) under ``fusion.*`` names not
-        already covered by the run-stats mapping."""
-        registry.set_counter("fusion.events_in", self.events_in)
-        registry.set_counter("fusion.events_out", self.events_out)
-        registry.set_counter("fusion.commits_in", self.commits_in)
-        registry.set_counter("fusion.fused_commits_out",
-                             self.fused_commits_out)
+        already covered by the run-stats mapping.
+
+        Only nonzero counters are recorded (the resilience/JIT snapshot
+        convention): a run without fusion activity leaves the snapshot
+        byte-identical to one taken before the counter existed.
+        """
+        if self.events_in:
+            registry.set_counter("fusion.events_in", self.events_in)
+        if self.events_out:
+            registry.set_counter("fusion.events_out", self.events_out)
+        if self.commits_in:
+            registry.set_counter("fusion.commits_in", self.commits_in)
+        if self.fused_commits_out:
+            registry.set_counter("fusion.fused_commits_out",
+                                 self.fused_commits_out)
 
 
 class SquashFuser:

@@ -202,6 +202,7 @@ class Packer:
 
     def __init__(self) -> None:
         self.stats = PackingStats()
+        self._raw_items: List[WireItem] = []
 
     def pack_cycle(self, items: List[WireItem]) -> List[Transfer]:
         """Accept one cycle's items; return any transfers now ready."""
@@ -210,6 +211,40 @@ class Packer:
     def flush(self) -> List[Transfer]:
         """Emit any buffered partial transfer (end of run / drain)."""
         return []
+
+    # ------------------------------------------------------------------
+    # Append-raw entry point (straight-to-wire capture)
+    # ------------------------------------------------------------------
+    # One cycle's worth of appends between begin_append()/end_append() must
+    # produce byte-identical transfers to a single pack_cycle() call with
+    # the equivalent WireItem list.  The default implementation guarantees
+    # that by buffering items and delegating; packers with a persistent
+    # frame buffer (Batch) override these to write payload bytes in place.
+
+    def begin_append(self) -> None:
+        """Open one cycle's append window."""
+        self._raw_items = []
+
+    def append_raw(self, type_id: int, core_id: int, order_tag: int,
+                   payload: PayloadLike, encoding: int = ENC_FULL) -> None:
+        """Append one pre-encoded payload to the open window."""
+        self._raw_items.append(
+            WireItem(type_id, core_id, order_tag, payload, encoding))
+
+    def append_units(self, cls: type, core_id: int, order_tag: int,
+                     units) -> None:
+        """Append one full-encoded event given its flat unit tuple."""
+        self._raw_items.append(
+            WireItem(cls.DESCRIPTOR.event_id, core_id, order_tag,
+                     cls._STRUCT.pack(*units)))
+
+    def end_append(self) -> List[Transfer]:
+        """Close the window; return any transfers now ready."""
+        items = self._raw_items
+        if not items:
+            return []
+        self._raw_items = []
+        return self.pack_cycle(items)
 
 
 class Unpacker:

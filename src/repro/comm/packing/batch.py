@@ -36,7 +36,8 @@ from __future__ import annotations
 import struct
 from typing import List, Optional, Sequence
 
-from .base import Packer, Transfer, TransferDecodeError, Unpacker, WireItem
+from .base import ENC_FULL, Packer, Transfer, TransferDecodeError, \
+    Unpacker, WireItem
 
 #: Fixed transmission-frame size (the paper's example: 4 KB transfers).
 DEFAULT_FRAME_SIZE = 4096
@@ -92,6 +93,7 @@ class BatchPacker(Packer):
         self._run_count = 0
         self._frame_items = 0
         self._frame_payload = 0  # incremental payload-byte counter
+        self._append_transfers: List[Transfer] = []
 
     # ------------------------------------------------------------------
     def pack_cycle(self, items: List[WireItem]) -> List[Transfer]:
@@ -104,9 +106,22 @@ class BatchPacker(Packer):
 
     def _append(self, item: WireItem, transfers: List[Transfer]) -> None:
         payload_len = len(item.payload)
+        pos = self._reserve(item.type_id, item.core_id, item.order_tag,
+                            item.encoding, payload_len, transfers)
+        self._buf[pos : pos + payload_len] = item.payload
+
+    def _reserve(self, type_id: int, core_id: int, order_tag: int,
+                 encoding: int, payload_len: int,
+                 transfers: List[Transfer]) -> int:
+        """Write block/event headers for one event; return its payload
+        offset in ``self._buf`` (``self._pos`` already advanced past it).
+
+        Callers must re-read ``self._buf`` *after* this returns — frame
+        splits and oversized events may have swapped or grown the buffer.
+        """
         needed = EVENT_HEADER_SIZE + payload_len
-        same_run = (self._run_count > 0 and self._run_type == item.type_id
-                    and self._run_core == item.core_id)
+        same_run = (self._run_count > 0 and self._run_type == type_id
+                    and self._run_core == core_id)
         if not same_run:
             needed += BLOCK_HEADER_SIZE
         if self._pos + needed > self.frame_size and self._pos \
@@ -124,20 +139,46 @@ class BatchPacker(Packer):
             self._buf = buf = buf.ljust(max(len(buf) * 2, pos + needed), b"\0")
         if not same_run:
             self._end_run()
-            _BLOCK_HEADER.pack_into(buf, pos, item.type_id, item.core_id, 0)
+            _BLOCK_HEADER.pack_into(buf, pos, type_id, core_id, 0)
             self._run_start = pos
-            self._run_type = item.type_id
-            self._run_core = item.core_id
+            self._run_type = type_id
+            self._run_core = core_id
             self._block_count += 1
             pos += BLOCK_HEADER_SIZE
-        _EVENT_HEADER.pack_into(buf, pos, item.order_tag, item.encoding,
-                                payload_len)
+        _EVENT_HEADER.pack_into(buf, pos, order_tag, encoding, payload_len)
         pos += EVENT_HEADER_SIZE
-        buf[pos : pos + payload_len] = item.payload
         self._pos = pos + payload_len
         self._run_count += 1
         self._frame_items += 1
         self._frame_payload += payload_len
+        return pos
+
+    # ------------------------------------------------------------------
+    # Append-raw entry point: serialise straight into the frame buffer.
+    # ------------------------------------------------------------------
+    def begin_append(self) -> None:
+        self._append_transfers = []
+
+    def append_raw(self, type_id: int, core_id: int, order_tag: int,
+                   payload, encoding: int = ENC_FULL) -> None:
+        payload_len = len(payload)
+        self.stats.payload_bytes += payload_len
+        pos = self._reserve(type_id, core_id, order_tag, encoding,
+                            payload_len, self._append_transfers)
+        self._buf[pos : pos + payload_len] = payload
+
+    def append_units(self, cls: type, core_id: int, order_tag: int,
+                     units) -> None:
+        packer = cls._STRUCT
+        self.stats.payload_bytes += packer.size
+        pos = self._reserve(cls.DESCRIPTOR.event_id, core_id, order_tag,
+                            ENC_FULL, packer.size, self._append_transfers)
+        packer.pack_into(self._buf, pos, *units)
+
+    def end_append(self) -> List[Transfer]:
+        transfers = self._append_transfers
+        self._append_transfers = []
+        return transfers
 
     def _end_run(self) -> None:
         """Back-patch the open block header's event count."""

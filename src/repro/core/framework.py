@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..comm.channel import Channel, LinkFailure, ReliableChannel
+from ..comm.fastcapture import FastCaptureEngine, fallback_reasons
 from ..comm.framing import PACKER_IDS, PACKER_NAMES
 from ..comm.fusion.differencing import Completer
 from ..comm.fusion.squash import OrderCoupledFuser, SquashFuser
@@ -191,6 +192,9 @@ class CoSimulation:
         #: stitched campaign snapshot carries exactly one set of totals.
         self.record_final_metrics = True
         self._jit_caches: List[TraceCache] = []
+        #: Straight-to-wire capture engine; selected once per run by
+        #: :meth:`_select_capture` (None = legacy event-object capture).
+        self._capture: Optional[FastCaptureEngine] = None
         self._attach_jit()
 
     def _attach_jit(self) -> None:
@@ -275,6 +279,56 @@ class CoSimulation:
             if items:
                 self.channel.send_all(self.packer.pack_cycle(items))
 
+    def _hardware_cycle_fast(self) -> None:
+        """Straight-to-wire twin of :meth:`_hardware_cycle`: the monitors
+        dispatch into the capture engine's compiled emitters, which
+        serialise directly into the packer — no event objects, bundles or
+        item lists.  The wire stream is byte-identical to the legacy path
+        (``tests/test_fastcapture_equivalence.py``)."""
+        engine = self._capture
+        channel = self.channel
+        for core in self.dut.cores:
+            engine.begin_bundle()
+            core.cycle()
+            transfers = engine.end_bundle()
+            if transfers:
+                channel.send_all(transfers)
+
+    def _select_capture(self) -> None:
+        """Choose the capture path once per run (the hardware-side mirror
+        of the ``fast_compare`` drain selection in :meth:`run`).
+
+        The fallback reasons are recorded on the run stats regardless of
+        the ``fast_capture`` knob, so metric snapshots are identical with
+        the knob on or off.
+        """
+        reasons = fallback_reasons(self.diff_config, self._obs_on,
+                                   self.dut.cores)
+        self.stats.capture_fallbacks = tuple(reasons)
+        if self.diff_config.fast_capture and not reasons:
+            self._attach_capture()
+        else:
+            self._detach_capture()
+
+    def _attach_capture(self) -> None:
+        """(Re)build the capture engine against the current fuser/packer
+        and attach it to every monitor.  Also called after any pipeline
+        rebuild (recovery restore, transport degradation) — the engine
+        shares the fuser's stats and differencer, so run-wide totals
+        carry exactly as they do on the legacy path."""
+        if self._capture is not None:
+            self._capture.fold_stats(self.stats)
+        self._capture = FastCaptureEngine(self.fuser, self.packer)
+        for core in self.dut.cores:
+            core.monitor.attach_fast_capture(self._capture)
+
+    def _detach_capture(self) -> None:
+        if self._capture is not None:
+            self._capture.fold_stats(self.stats)
+            self._capture = None
+        for core in self.dut.cores:
+            core.monitor.detach_fast_capture()
+
     def _hardware_cycle_obs(self) -> None:
         """Traced twin of :meth:`_hardware_cycle` (same semantics, plus
         spans around each pipeline stage); :meth:`run` selects it once
@@ -301,6 +355,12 @@ class CoSimulation:
                     self.channel.send_all(transfers)
 
     def _flush_hardware(self) -> None:
+        if self._capture is not None:
+            transfers = self._capture.flush()
+            if transfers:
+                self.channel.send_all(transfers)
+            self.channel.send_all(self.packer.flush())
+            return
         if self.fuser is not None:
             items = self.fuser.flush()
             if items:
@@ -549,6 +609,11 @@ class CoSimulation:
         self._unpacker_cache[packer_id] = self.unpacker
         if isinstance(self.channel, ReliableChannel):
             self.channel.packer_id = packer_id
+        if self._capture is not None:
+            # Re-point the capture engine at the fresh packer (and, on a
+            # recovery restore, the rebuilt fuser — the restore rebuilds
+            # the fuser before calling here).
+            self._attach_capture()
 
     # ------------------------------------------------------------------
     # Slice-epoch barriers and boundary resume (repro.parallel.slicing)
@@ -692,7 +757,10 @@ class CoSimulation:
                and self.mismatch is None and self.transport_error is None):
             self._cycle += 1
             try:
-                self._hardware_cycle()
+                if self._capture is not None:
+                    self._hardware_cycle_fast()
+                else:
+                    self._hardware_cycle()
                 self._drain_resilient()
                 if epoch and self._cycle % epoch == 0:
                     self._epoch_barrier(self._drain_resilient)
@@ -721,6 +789,7 @@ class CoSimulation:
     # ------------------------------------------------------------------
     def run(self, max_cycles: int = 1_000_000) -> RunResult:
         """Run until every core traps, a mismatch fires, or the budget ends."""
+        self._select_capture()
         if self._resilient:
             return self._run_resilient(max_cycles)
         # Select the traced or plain loop bodies once, so a run without
@@ -729,7 +798,9 @@ class CoSimulation:
             hardware_cycle = self._hardware_cycle_obs
             software_drain = self._software_drain_obs
         else:
-            hardware_cycle = self._hardware_cycle
+            hardware_cycle = (self._hardware_cycle_fast
+                              if self._capture is not None
+                              else self._hardware_cycle)
             software_drain = (self._software_drain
                               if self.diff_config.fast_compare
                               else self._software_drain_legacy)
@@ -766,6 +837,8 @@ class CoSimulation:
                 registry.counter(name).inc(value)
 
     def _finish(self) -> RunResult:
+        if self._capture is not None:
+            self._capture.fold_stats(self.stats)
         counters = self.stats.counters
         # Window-relative: identical to the raw cycle/retired totals for a
         # normal run (window start is 0); a run resumed from a boundary

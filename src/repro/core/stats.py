@@ -65,6 +65,11 @@ class RunStats:
     #: Snapshot restores the resilient transport performed to survive
     #: unrecoverable link failures.
     link_recoveries: int = 0
+    #: Why the straight-to-wire capture tier was (or would have been)
+    #: ineligible for this run — e.g. ("obs", "replay").  Computed
+    #: independently of the ``fast_capture`` knob so metric snapshots are
+    #: identical with the knob on or off; empty for an eligible run.
+    capture_fallbacks: tuple = ()
 
     @property
     def bytes_per_cycle(self) -> float:
@@ -115,6 +120,11 @@ class RunStats:
         if other.replay_buffer_peak > self.replay_buffer_peak:
             self.replay_buffer_peak = other.replay_buffer_peak
         self.degradations.extend(other.degradations)
+        # Order-preserving union: every window of one sliced run reports
+        # the same reasons, so this is normally a no-op after window 0.
+        for reason in other.capture_fallbacks:
+            if reason not in self.capture_fallbacks:
+                self.capture_fallbacks += (reason,)
 
     def summary(self) -> str:
         c = self.counters

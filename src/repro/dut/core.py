@@ -132,6 +132,7 @@ class DutCore:
         """Advance one clock cycle; returns the captured events."""
         self.cycle_count += 1
         bundle = CycleBundle(self.cycle_count, self.core_id)
+        fast_mark = self.monitor.fast_events
         if self.finished is not None:
             bundle.trap_finish = self.finished
             return bundle
@@ -199,7 +200,12 @@ class DutCore:
                 self.icache.invalidate()
             if result.exception is not None or result.mmio_skip:
                 break  # redirects and MMIO commit alone
-        if bundle.committed or bundle.events:
+        # Under straight-to-wire capture the bundle's event list stays
+        # empty; the monitor's dispatch counter tells whether this cycle
+        # produced any emission (exceptions and interrupts emit without
+        # committing).
+        if bundle.committed or bundle.events \
+                or self.monitor.fast_events != fast_mark:
             self.monitor.end_of_cycle_state(events)
         return bundle
 

@@ -30,8 +30,6 @@ class Monitor:
         self.core_id = core_id
         self.state = state
         self.slot = 0  # next check-slot index (order tag)
-        #: Per-class cache of ``config.event_enabled`` (hit on every emit).
-        self._enabled_memo: dict = {}
         self._fp_dirty = True
         self._vec_dirty = True
         self._last_hyper: Optional[tuple] = None
@@ -39,6 +37,26 @@ class Monitor:
         self._last_debug: Optional[tuple] = None
 
     # ------------------------------------------------------------------
+    # Config and the per-class enable memo.  ``_enabled_memo`` caches
+    # ``config.event_enabled`` per event class (hit on every emit), so it
+    # is only valid for the config it was built against — assigning a new
+    # config must invalidate it, or a monitor reused across runs keeps
+    # serving the previous run's enable set.
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> DutConfig:
+        return self._config
+
+    @config.setter
+    def config(self, config: DutConfig) -> None:
+        self._config = config
+        self._enabled_memo: dict = {}
+        engine = getattr(self, "_fast_engine", None)
+        if engine is not None:
+            # The straight-to-wire emitter table bakes the enable set in;
+            # rebuild it against the new config.
+            self._fast_emitters = engine.emitter_table(self)
+
     def _enabled(self, name: str) -> bool:
         return self.config.event_enabled(name)
 
@@ -50,6 +68,41 @@ class Monitor:
             return
         sink.append(cls(core_id=self.core_id,
                         order_tag=self.slot if tag is None else tag, **fields))
+
+    # ------------------------------------------------------------------
+    # Straight-to-wire capture (repro.comm.fastcapture).  When attached,
+    # ``_emit`` is swapped (instance attribute, the same mechanism the
+    # slicing reconstructor uses for its silent monitor) for a thin
+    # dispatcher into the engine's per-class emitter table — no event
+    # object is built.  ``fast_events`` counts dispatched emissions so
+    # ``DutCore.cycle`` can tell that a bundle produced wire traffic even
+    # though its event list stayed empty.
+    # ------------------------------------------------------------------
+    _fast_engine = None
+    _fast_emitters: Optional[dict] = None
+    fast_events = 0
+
+    def attach_fast_capture(self, engine) -> None:
+        self._fast_engine = engine
+        self._fast_emitters = engine.emitter_table(self)
+        self._emit = self._emit_fast  # type: ignore[method-assign]
+
+    def detach_fast_capture(self) -> None:
+        # Only remove our own dispatcher: fault injectors and the slicing
+        # reconstructor also install instance-level ``_emit`` overrides,
+        # and those must survive a capture-path (re)selection.
+        if self.__dict__.get("_emit") == self._emit_fast:
+            del self.__dict__["_emit"]
+        self._fast_engine = None
+        self._fast_emitters = None
+
+    def _emit_fast(self, sink: List, cls, tag: Optional[int] = None,
+                   **fields) -> None:
+        emitter = self._fast_emitters.get(cls)
+        if emitter is None:  # disabled event class
+            return
+        self.fast_events += 1
+        emitter(self.slot if tag is None else tag, **fields)
 
     # ------------------------------------------------------------------
     def on_interrupt(self, out: List, cause: int, pc: int) -> int:

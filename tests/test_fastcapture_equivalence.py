@@ -1,0 +1,634 @@
+"""Straight-to-wire capture must be byte-identical to the object path.
+
+The contract of :mod:`repro.comm.fastcapture` is *invisibility*: with
+``fast_capture=True`` the monitors serialise raw field values directly
+into the packer — no ``VerificationEvent``, no ``WireItem`` — and the
+resulting wire stream, counters, reports and metric snapshots must match
+the legacy event-object path bit for bit.  Every test compares a fast
+run/stream against a freshly executed legacy reference, in the style of
+``test_jit_equivalence.py``.
+
+Coverage map:
+
+* per-class compiled ``capture_units`` vs ``_flatten`` on event objects;
+* synthetic event streams for all 32 classes through the capture engine
+  vs the legacy fuser+packer pipeline, under ENC_FULL and ENC_DIFF, for
+  all three packers, with shared-counter equality;
+* the packer append-raw entry vs ``pack_cycle`` on identical items;
+* end-to-end co-simulations (all ladder configs, multi-core, restricted
+  event sets) with a wire tap asserting frame-level byte identity;
+* fallback triggers: replay capture, obs instrumentation, armed faults,
+  order-coupled fusion — each recorded in ``capture_fallbacks`` and
+  knob-independent;
+* fast x JIT x slicing stitched identity;
+* the monitor enable-memo staleness regression (config reassignment
+  between runs must invalidate the per-class cache).
+"""
+
+import random
+import struct
+
+import pytest
+
+from repro.comm.fastcapture import FastCaptureEngine, fallback_reasons
+from repro.comm.fusion.differencing import DIFF_MIN_PAYLOAD
+from repro.comm.fusion.squash import SquashFuser
+from repro.comm.packing import (
+    BatchPacker,
+    DpicPacker,
+    FixedLayout,
+    FixedPacker,
+    WireItem,
+)
+from repro.core import (
+    CONFIG_B,
+    CONFIG_BN,
+    CONFIG_BNSD,
+    CONFIG_COUPLED,
+    CONFIG_FIXED,
+    CONFIG_Z,
+    CoSimulation,
+)
+from repro.dut import NUTSHELL, XIANGSHAN_DEFAULT, XIANGSHAN_DUAL, \
+    fault_by_name
+from repro.dut.config import DutConfig
+from repro.dut.monitor import Monitor
+from repro.events import (
+    FLAG_SKIP,
+    InstrCommit,
+    LoadEvent,
+    all_event_classes,
+    generic_capture_units,
+)
+from repro.isa import assemble
+from repro.isa.const import DRAM_BASE
+from repro.isa.state import ArchState
+from repro.obs import ObsContext
+from repro.parallel import epoch_for, sliced_run
+from repro.toolkit import render_report
+from repro.workloads import build
+
+SEED = 0xFA57_CA97
+
+WORKLOAD = """
+_start:
+    li sp, 0x80100000
+    li t0, 200
+    li t1, 0
+loop:
+    add t1, t1, t0
+    sd t1, -8(sp)
+    ld t2, -8(sp)
+    add t1, t1, t2
+    addi t0, t0, -1
+    bnez t0, loop
+    li a0, 0
+    ebreak
+"""
+
+PACKERS = ("dpic", "batch", "fixed")
+LADDER = (CONFIG_Z, CONFIG_B, CONFIG_BN, CONFIG_BNSD, CONFIG_FIXED)
+
+
+def _element_limit(code):
+    return (1 << (8 * struct.calcsize("<" + code))) - 1
+
+
+def _random_kwargs(cls, rng):
+    kwargs = {}
+    for spec in cls.FIELDS:
+        limit = _element_limit(spec.code)
+        if spec.count == 1:
+            kwargs[spec.name] = rng.randint(0, limit)
+        else:
+            kwargs[spec.name] = tuple(
+                rng.randint(0, limit) for _ in range(spec.count))
+    return kwargs
+
+
+# ----------------------------------------------------------------------
+# Compiled capture_units vs object flattening
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("cls", all_event_classes(),
+                         ids=lambda c: c.__name__)
+def test_capture_units_matches_flatten(cls):
+    rng = random.Random(SEED ^ cls.DESCRIPTOR.event_id)
+    for _ in range(5):
+        kwargs = _random_kwargs(cls, rng)
+        units = cls._CAPTURE_UNITS(**kwargs)
+        event = cls(core_id=1, order_tag=7, **kwargs)
+        assert list(units) == list(event._flatten())
+        assert units == generic_capture_units(cls, **kwargs)
+        # The units round-trip through the struct like the object encoding.
+        assert cls._STRUCT.pack(*units) == event.encode_payload()
+
+
+def test_capture_units_rejects_unknown_and_short_fields():
+    with pytest.raises(TypeError):
+        InstrCommit._CAPTURE_UNITS(pc=4, bogus=1)
+    array_cls = next(cls for cls in all_event_classes()
+                     if any(spec.count > 1 for spec in cls.FIELDS))
+    spec = next(spec for spec in array_cls.FIELDS if spec.count > 1)
+    with pytest.raises(ValueError):
+        array_cls._CAPTURE_UNITS(**{spec.name: (1, 2)})
+
+
+def test_capture_units_defaults_match_default_event():
+    for cls in all_event_classes():
+        event = cls(core_id=0, order_tag=0)
+        assert list(cls._CAPTURE_UNITS()) == list(event._flatten())
+
+
+# ----------------------------------------------------------------------
+# Synthetic streams: engine vs legacy fuser+packer, per class
+# ----------------------------------------------------------------------
+
+class _MonitorShim:
+    """The two attributes ``emitter_table`` reads off a monitor."""
+
+    def __init__(self, config, core_id):
+        self.config = config
+        self.core_id = core_id
+
+
+def _make_packer(name, cores=2):
+    if name == "batch":
+        return BatchPacker(4096)
+    if name == "fixed":
+        return FixedPacker(FixedLayout(all_event_classes(), cores))
+    return DpicPacker()
+
+
+def _legacy_wire(stream, packer_name, squash, differencing, cores=2,
+                 flush_each_cycle=False):
+    """Drive (cls, core, tag, kwargs) bundles through the object path."""
+    packer = _make_packer(packer_name, cores)
+    fuser = SquashFuser(differencing=differencing) if squash else None
+    wire = []
+
+    def send(items):
+        if items:
+            wire.extend(bytes(t.data) for t in packer.pack_cycle(items))
+
+    for bundles in stream:
+        for bundle in bundles:
+            events = [cls(core_id=core, order_tag=tag, **kwargs)
+                      for cls, core, tag, kwargs in bundle]
+            if not events:
+                continue
+            if fuser is not None:
+                send(fuser.on_cycle(events))
+            else:
+                send([WireItem.from_event(event) for event in events])
+        if flush_each_cycle and fuser is not None:
+            send(fuser.flush())
+    if fuser is not None:
+        send(fuser.flush())
+    wire.extend(bytes(t.data) for t in packer.flush())
+    return wire, fuser
+
+
+def _fast_wire(stream, packer_name, squash, differencing, cores=2,
+               flush_each_cycle=False):
+    """Drive the same bundles through the straight-to-wire engine."""
+    packer = _make_packer(packer_name, cores)
+    fuser = SquashFuser(differencing=differencing) if squash else None
+    engine = FastCaptureEngine(fuser, packer)
+    tables = [engine.emitter_table(_MonitorShim(XIANGSHAN_DUAL, core))
+              for core in range(cores)]
+    wire = []
+    for bundles in stream:
+        for bundle in bundles:
+            engine.begin_bundle()
+            for cls, core, tag, kwargs in bundle:
+                tables[core][cls](tag, **kwargs)
+            wire.extend(bytes(t.data) for t in engine.end_bundle())
+        if flush_each_cycle and fuser is not None:
+            wire.extend(bytes(t.data) for t in engine.flush())
+    wire.extend(bytes(t.data) for t in engine.flush())
+    wire.extend(bytes(t.data) for t in packer.flush())
+    return wire, fuser
+
+
+def _single_class_stream(cls, instances=12, cores=2, mutate=True):
+    """Successive near-identical instances: a diff-eligible class takes
+    the ENC_DIFF path from the second instance on."""
+    rng = random.Random(SEED ^ (cls.DESCRIPTOR.event_id << 8))
+    base = _random_kwargs(cls, rng)
+    scalar = next((s for s in cls.FIELDS if s.count == 1), None)
+    stream = []
+    for tag in range(instances):
+        kwargs = dict(base)
+        if mutate and scalar is not None:
+            kwargs[scalar.name] = rng.randint(0, _element_limit(scalar.code))
+        stream.append([[(cls, tag % cores, tag, kwargs)]])
+    return stream
+
+
+def _fusion_counters(fuser):
+    if fuser is None:
+        return None
+    stats = fuser.stats
+    counters = (stats.events_in, stats.events_out, stats.commits_in,
+                stats.fused_commits_out, stats.nde_sent_ahead,
+                stats.fusion_breaks)
+    diff = fuser.differencer
+    if diff is not None:
+        counters += (diff.full_sent, diff.diff_sent, diff.bytes_saved,
+                     {k: list(v) for k, v in diff._last.items()})
+    return counters
+
+
+@pytest.mark.parametrize("cls", all_event_classes(),
+                         ids=lambda c: c.__name__)
+def test_single_class_stream_identity_all_packers(cls):
+    """Every event class, through every packer, with differencing on and
+    off (per-cycle flushes chain ENC_DIFF for the large classes)."""
+    stream = _single_class_stream(cls)
+    for packer_name in PACKERS:
+        for differencing in (False, True):
+            legacy, lf = _legacy_wire(stream, packer_name, True,
+                                      differencing, flush_each_cycle=True)
+            fast, ff = _fast_wire(stream, packer_name, True, differencing,
+                                  flush_each_cycle=True)
+            assert legacy == fast, (packer_name, differencing)
+            assert _fusion_counters(lf) == _fusion_counters(ff)
+
+
+def test_diff_eligible_classes_actually_take_diff_path():
+    """The matrix above must exercise ENC_DIFF, not vacuously pass."""
+    diffed = 0
+    for cls in all_event_classes():
+        if cls._STRUCT.size < DIFF_MIN_PAYLOAD:
+            continue
+        stream = _single_class_stream(cls)
+        _, fuser = _fast_wire(stream, "batch", True, True,
+                              flush_each_cycle=True)
+        assert fuser.differencer.diff_sent > 0, cls.__name__
+        diffed += 1
+    assert diffed >= 5
+
+
+@pytest.mark.parametrize("packer_name", PACKERS)
+@pytest.mark.parametrize("squash", [False, True], ids=["nofuse", "squash"])
+def test_mixed_stream_identity(packer_name, squash):
+    """Seeded random multi-class, multi-core bundles (NDE commits, MMIO
+    loads, window-filling commit runs all arise from the random fields)."""
+    rng = random.Random(SEED)
+    classes = all_event_classes()
+    stream = []
+    tag = 0
+    for _ in range(60):
+        bundles = []
+        for core in range(2):
+            bundle = []
+            for _ in range(rng.randint(0, 4)):
+                cls = rng.choice(classes)
+                bundle.append((cls, core, tag, _random_kwargs(cls, rng)))
+                tag += 1
+            bundles.append(bundle)
+        stream.append(bundles)
+    legacy, lf = _legacy_wire(stream, packer_name, squash, squash)
+    fast, ff = _fast_wire(stream, packer_name, squash, squash)
+    assert legacy == fast
+    assert _fusion_counters(lf) == _fusion_counters(ff)
+
+
+def test_commit_window_fill_flushes_identically():
+    """More commits than the fusion window: the fused-commit flush (and
+    its fused_count patch) must land at the same bundle boundary."""
+    stream = []
+    for tag in range(100):
+        stream.append([[(InstrCommit, 0, tag,
+                         dict(pc=0x80000000 + 4 * tag, instr=0x13,
+                              wdata=tag, rd=5, flags=0, fused_count=1))]])
+    for packer_name in PACKERS:
+        legacy, lf = _legacy_wire(stream, packer_name, True, True)
+        fast, ff = _fast_wire(stream, packer_name, True, True)
+        assert legacy == fast, packer_name
+        assert _fusion_counters(lf) == _fusion_counters(ff)
+        assert lf.stats.fused_commits_out >= 3
+
+
+def test_nde_routing_matches_is_nde_predicates():
+    """The engine's inlined NDE checks must agree with ``is_nde()`` —
+    this pins the flat-index/flag assumptions the emitters bake in."""
+    rng = random.Random(SEED)
+    for cls in all_event_classes():
+        for _ in range(8):
+            kwargs = _random_kwargs(cls, rng)
+            event = cls(core_id=0, order_tag=0, **kwargs)
+            units = cls._CAPTURE_UNITS(**kwargs)
+            if cls is InstrCommit:
+                inline = bool(units[4] & FLAG_SKIP)
+            elif cls is LoadEvent:
+                mmio_index = sum(
+                    spec.count for spec in
+                    cls.FIELDS[:[s.name for s in cls.FIELDS].index("mmio")])
+                inline = bool(units[mmio_index])
+            else:
+                inline = cls.DESCRIPTOR.is_nde
+            assert inline == event.is_nde(), cls.__name__
+
+
+# ----------------------------------------------------------------------
+# Packer append-raw entry vs pack_cycle
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("packer_name", PACKERS)
+def test_append_api_matches_pack_cycle(packer_name):
+    rng = random.Random(SEED ^ 77)
+    classes = all_event_classes()
+    cycles = []
+    for _ in range(30):
+        items = []
+        for tag in range(rng.randint(0, 6)):
+            cls = rng.choice(classes)
+            event = cls(core_id=rng.randrange(2), order_tag=tag,
+                        **_random_kwargs(cls, rng))
+            items.append((cls, WireItem.from_event(event)))
+        cycles.append(items)
+    buffered = _make_packer(packer_name)
+    direct = _make_packer(packer_name)
+    wire_a, wire_b = [], []
+    for items in cycles:
+        wire_a.extend(bytes(t.data)
+                      for t in buffered.pack_cycle([i for _, i in items]))
+        direct.begin_append()
+        for cls, item in items:
+            if item.order_tag % 2:
+                direct.append_raw(item.type_id, item.core_id,
+                                  item.order_tag, item.payload,
+                                  item.encoding)
+            else:
+                direct.append_units(cls, item.core_id, item.order_tag,
+                                    cls._STRUCT.unpack(item.payload))
+        wire_b.extend(bytes(t.data) for t in direct.end_append())
+    wire_a.extend(bytes(t.data) for t in buffered.flush())
+    wire_b.extend(bytes(t.data) for t in direct.flush())
+    assert wire_a == wire_b
+    assert buffered.stats.payload_bytes == direct.stats.payload_bytes
+    assert buffered.stats.meta_bytes == direct.stats.meta_bytes
+
+
+# ----------------------------------------------------------------------
+# End-to-end co-simulation identity (wire tap)
+# ----------------------------------------------------------------------
+
+def _run_tapped(config, dut=XIANGSHAN_DEFAULT, source=WORKLOAD, image=None,
+                fault=None, trigger=300, obs=None, max_cycles=60_000):
+    cosim = CoSimulation(dut, config,
+                         image if image is not None else assemble(source),
+                         obs=obs)
+    if fault is not None:
+        fault_by_name(fault).install(cosim.dut.cores[0], trigger)
+    wire = []
+    send_all = cosim.channel.send_all
+
+    def tap(transfers):
+        wire.extend(bytes(t.data) for t in transfers)
+        return send_all(transfers)
+
+    cosim.channel.send_all = tap
+    result = cosim.run(max_cycles=max_cycles)
+    return result, wire, cosim
+
+
+def _assert_identical(fast, legacy):
+    assert render_report(fast.stats) == render_report(legacy.stats)
+    assert fast.summarize() == legacy.summarize()
+    assert fast.exit_code == legacy.exit_code
+    assert fast.uart_output == legacy.uart_output
+    assert fast.stats.capture_fallbacks == legacy.stats.capture_fallbacks
+
+
+@pytest.mark.parametrize("config", LADDER, ids=lambda c: c.name)
+def test_run_wire_identity_all_ladder_configs(config):
+    cfg = config.with_(replay=False)
+    fast, fast_wire, cosim = _run_tapped(cfg)
+    legacy, legacy_wire, _ = _run_tapped(cfg.with_(fast_capture=False))
+    assert fast.passed and legacy.passed
+    assert fast_wire == legacy_wire
+    _assert_identical(fast, legacy)
+    assert cosim._capture is not None  # the fast tier actually engaged
+    assert fast.stats.capture_fallbacks == ()
+
+
+def test_run_wire_identity_multicore():
+    cfg = CONFIG_BNSD.with_(replay=False)
+    fast, fast_wire, _ = _run_tapped(cfg, dut=XIANGSHAN_DUAL)
+    legacy, legacy_wire, _ = _run_tapped(cfg.with_(fast_capture=False),
+                                         dut=XIANGSHAN_DUAL)
+    assert fast_wire == legacy_wire
+    _assert_identical(fast, legacy)
+
+
+def test_run_wire_identity_restricted_event_set():
+    """NutShell's 6-event coverage: disabled classes must be absent from
+    the emitter table, not merely dropped late."""
+    cfg = CONFIG_BNSD.with_(replay=False)
+    workload = build("memory_churn", array_kb=8, passes=1)
+    fast, fast_wire, cosim = _run_tapped(cfg, dut=NUTSHELL,
+                                         image=workload.image,
+                                         max_cycles=4500)
+    legacy, legacy_wire, _ = _run_tapped(cfg.with_(fast_capture=False),
+                                         dut=NUTSHELL,
+                                         image=workload.image,
+                                         max_cycles=4500)
+    assert fast_wire == legacy_wire
+    _assert_identical(fast, legacy)
+    table = cosim.dut.cores[0].monitor._fast_emitters
+    assert {cls.__name__ for cls in table} == set(NUTSHELL.event_set)
+
+
+def test_run_identity_with_stalls_and_interrupts():
+    workload = build("memory_churn", array_kb=8, passes=1)
+    cfg = CONFIG_BNSD.with_(replay=False)
+    fast, fast_wire, _ = _run_tapped(cfg, image=workload.image,
+                                     max_cycles=6000)
+    legacy, legacy_wire, _ = _run_tapped(cfg.with_(fast_capture=False),
+                                         image=workload.image,
+                                         max_cycles=6000)
+    assert fast_wire == legacy_wire
+    _assert_identical(fast, legacy)
+
+
+def test_mismatch_detected_identically_without_replay():
+    """A mismatching run (no replay => still fast-eligible) must produce
+    the same mismatch from the fast wire stream."""
+    cfg = CONFIG_BNSD.with_(replay=False)
+    fast, _, cosim = _run_tapped(cfg, fault="sbuffer_lost_bytes")
+    legacy, _, _ = _run_tapped(cfg.with_(fast_capture=False),
+                               fault="sbuffer_lost_bytes")
+    # The armed fault forces the object path: identical by construction,
+    # which is exactly the guarantee the fallback exists to give.
+    assert cosim._capture is None
+    assert fast.stats.capture_fallbacks == ("faults",)
+    assert fast.mismatch is not None and legacy.mismatch is not None
+    assert fast.summarize().mismatch == legacy.summarize().mismatch
+    _assert_identical(fast, legacy)
+
+
+# ----------------------------------------------------------------------
+# Fallback triggers
+# ----------------------------------------------------------------------
+
+def test_fallback_replay():
+    cfg = CONFIG_BNSD  # replay=True by default
+    fast, fast_wire, cosim = _run_tapped(cfg)
+    legacy, legacy_wire, _ = _run_tapped(cfg.with_(fast_capture=False))
+    assert cosim._capture is None
+    assert fast.stats.capture_fallbacks == ("replay",)
+    assert fast_wire == legacy_wire
+    _assert_identical(fast, legacy)
+
+
+def test_fallback_obs_and_snapshot_knob_independence():
+    cfg = CONFIG_BNSD.with_(replay=False)
+    fast, _, cosim = _run_tapped(cfg, obs=ObsContext())
+    legacy, _, _ = _run_tapped(cfg.with_(fast_capture=False),
+                               obs=ObsContext())
+    assert cosim._capture is None
+    assert fast.stats.capture_fallbacks == ("obs",)
+    assert fast.metrics.value("capture.fallback.obs") == 1
+    # Knob-independent: identical snapshots with the knob on or off.
+    assert fast.metrics.records() == legacy.metrics.records()
+
+
+def test_fallback_order_coupled():
+    cfg = CONFIG_COUPLED.with_(replay=False)
+    fast, fast_wire, cosim = _run_tapped(cfg)
+    legacy, legacy_wire, _ = _run_tapped(cfg.with_(fast_capture=False))
+    assert cosim._capture is None
+    assert fast.stats.capture_fallbacks == ("order_coupled",)
+    assert fast_wire == legacy_wire
+    _assert_identical(fast, legacy)
+
+
+def test_fallback_reasons_canonical_order_and_hooks():
+    cfg = CONFIG_COUPLED  # squash + order_coupled + replay default
+    cosim = CoSimulation(XIANGSHAN_DEFAULT, cfg, assemble(WORKLOAD))
+    fault_by_name("control_flow_wdata").install(cosim.dut.cores[0], 100)
+    reasons = fallback_reasons(cfg, True, cosim.dut.cores)
+    assert reasons == ["obs", "replay", "faults", "order_coupled"]
+    clean = CoSimulation(XIANGSHAN_DEFAULT, CONFIG_BNSD.with_(replay=False),
+                         assemble(WORKLOAD))
+    assert fallback_reasons(clean.diff_config, False, clean.dut.cores) == []
+
+
+def test_fallbacks_recorded_even_with_knob_off():
+    cfg = CONFIG_BNSD.with_(fast_capture=False)  # replay on, knob off
+    result, _, _ = _run_tapped(cfg)
+    assert result.stats.capture_fallbacks == ("replay",)
+
+
+# ----------------------------------------------------------------------
+# fast x JIT x slicing
+# ----------------------------------------------------------------------
+
+def test_run_identity_with_jit():
+    workload = build("memory_churn", array_kb=8, passes=1)
+    cfg = CONFIG_BNSD.with_(replay=False, jit=True, jit_warmup=2)
+    fast, fast_wire, cosim = _run_tapped(cfg, image=workload.image,
+                                         max_cycles=4500)
+    legacy, legacy_wire, _ = _run_tapped(cfg.with_(fast_capture=False),
+                                         image=workload.image,
+                                         max_cycles=4500)
+    assert cosim._capture is not None
+    assert cosim.dut.cores[0].jit.stats.hits > 0  # both tiers engaged
+    assert fast_wire == legacy_wire
+    _assert_identical(fast, legacy)
+
+
+def test_sliced_run_identity_with_fast_capture():
+    workload = build("memory_churn", array_kb=8, passes=1)
+    max_cycles = 4500
+    cfg = CONFIG_BNSD.with_(replay=False, jit=True, jit_warmup=4)
+    serial = CoSimulation(
+        NUTSHELL, cfg.with_(slice_epoch_cycles=epoch_for(max_cycles, 3)),
+        workload.image, seed=2025,
+        uart_input=workload.uart_input).run(max_cycles)
+    sliced = sliced_run(NUTSHELL, cfg, workload.image,
+                        max_cycles=max_cycles, slices=3, seed=2025,
+                        uart_input=workload.uart_input)
+    assert sliced.passed
+    assert render_report(serial.stats) == render_report(sliced.stats)
+    assert serial.summarize() == sliced.summary
+    assert serial.stats.capture_fallbacks == ()
+
+
+def test_sliced_fast_matches_sliced_legacy():
+    workload = build("memory_churn", array_kb=8, passes=1)
+    cfg = CONFIG_BNSD.with_(replay=False)
+    fast = sliced_run(NUTSHELL, cfg, workload.image, max_cycles=4500,
+                      slices=3, seed=2025, uart_input=workload.uart_input)
+    legacy = sliced_run(NUTSHELL, cfg.with_(fast_capture=False),
+                        workload.image, max_cycles=4500, slices=3,
+                        seed=2025, uart_input=workload.uart_input)
+    assert fast.passed and legacy.passed
+    assert render_report(fast.stats) == render_report(legacy.stats)
+    assert fast.summary == legacy.summary
+
+
+# ----------------------------------------------------------------------
+# Monitor enable-memo staleness (regression) and engine rebinding
+# ----------------------------------------------------------------------
+
+def _monitor(config):
+    return Monitor(config, core_id=0, state=ArchState(0, DRAM_BASE))
+
+
+def test_enable_memo_invalidated_on_config_change():
+    """Reassigning ``monitor.config`` between runs must drop the
+    per-class enable memo (it caches the *previous* config's answers)."""
+    monitor = _monitor(XIANGSHAN_DEFAULT)
+    out = []
+    monitor._emit(out, LoadEvent, tag=0, paddr=8, data=1, op_type=3,
+                  fu_type=0, mmio=0)
+    assert len(out) == 1  # memoised as enabled
+    restricted = DutConfig(name="only-commit", commit_width=1,
+                           gates_millions=1.0, event_set=("InstrCommit",))
+    monitor.config = restricted
+    out2 = []
+    monitor._emit(out2, LoadEvent, tag=1, paddr=8, data=1, op_type=3,
+                  fu_type=0, mmio=0)
+    assert out2 == []  # stale memo would have emitted
+    monitor._emit(out2, InstrCommit, tag=2, pc=4, instr=0x13, wdata=0,
+                  rd=0, flags=0, fused_count=1)
+    assert len(out2) == 1
+
+
+def test_enable_memo_reenable_direction():
+    restricted = DutConfig(name="only-commit", commit_width=1,
+                           gates_millions=1.0, event_set=("InstrCommit",))
+    monitor = _monitor(restricted)
+    out = []
+    monitor._emit(out, LoadEvent, tag=0, paddr=8, data=1, op_type=3,
+                  fu_type=0, mmio=0)
+    assert out == []  # memoised as disabled
+    monitor.config = XIANGSHAN_DEFAULT
+    monitor._emit(out, LoadEvent, tag=1, paddr=8, data=1, op_type=3,
+                  fu_type=0, mmio=0)
+    assert len(out) == 1
+
+
+def test_config_change_rebinds_fast_emitter_table():
+    engine = FastCaptureEngine(None, DpicPacker())
+    monitor = _monitor(XIANGSHAN_DEFAULT)
+    monitor.attach_fast_capture(engine)
+    assert LoadEvent in monitor._fast_emitters
+    restricted = DutConfig(name="only-commit", commit_width=1,
+                           gates_millions=1.0, event_set=("InstrCommit",))
+    monitor.config = restricted
+    assert LoadEvent not in monitor._fast_emitters
+    assert InstrCommit in monitor._fast_emitters
+    before = monitor.fast_events
+    monitor._emit([], LoadEvent, tag=0, paddr=8, data=1, op_type=3,
+                  fu_type=0, mmio=0)
+    assert monitor.fast_events == before  # disabled: dropped, not counted
+    monitor.detach_fast_capture()
+    out = []
+    monitor._emit(out, InstrCommit, tag=1, pc=4, instr=0x13, wdata=0,
+                  rd=0, flags=0, fused_count=1)
+    assert len(out) == 1  # detached: the object path is back
