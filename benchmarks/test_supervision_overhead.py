@@ -1,0 +1,113 @@
+"""Fault-free overhead of the supervised worker pool.
+
+The supervisor (pool rebuild, re-queue, bounded in-flight window,
+poison quarantine) only earns its keep if the fault-free path — which is
+every healthy campaign — pays essentially nothing for it.  This bench
+compares the supervised executor against a minimal submit-all baseline
+(the pre-supervision ``_run_pool`` shape: one ProcessPoolExecutor, every
+job submitted up front, results folded in submission order) over the
+same tiny jobs, so the measured difference is pure supervisor
+bookkeeping, not simulation time.
+
+Records ``supervision_speedup`` (baseline time / supervised time, ~1.0)
+into ``BENCH_supervision.json`` — benchguard then gates any future
+change that slows the supervised path by more than its 10%% regression
+budget — plus ``benchmarks/results/supervision_overhead.txt``.  The
+in-test floor asserts the ISSUE acceptance target (<=3%% overhead, with
+a noise margin for shared CI machines).
+"""
+
+import json
+import pathlib
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+from conftest import write_result
+
+from repro.core.summary import RunSummary
+from repro.parallel import CampaignExecutor, JobSpec, register_runner
+from repro.parallel.executor import execute_job
+
+pytestmark = [pytest.mark.bench, pytest.mark.campaign]
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_JSON = ROOT / "BENCH_supervision.json"
+
+WORKERS = 4
+JOBS = 64
+ROUNDS = 5
+
+
+@register_runner("bench-noop")
+def _run_noop(params):
+    # A touch of real work so a job is not pure pickling overhead.
+    total = 0
+    for i in range(20_000):
+        total += i * i
+    return RunSummary(passed=True, exit_code=0, cycles=total % 97,
+                      instructions=params["index"])
+
+
+def _specs():
+    return [JobSpec(kind="bench-noop", label=f"job {i}",
+                    params={"index": i}) for i in range(JOBS)]
+
+
+def _legacy_submit_all(specs):
+    """The pre-supervision pool shape: submit everything, fold in
+    submission order, no failure handling at all."""
+    jobs = []
+    with ProcessPoolExecutor(max_workers=WORKERS) as pool:
+        futures = [pool.submit(execute_job, spec, index, None, 0)
+                   for index, spec in enumerate(specs)]
+        for future in futures:
+            jobs.append(future.result())
+    return jobs
+
+
+def test_supervision_overhead():
+    legacy_times, supervised_times = [], []
+    for _ in range(ROUNDS):
+        specs = _specs()
+        start = time.perf_counter()
+        legacy_jobs = _legacy_submit_all(specs)
+        legacy_times.append(time.perf_counter() - start)
+
+        executor = CampaignExecutor(workers=WORKERS)
+        start = time.perf_counter()
+        campaign = executor.run(_specs())
+        supervised_times.append(time.perf_counter() - start)
+
+        # both paths produce the same folded results
+        assert [job.summary for job in campaign.jobs] \
+            == [job.summary for job in legacy_jobs]
+        assert campaign.stats.pool_restarts == 0
+        assert campaign.stats.backoff_s == 0.0
+
+    best_legacy = min(legacy_times)
+    best_supervised = min(supervised_times)
+    speedup = best_legacy / best_supervised
+    results = {
+        "legacy_best_s": best_legacy,
+        "supervised_best_s": best_supervised,
+        "supervision_speedup": speedup,
+    }
+    BENCH_JSON.write_text(json.dumps(results, indent=2, sort_keys=True)
+                          + "\n")
+    text = "\n".join([
+        "Supervised-pool fault-free overhead",
+        f"  jobs           : {JOBS} x bench-noop on {WORKERS} workers "
+        f"(best of {ROUNDS} rounds)",
+        f"  submit-all     : {best_legacy * 1e3:8.1f} ms",
+        f"  supervised     : {best_supervised * 1e3:8.1f} ms",
+        f"  ratio          : {speedup:8.3f}x "
+        f"(1.0 = free; target >= 0.97)",
+    ])
+    write_result("supervision_overhead", text)
+
+    # The acceptance target is <=3% overhead; allow measurement noise
+    # on shared machines, but fail loudly on anything structural.
+    assert speedup >= 0.90, (
+        f"supervised pool is {(1 / speedup - 1) * 100:.1f}% slower "
+        f"than plain submit-all on the fault-free path")

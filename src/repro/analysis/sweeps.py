@@ -57,7 +57,8 @@ def measured_point_specs(cells):
 
 def collect_measured_points(cells, workers: Optional[int] = None,
                             job_timeout: Optional[float] = None,
-                            collect_metrics: bool = False, obs=None):
+                            collect_metrics: bool = False, obs=None,
+                            supervision=None):
     """Co-simulate every (workload, dut, config) cell; return its counters.
 
     ``cells`` is a sequence of ``(workload_name, dut_config, diff_config)``
@@ -73,7 +74,7 @@ def collect_measured_points(cells, workers: Optional[int] = None,
     specs = measured_point_specs(cells)
     executor = CampaignExecutor(workers=workers, job_timeout=job_timeout,
                                 retries=0, collect_metrics=collect_metrics,
-                                obs=obs)
+                                obs=obs, supervision=supervision)
     campaign = executor.run(specs)
     points: List[MeasuredPoint] = []
     for (workload, _dut, config), job in zip(cells, campaign.jobs):

@@ -62,6 +62,22 @@ def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
              "default: all cores)")
 
 
+def _add_supervision_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--poison-threshold", type=int, default=None, metavar="N",
+        help="quarantine a job after it breaks the worker pool N times "
+             "(default: 3)")
+
+
+def _supervision_from(args):
+    """The SupervisionPolicy requested on ``args``, or None for the
+    executor default."""
+    if getattr(args, "poison_threshold", None) is None:
+        return None
+    from .parallel import SupervisionPolicy
+    return SupervisionPolicy(poison_threshold=args.poison_threshold)
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace-out", default=None, metavar="FILE",
@@ -146,6 +162,7 @@ def _build_parser() -> argparse.ArgumentParser:
     ladder.add_argument("--dut", default="xiangshan", choices=sorted(_DUTS))
     ladder.add_argument("--workload", default="linux_boot_like")
     _add_workers_flag(ladder)
+    _add_supervision_flags(ladder)
 
     inject = sub.add_parser("inject", help="seed a bug and debug it")
     inject.add_argument("--fault", required=True,
@@ -183,6 +200,7 @@ def _build_parser() -> argparse.ArgumentParser:
     linkfault.add_argument("--link-seed", type=int, default=2025)
     linkfault.add_argument("--max-cycles", type=int, default=None)
     _add_workers_flag(linkfault)
+    _add_supervision_flags(linkfault)
     _add_obs_flags(linkfault)
 
     fuzz = sub.add_parser("fuzz", help="differential fuzzing")
@@ -192,6 +210,7 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--fail-fast", action="store_true",
                       help="stop the campaign at the first failing seed")
     _add_workers_flag(fuzz)
+    _add_supervision_flags(fuzz)
     _add_obs_flags(fuzz)
 
     sweep = sub.add_parser(
@@ -204,6 +223,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--platform", default="palladium",
                        choices=sorted(_PLATFORMS))
     _add_workers_flag(sweep)
+    _add_supervision_flags(sweep)
     sweep.add_argument("--parameter", default="bw_bytes_per_us",
                        help="platform constant to sweep")
     sweep.add_argument("--values", default="",
@@ -232,7 +252,17 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="per-client submissions/s refill rate")
     serve.add_argument("--burst", type=float, default=20.0,
                        help="per-client submission burst capacity")
+    serve.add_argument("--lease-s", type=float, default=30.0,
+                       help="running-campaign heartbeat lease; a lease "
+                            "that expires is re-queued by the reaper")
+    serve.add_argument("--requeue-budget", type=int, default=3,
+                       help="crash/lease-expiry re-queues before a "
+                            "campaign is dead-lettered")
+    serve.add_argument("--max-queue", type=int, default=1024,
+                       help="reject new submissions once this many "
+                            "campaigns are queued (overload protection)")
     _add_workers_flag(serve)
+    _add_supervision_flags(serve)
 
     submit = sub.add_parser(
         "submit", help="submit a campaign to a running service")
@@ -266,6 +296,14 @@ def _build_parser() -> argparse.ArgumentParser:
     cancel.add_argument("campaign", type=int)
     cancel.add_argument("--host", default="127.0.0.1")
     cancel.add_argument("--port", type=int, default=7337)
+
+    health = sub.add_parser(
+        "health", help="show a running service's queue depth, lease "
+                       "lag and supervision counters")
+    health.add_argument("--host", default="127.0.0.1")
+    health.add_argument("--port", type=int, default=7337)
+    health.add_argument("--json", action="store_true",
+                        help="emit the raw health document")
     return parser
 
 
@@ -402,7 +440,8 @@ def _cmd_ladder(args) -> int:
     names = ("Z", "B", "BIN", "EBINSD")
     configs = [_CONFIGS[name] for name in names]
     campaign = ladder_campaign(args.workload, dut, configs,
-                               workers=args.workers)
+                               workers=args.workers,
+                               supervision=_supervision_from(args))
     text, ok = render_ladder(campaign, dut, configs)
     print(text)
     return 0 if ok else 1
@@ -466,7 +505,8 @@ def _cmd_linkfault(args) -> int:
     campaign = linkfault_campaign(cases, dut, config, workers=args.workers,
                                   on_result=report,
                                   collect_metrics=bool(args.metrics_out),
-                                  obs=obs)
+                                  obs=obs,
+                                  supervision=_supervision_from(args))
     spurious = [job for job in campaign.jobs
                 if job.ok and job.summary.mismatch is not None]
     broken = [job for job in campaign.jobs if not job.ok]
@@ -491,7 +531,8 @@ def _cmd_fuzz(args) -> int:
                              diff_config=CONFIG_BNSD, workers=args.workers,
                              fail_fast=args.fail_fast, on_result=report,
                              collect_metrics=bool(args.metrics_out),
-                             obs=obs)
+                             obs=obs,
+                             supervision=_supervision_from(args))
     for line in fuzz_footer_lines(campaign, args.seeds):
         print(line)
     _export_obs(obs, campaign.aggregate_metrics(), args)
@@ -516,7 +557,8 @@ def _cmd_sweep(args) -> int:
     try:
         points = collect_measured_points(
             cells, workers=args.workers,
-            collect_metrics=bool(args.metrics_out), obs=obs)
+            collect_metrics=bool(args.metrics_out), obs=obs,
+            supervision=_supervision_from(args))
     except RuntimeError as exc:
         print(f"run failed: {exc}")
         return 1
@@ -609,7 +651,11 @@ def _cmd_serve(args) -> int:
     async def run() -> int:
         with ServiceStore(args.store) as store:
             service = CampaignService(store, workers=args.workers,
-                                      rate=args.rate, burst=args.burst)
+                                      rate=args.rate, burst=args.burst,
+                                      lease_s=args.lease_s,
+                                      requeue_budget=args.requeue_budget,
+                                      max_queue=args.max_queue,
+                                      supervision=_supervision_from(args))
             server = ServiceServer(service, host=args.host,
                                    port=args.port)
             orphans = await server.start()
@@ -714,6 +760,34 @@ def _cmd_cancel(args) -> int:
     return _with_client(args, action)
 
 
+def _cmd_health(args) -> int:
+    async def action(client) -> int:
+        reply = await client.health()
+        if args.json:
+            reply.pop("ok", None)
+            print(json.dumps(reply, indent=2, sort_keys=True))
+            return 0
+        states = reply.get("states") or {}
+        tally = ", ".join(f"{state}={count}"
+                          for state, count in sorted(states.items()))
+        print(f"queue depth: {reply['queue_depth']}"
+              + (f"  ({tally})" if tally else ""))
+        lag = reply.get("lease_lag_s")
+        if lag is not None:
+            print(f"lease lag: {lag:.1f}s")
+        dead = reply.get("dead_letters") or 0
+        if dead:
+            print(f"dead-lettered campaigns: {dead}")
+        supervision = reply.get("supervision") or {}
+        if any(supervision.values()):
+            print("supervision: " + ", ".join(
+                f"{key}={value}"
+                for key, value in sorted(supervision.items())))
+        return 0
+
+    return _with_client(args, action)
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "profile": _cmd_profile,
@@ -730,6 +804,7 @@ _COMMANDS = {
     "status": _cmd_status,
     "results": _cmd_results,
     "cancel": _cmd_cancel,
+    "health": _cmd_health,
 }
 
 

@@ -146,6 +146,29 @@ def record_slicing(registry: MetricRegistry, slices: int,
     registry.counter("slicing.slice_cycles").inc(slice_cycles)
 
 
+def record_supervision(registry: MetricRegistry, stats) -> None:
+    """Fold a campaign's supervisor telemetry into the parent registry.
+
+    One canonical mapping for the ``supervision.*`` namespace (duck-typed
+    on ``CampaignStats`` so ``obs`` never imports ``repro.parallel``).
+    Zero values are not recorded: a fault-free campaign produces a
+    snapshot byte-identical to the pre-supervision format.
+    """
+    telemetry = (
+        ("supervision.pool_restarts", getattr(stats, "pool_restarts", 0)),
+        ("supervision.requeues", getattr(stats, "requeues", 0)),
+        ("supervision.poison_quarantined",
+         getattr(stats, "poison_quarantined", 0)),
+        ("supervision.jobs_crashed", getattr(stats, "jobs_crashed", 0)),
+    )
+    for name, value in telemetry:
+        if value:
+            registry.counter(name).inc(value)
+    backoff = getattr(stats, "backoff_s", 0.0)
+    if backoff:
+        registry.set_gauge("supervision.backoff_s", backoff)
+
+
 def snapshot_from_stats(stats) -> MetricsSnapshot:
     """A standalone snapshot of one run's stats (no live registry needed)."""
     registry = MetricRegistry()
@@ -202,6 +225,7 @@ __all__ = [
     "progress_view",
     "record_run_stats",
     "record_slicing",
+    "record_supervision",
     "render_metrics",
     "render_profile",
     "resolve_obs",

@@ -22,6 +22,7 @@ from .executor import (
     CampaignResult,
     CampaignStats,
     JobTimeout,
+    SupervisionPolicy,
     execute_job,
 )
 from .jobs import JobResult, JobSpec, register_runner, runner_for
@@ -47,6 +48,7 @@ __all__ = [
     "JobTimeout",
     "SliceExecutionError",
     "SlicedRunResult",
+    "SupervisionPolicy",
     "balanced_cuts",
     "epoch_for",
     "execute_job",

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
-from .executor import CampaignExecutor, CampaignResult
+from .executor import CampaignExecutor, CampaignResult, SupervisionPolicy
 from .jobs import JobResult, JobSpec
 
 
@@ -48,7 +48,8 @@ def fault_campaign(cases: Sequence[FaultCase], dut_config, diff_config,
                    workers: Optional[int] = None,
                    job_timeout: Optional[float] = None, retries: int = 1,
                    on_result: Optional[Callable[[JobResult], None]] = None,
-                   collect_metrics: bool = False, obs=None
+                   collect_metrics: bool = False, obs=None,
+                   supervision: Optional[SupervisionPolicy] = None
                    ) -> CampaignResult:
     """Inject every fault case in parallel; aggregation is deterministic.
 
@@ -59,7 +60,8 @@ def fault_campaign(cases: Sequence[FaultCase], dut_config, diff_config,
     specs = fault_specs(cases, dut_config, diff_config)
     executor = CampaignExecutor(workers=workers, job_timeout=job_timeout,
                                 retries=retries,
-                                collect_metrics=collect_metrics, obs=obs)
+                                collect_metrics=collect_metrics, obs=obs,
+                                supervision=supervision)
     return executor.run(specs, on_result=on_result)
 
 
@@ -107,7 +109,8 @@ def linkfault_campaign(cases: Sequence[LinkFaultCase], dut_config,
                        retries: int = 1,
                        on_result: Optional[Callable[[JobResult], None]]
                        = None,
-                       collect_metrics: bool = False, obs=None
+                       collect_metrics: bool = False, obs=None,
+                       supervision: Optional[SupervisionPolicy] = None
                        ) -> CampaignResult:
     """Inject every link-fault case; aggregation is deterministic.
 
@@ -120,7 +123,8 @@ def linkfault_campaign(cases: Sequence[LinkFaultCase], dut_config,
     specs = linkfault_specs(cases, dut_config, diff_config)
     executor = CampaignExecutor(workers=workers, job_timeout=job_timeout,
                                 retries=retries,
-                                collect_metrics=collect_metrics, obs=obs)
+                                collect_metrics=collect_metrics, obs=obs,
+                                supervision=supervision)
     return executor.run(specs, on_result=on_result)
 
 
@@ -141,7 +145,8 @@ def ladder_campaign(workload_name: str, dut_config, diff_configs,
                     job_timeout: Optional[float] = None,
                     build_kwargs: Optional[dict] = None,
                     on_result: Optional[Callable[[JobResult], None]] = None,
-                    collect_metrics: bool = False, obs=None
+                    collect_metrics: bool = False, obs=None,
+                    supervision: Optional[SupervisionPolicy] = None
                     ) -> CampaignResult:
     """Measure one workload under each config of an optimisation ladder.
 
@@ -151,5 +156,6 @@ def ladder_campaign(workload_name: str, dut_config, diff_configs,
     specs = ladder_specs(workload_name, dut_config, diff_configs,
                          build_kwargs=build_kwargs)
     executor = CampaignExecutor(workers=workers, job_timeout=job_timeout,
-                                collect_metrics=collect_metrics, obs=obs)
+                                collect_metrics=collect_metrics, obs=obs,
+                                supervision=supervision)
     return executor.run(specs, on_result=on_result)

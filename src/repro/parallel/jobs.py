@@ -79,7 +79,15 @@ class JobResult:
     ``ok`` means the runner completed and produced a summary — a run
     that *detected a mismatch* is still ``ok`` (detection is a valid,
     deterministic outcome); ``ok=False`` means the job itself broke
-    (timeout after all retries, or an exception in the runner).
+    (timeout after all retries, an exception in the runner, or a worker
+    process the supervisor attributed a crash to).
+
+    ``crashed`` and ``timed_out`` are distinct failure classes: a crash
+    means the job's worker *process* died (segfault, OOM kill), a
+    timeout means the job ran past its wall-clock budget.  ``quarantined``
+    marks a crashed job the supervisor declared poison — it broke the
+    pool ``poison_threshold`` times and was excluded so the rest of the
+    campaign could finish.
 
     ``duration_s`` is wall-clock and therefore excluded from the
     deterministic campaign report; it only feeds the stats rollup.
@@ -92,6 +100,8 @@ class JobResult:
     summary: Optional[RunSummary] = None
     error: Optional[str] = None
     timed_out: bool = False
+    crashed: bool = False
+    quarantined: bool = False
     attempts: int = 1
     duration_s: float = 0.0
 
@@ -103,5 +113,7 @@ class JobResult:
     def verdict(self) -> str:
         """One deterministic word for report lines."""
         if not self.ok:
+            if self.crashed:
+                return "CRASH"
             return "TIMEOUT" if self.timed_out else "ERROR"
         return "ok" if self.summary.passed else "FAIL"

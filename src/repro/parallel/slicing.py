@@ -477,6 +477,7 @@ def sliced_run(dut_config, diff_config, image: bytes, *,
                link_slice: int = 0,
                collect_metrics: bool = False, obs=None,
                job_timeout: Optional[float] = None,
+               retries: int = 0, supervision=None, spec_wrapper=None,
                label: str = "slice") -> SlicedRunResult:
     """Run one workload as ``slices`` windows on ``workers`` processes.
 
@@ -487,16 +488,25 @@ def sliced_run(dut_config, diff_config, image: bytes, *,
     (``short_circuit=False``) — a failing window still needs every
     earlier window for serial-identical totals, and later windows are
     discarded by the stitcher.
+
+    ``retries``/``supervision`` tune the executor's fault tolerance
+    (slice jobs are idempotent, so re-running one after a worker crash
+    is always safe); ``spec_wrapper`` is a seam for the chaos harness —
+    it receives the lazy spec iterator and must yield specs one-for-one
+    without disturbing their order.
     """
     executor = CampaignExecutor(workers=workers, job_timeout=job_timeout,
-                                retries=0, short_circuit=False,
-                                collect_metrics=collect_metrics, obs=obs)
+                                retries=retries, short_circuit=False,
+                                collect_metrics=collect_metrics, obs=obs,
+                                supervision=supervision)
     specs = iter_slice_specs(
         dut_config, diff_config, image, max_cycles=max_cycles,
         slices=slices, seed=seed, uart_input=uart_input, mode=mode,
         plan=plan, fault=fault, trigger=trigger, link_fault=link_fault,
         link_rate=link_rate, link_trigger=link_trigger,
         link_seed=link_seed, link_slice=link_slice, label=label)
+    if spec_wrapper is not None:
+        specs = spec_wrapper(specs)
     campaign = executor.run(specs)
     broken = [job for job in campaign.jobs if not job.ok]
     if broken:

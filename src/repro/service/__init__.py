@@ -29,7 +29,13 @@ from .render import (
     render_ladder,
     render_linkfault,
 )
-from .server import CampaignService, RateLimited, ServiceServer, TokenBucket
+from .server import (
+    CampaignService,
+    RateLimited,
+    ServiceOverloaded,
+    ServiceServer,
+    TokenBucket,
+)
 from .store import STATES, TERMINAL_STATES, CampaignRow, ServiceStore
 
 __all__ = [
@@ -44,6 +50,7 @@ __all__ = [
     "SUBMISSION_KINDS",
     "ServiceClient",
     "ServiceError",
+    "ServiceOverloaded",
     "ServiceServer",
     "ServiceStore",
     "Submission",

@@ -25,11 +25,15 @@ __all__ = ["InProcessClient", "ServiceClient", "ServiceError"]
 
 
 class ServiceError(Exception):
-    """The service rejected a request (validation, state, rate limit)."""
+    """The service rejected a request (validation, state, rate limit,
+    overload).  ``rate_limited``/``overloaded`` let callers distinguish
+    retry-later conditions from permanent rejections."""
 
-    def __init__(self, message: str, rate_limited: bool = False) -> None:
+    def __init__(self, message: str, rate_limited: bool = False,
+                 overloaded: bool = False) -> None:
         super().__init__(message)
         self.rate_limited = rate_limited
+        self.overloaded = overloaded
 
 
 class InProcessClient:
@@ -42,13 +46,15 @@ class InProcessClient:
 
     async def submit(self, kind: str,
                      params: Optional[dict] = None) -> dict:
-        from .server import RateLimited
+        from .server import RateLimited, ServiceOverloaded
 
         try:
             return await self.service.submit(kind, params,
                                              client=self.client)
         except RateLimited as exc:
             raise ServiceError(str(exc), rate_limited=True) from None
+        except ServiceOverloaded as exc:
+            raise ServiceError(str(exc), overloaded=True) from None
         except (ValueError, KeyError) as exc:
             raise ServiceError(str(exc)) from None
 
@@ -63,6 +69,9 @@ class InProcessClient:
 
     async def cancel(self, campaign_id: int) -> dict:
         return await self.service.cancel(campaign_id)
+
+    async def health(self) -> dict:
+        return await self.service.health()
 
     async def watch(self, campaign_id: int) -> AsyncIterator[dict]:
         async for event in self.service.watch(campaign_id):
@@ -121,7 +130,8 @@ class ServiceClient:
         if not reply.get("ok", False):
             raise ServiceError(reply.get("error", "request failed"),
                                rate_limited=bool(
-                                   reply.get("rate_limited")))
+                                   reply.get("rate_limited")),
+                               overloaded=bool(reply.get("overloaded")))
         return reply
 
     async def _request(self, doc: dict) -> dict:
@@ -150,6 +160,9 @@ class ServiceClient:
     async def cancel(self, campaign_id: int) -> dict:
         return await self._request({"op": "cancel",
                                     "campaign": campaign_id})
+
+    async def health(self) -> dict:
+        return await self._request({"op": "health"})
 
     async def watch(self, campaign_id: int) -> AsyncIterator[dict]:
         """Stream progress events until the terminal-state event."""

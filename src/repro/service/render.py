@@ -49,10 +49,20 @@ def fuzz_job_lines(job, start: int) -> List[str]:
 
 
 def fuzz_footer_lines(campaign, requested: int) -> List[str]:
-    """The fuzz campaign footer (blank separator + pass tally)."""
+    """The fuzz campaign footer (blank separator + pass tally).
+
+    The quarantine line appears only when the supervisor actually
+    quarantined poison jobs, so fault-free reports are byte-identical
+    to the pre-supervision format.
+    """
     failures = len(campaign.failures)
     total = len(campaign.jobs)
     lines = ["", f"{total - failures}/{total} passed"]
+    quarantined = [job for job in campaign.jobs
+                   if getattr(job, "quarantined", False)]
+    if quarantined:
+        lines.append(f"({len(quarantined)} poison job(s) quarantined: "
+                     + ", ".join(job.label for job in quarantined) + ")")
     if campaign.stats.short_circuited:
         lines.append(f"(fail-fast: stopped after {total} of "
                      f"{requested} seeds)")

@@ -13,12 +13,23 @@ thread) posts incremental progress back onto the loop with
 views plus job counts, persisted to the store and fanned out to
 watchers.
 
-Lifecycle: ``queued → running → done | failed | cancelled``.
-Cancellation and graceful shutdown both ride the executor's cooperative
-``should_stop`` hook (a ``threading.Event`` polled between jobs) — a
-user cancel marks the row ``cancelled``, a shutdown stop *re-queues* it
-so the next server finishes the work; crash recovery at ``start()``
-re-queues rows a dead server left ``running``.
+Lifecycle: ``queued → running → done | failed | cancelled |
+dead_letter``.  Cancellation and graceful shutdown both ride the
+executor's cooperative ``should_stop`` hook (a ``threading.Event``
+polled between jobs) — a user cancel marks the row ``cancelled``, a
+shutdown stop *re-queues* it so the next server finishes the work.
+
+Fault tolerance is layered: crash recovery at ``start()`` re-queues
+rows a dead server left ``running``; at *runtime*, every claim carries
+a ``lease_s`` lease kept fresh by a per-campaign heartbeat task, and a
+reaper task periodically re-queues running rows whose lease lapsed
+(work dropped by a dead sibling sharing the store).  A campaign
+re-queued more than ``requeue_budget`` times is dead-lettered instead
+of crash-looping.  Overload protection bounds the queue: submissions
+that would push the backlog past ``max_queue`` are rejected with
+:class:`ServiceOverloaded` (dedup cache hits and coalesces are exempt —
+they add no work).  The ``health`` verb reports queue depth, per-state
+counts, lease lag and the accumulated ``supervision.*`` counters.
 
 :class:`ServiceServer` is the thin transport: newline-delimited JSON
 over an asyncio socket, one request object per line, ``{"ok": ...}``
@@ -42,12 +53,21 @@ from ..parallel import CampaignExecutor
 from .catalog import Submission, build_submission
 from .store import TERMINAL_STATES, ServiceStore
 
-__all__ = ["CampaignService", "RateLimited", "ServiceServer",
-           "TokenBucket"]
+__all__ = ["CampaignService", "RateLimited", "ServiceOverloaded",
+           "ServiceServer", "TokenBucket"]
 
 
 class RateLimited(Exception):
     """A client exceeded its submission budget; retry later."""
+
+
+class ServiceOverloaded(Exception):
+    """The service's queue is at capacity; retry later.
+
+    Distinct from :class:`RateLimited` (a per-client budget): overload
+    is a global backpressure signal — accepting the submission would
+    grow the durable backlog past ``max_queue``.
+    """
 
 
 class TokenBucket:
@@ -90,12 +110,29 @@ class CampaignService:
                  rate: float = 10.0, burst: float = 20.0,
                  clock: Optional[Callable[[], float]] = None,
                  executor_factory: Optional[
-                     Callable[[Submission], CampaignExecutor]] = None
-                 ) -> None:
+                     Callable[[Submission], CampaignExecutor]] = None,
+                 lease_s: float = 30.0,
+                 requeue_budget: int = 3,
+                 max_queue: Optional[int] = 1024,
+                 reap_interval: Optional[float] = None,
+                 supervision=None,
+                 obs=None) -> None:
         self.store = store
         self.workers = workers
         self.rate = rate
         self.burst = burst
+        self.lease_s = lease_s
+        self.requeue_budget = requeue_budget
+        self.max_queue = max_queue
+        self._reap_interval = (reap_interval if reap_interval is not None
+                               else max(lease_s / 2.0, 0.05))
+        self.supervision = supervision
+        self.obs = obs
+        #: Accumulated supervision telemetry across all campaigns this
+        #: service instance ran (the ``health`` verb's counters).
+        self.counters: Dict[str, int] = {
+            "pool_restarts": 0, "requeues": 0, "poison_quarantined": 0,
+            "lease_reaps": 0, "dead_letters": 0}
         self._clock = clock
         self._executor_factory = (executor_factory
                                   or self._default_executor)
@@ -109,6 +146,7 @@ class CampaignService:
         self._draining = False
         self._halt = False
         self._dispatcher: Optional[asyncio.Task] = None
+        self._reaper: Optional[asyncio.Task] = None
 
     def _default_executor(self,
                           submission: Submission) -> CampaignExecutor:
@@ -117,7 +155,8 @@ class CampaignService:
         # CLI is unaffected.
         return CampaignExecutor(workers=self.workers,
                                 short_circuit=submission.short_circuit,
-                                collect_metrics=True)
+                                collect_metrics=True,
+                                supervision=self.supervision)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -130,11 +169,14 @@ class CampaignService:
         """
         if self._dispatcher is not None:
             raise RuntimeError("service already started")
-        orphans = self.store.recover_orphans()
+        orphans = self.store.recover_orphans(self.requeue_budget)
+        if orphans:
+            self.counters["requeues"] += len(orphans)
         self._halt = False
         self._draining = False
         self._wake.set()
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        self._reaper = asyncio.create_task(self._reap_loop())
         return orphans
 
     async def stop(self, drain: bool = True) -> None:
@@ -156,6 +198,13 @@ class CampaignService:
         self._wake.set()
         await self._dispatcher
         self._dispatcher = None
+        if self._reaper is not None:
+            self._reaper.cancel()
+            try:
+                await self._reaper
+            except asyncio.CancelledError:
+                pass
+            self._reaper = None
 
     # ------------------------------------------------------------------
     # client surface
@@ -164,8 +213,10 @@ class CampaignService:
                      client: str = "local") -> dict:
         """Validate, rate-limit, and queue one submission.
 
-        Raises :class:`RateLimited` when the client's bucket is empty
-        and ``ValueError`` for malformed submissions.  Returns
+        Raises :class:`RateLimited` when the client's bucket is
+        empty, :class:`ServiceOverloaded` when a *new* campaign would
+        push the queue past ``max_queue``, and ``ValueError`` for
+        malformed submissions.  Returns
         ``{"campaign", "state", "cached"}``; ``cached`` means an
         identical finished campaign was found and no work was queued.
         """
@@ -178,6 +229,14 @@ class CampaignService:
                               f"{self.rate:g} submissions/s "
                               f"(burst {self.burst:g})")
         submission = build_submission(kind, dict(params or {}))
+        if (self.max_queue is not None
+                and self.store.find(submission.fingerprint) is None
+                and self.store.queue_depth() >= self.max_queue):
+            # Cache hits / coalesces onto existing rows are exempt: they
+            # add no work.  Only genuinely new campaigns are bounced.
+            raise ServiceOverloaded(
+                f"queue full ({self.store.queue_depth()}/"
+                f"{self.max_queue} campaigns queued); retry later")
         campaign_id, cached = self.store.submit(submission)
         if not cached:
             self._wake.set()
@@ -257,7 +316,8 @@ class CampaignService:
     # ------------------------------------------------------------------
     async def _dispatch_loop(self) -> None:
         while not self._halt:
-            campaign_id = self.store.claim_next()
+            campaign_id = self.store.claim_next(lease_s=self.lease_s,
+                                                now=time.time())
             if campaign_id is None:
                 self._idle.set()
                 if self._draining:
@@ -306,6 +366,7 @@ class CampaignService:
             return executor.run(specs, on_result=on_result,
                                 should_stop=cancel.is_set)
 
+        heartbeat = asyncio.ensure_future(self._heartbeat(campaign_id))
         try:
             campaign = await loop.run_in_executor(None, run_blocking)
         except Exception:
@@ -313,8 +374,19 @@ class CampaignService:
                          error=traceback.format_exc(limit=5))
             return
         finally:
+            heartbeat.cancel()
+            try:
+                await heartbeat
+            except asyncio.CancelledError:
+                pass
             self._cancel_flags.pop(campaign_id, None)
 
+        stats = campaign.stats
+        self.counters["pool_restarts"] += getattr(stats,
+                                                  "pool_restarts", 0)
+        self.counters["requeues"] += getattr(stats, "requeues", 0)
+        self.counters["poison_quarantined"] += getattr(
+            stats, "poison_quarantined", 0)
         if campaign.stats.stopped:
             if campaign_id in self._user_cancelled:
                 self._user_cancelled.discard(campaign_id)
@@ -329,6 +401,63 @@ class CampaignService:
         self._emit(campaign_id, {"event": "state",
                                  "campaign": campaign_id,
                                  "state": "done"})
+
+    async def _heartbeat(self, campaign_id: int) -> None:
+        """Keep the running campaign's lease fresh while it executes.
+
+        Renews at a third of the lease so two missed beats still leave
+        the lease valid; if this whole process dies the lease lapses and
+        a sibling's reaper re-queues the campaign.
+        """
+        interval = max(self.lease_s / 3.0, 0.01)
+        while True:
+            await asyncio.sleep(interval)
+            self.store.renew_lease(campaign_id, self.lease_s,
+                                   now=time.time())
+
+    async def _reap_loop(self) -> None:
+        """Runtime lease reaper: re-queue work dead dispatchers dropped.
+
+        Campaigns this instance is itself executing are skipped — their
+        heartbeat owns the lease; the reaper exists for rows claimed by
+        a dispatcher that died (another process sharing the store, or a
+        previous incarnation).
+        """
+        while True:
+            await asyncio.sleep(self._reap_interval)
+            try:
+                requeued, dead = self.store.reap_expired(
+                    now=time.time(), requeue_budget=self.requeue_budget,
+                    skip=set(self._cancel_flags))
+            except Exception:
+                continue  # store contention; next tick retries
+            if not requeued and not dead:
+                continue
+            self.counters["lease_reaps"] += len(requeued) + len(dead)
+            self.counters["requeues"] += len(requeued)
+            self.counters["dead_letters"] += len(dead)
+            if self.obs is not None and getattr(self.obs, "enabled",
+                                                False):
+                self.obs.registry.counter(
+                    "supervision.lease_reaps").inc(len(requeued)
+                                                   + len(dead))
+            for campaign_id in dead:
+                self._emit(campaign_id, {"event": "state",
+                                         "campaign": campaign_id,
+                                         "state": "dead_letter"})
+            if requeued:
+                self._wake.set()
+
+    async def health(self) -> dict:
+        """Queue/lease/supervision health, the ``health`` verb's body."""
+        counts = self.store.counts_by_state()
+        return {
+            "queue_depth": counts.get("queued", 0),
+            "states": counts,
+            "lease_lag_s": round(self.store.lease_lag(time.time()), 3),
+            "dead_letters": len(self.store.dead_letters()),
+            "supervision": dict(self.counters),
+        }
 
     # ------------------------------------------------------------------
     def _finish(self, campaign_id: int, state: str,
@@ -352,7 +481,8 @@ class ServiceServer:
     """Newline-delimited-JSON transport in front of a CampaignService.
 
     One JSON object per line; ops: ``submit``, ``status``, ``results``,
-    ``cancel``, ``watch``, ``ping``.  Responses carry ``"ok"``; errors
+    ``cancel``, ``watch``, ``ping``, ``health``.  Responses carry
+    ``"ok"``; errors
     echo the validation message so clients can fix and resubmit.
     ``watch`` streams event objects and terminates on the terminal-state
     event.
@@ -418,6 +548,9 @@ class ServiceServer:
         op = request.get("op")
         if op == "ping":
             self._send(writer, {"ok": True, "pong": True})
+        elif op == "health":
+            reply = await self.service.health()
+            self._send(writer, {"ok": True, **reply})
         elif op == "submit":
             try:
                 reply = await self.service.submit(
@@ -426,6 +559,10 @@ class ServiceServer:
             except RateLimited as exc:
                 self._send(writer, {"ok": False, "error": str(exc),
                                     "rate_limited": True})
+                return
+            except ServiceOverloaded as exc:
+                self._send(writer, {"ok": False, "error": str(exc),
+                                    "overloaded": True})
                 return
             self._send(writer, {"ok": True, **reply})
         elif op == "status":

@@ -19,19 +19,30 @@ this module gives the service its persistence guarantees:
   render is byte-identical to the live campaign's (wall-clock fields
   are deliberately dropped — they never appear in reports).
 
-Job lifecycle states: ``queued → running → done | failed | cancelled``.
+Job lifecycle states:
+``queued → running → done | failed | cancelled | dead_letter``.
 ``failed`` means the *service* broke (an exception outside the runs);
 runs that merely detect mismatches are valid results and end ``done``.
-A server that died mid-campaign leaves ``running`` rows behind;
-:meth:`recover_orphans` re-queues them (and drops any partial result
-rows) on the next start.
+
+A ``running`` row carries a **lease** (``lease_expires``, wall-clock
+epoch seconds) renewed by its dispatcher's heartbeat.  A server that
+died mid-campaign leaves ``running`` rows behind; they are recovered on
+two paths: :meth:`recover_orphans` re-queues every running row at the
+next start (lease or not), and :meth:`reap_expired` re-queues rows whose
+lease lapsed *at runtime* — the reaper path that lets a live server pick
+up work a dead sibling dropped.  Each re-queue increments ``requeues``;
+a campaign that exhausts its requeue budget is moved to the terminal
+``dead_letter`` state (with a row in the ``dead_letters`` quarantine
+table) instead of crash-looping forever.  Dead-lettered campaigns are
+only revived explicitly via :meth:`requeue_dead_letter`.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..obs import MetricsSnapshot
 from ..core.summary import (
@@ -45,9 +56,11 @@ from ..toolkit.sqltrace import connect
 from .catalog import Submission, build_submission
 
 #: The legal lifecycle states, in canonical order.
-STATES = ("queued", "running", "done", "failed", "cancelled")
-#: States a campaign can never leave.
-TERMINAL_STATES = ("done", "failed", "cancelled")
+STATES = ("queued", "running", "done", "failed", "cancelled",
+          "dead_letter")
+#: States a campaign can never leave (``dead_letter`` only via the
+#: explicit :meth:`ServiceStore.requeue_dead_letter`).
+TERMINAL_STATES = ("done", "failed", "cancelled", "dead_letter")
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS campaigns (
@@ -61,7 +74,9 @@ CREATE TABLE IF NOT EXISTS campaigns (
     total_jobs INTEGER NOT NULL DEFAULT 0,
     error TEXT,
     progress TEXT NOT NULL DEFAULT '{}',
-    report TEXT
+    report TEXT,
+    lease_expires REAL,
+    requeues INTEGER NOT NULL DEFAULT 0
 );
 CREATE INDEX IF NOT EXISTS idx_campaigns_state ON campaigns(state);
 CREATE TABLE IF NOT EXISTS jobs (
@@ -73,7 +88,16 @@ CREATE TABLE IF NOT EXISTS jobs (
     timed_out INTEGER NOT NULL DEFAULT 0,
     attempts INTEGER NOT NULL DEFAULT 1,
     error TEXT,
+    crashed INTEGER NOT NULL DEFAULT 0,
+    quarantined INTEGER NOT NULL DEFAULT 0,
     PRIMARY KEY (campaign_id, idx)
+);
+CREATE TABLE IF NOT EXISTS dead_letters (
+    campaign_id INTEGER PRIMARY KEY REFERENCES campaigns(id),
+    fingerprint TEXT NOT NULL,
+    kind TEXT NOT NULL,
+    reason TEXT NOT NULL,
+    requeues INTEGER NOT NULL
 );
 CREATE TABLE IF NOT EXISTS run_summaries (
     campaign_id INTEGER NOT NULL REFERENCES campaigns(id),
@@ -122,6 +146,11 @@ class CampaignRow:
     error: Optional[str]
     progress: Dict[str, object]
     report: Optional[str]
+    #: Wall-clock epoch seconds the current lease lapses (running rows
+    #: under a heartbeating dispatcher only; ``None`` otherwise).
+    lease_expires: Optional[float] = None
+    #: Times this campaign was re-queued after a lost lease / dead server.
+    requeues: int = 0
 
     def submission(self) -> Submission:
         """Rebuild the validated submission this row was queued from."""
@@ -135,8 +164,28 @@ class ServiceStore:
         self.path = path
         self.db = connect(path)
         self.db.executescript(_SCHEMA)
+        self._migrate()
         self.db.commit()
         self._closed = False
+
+    def _migrate(self) -> None:
+        """Bring a database created by an older schema up to date.
+
+        ``CREATE TABLE IF NOT EXISTS`` never alters existing tables, so
+        columns added after a store was first created must be patched in
+        explicitly.  Additive only — every new column has a default that
+        preserves the old semantics (no lease, zero requeues).
+        """
+        for table, column, decl in (
+                ("campaigns", "lease_expires", "REAL"),
+                ("campaigns", "requeues", "INTEGER NOT NULL DEFAULT 0"),
+                ("jobs", "crashed", "INTEGER NOT NULL DEFAULT 0"),
+                ("jobs", "quarantined", "INTEGER NOT NULL DEFAULT 0")):
+            present = {row[1] for row in self.db.execute(
+                f"PRAGMA table_info({table})")}
+            if column not in present:
+                self.db.execute(
+                    f"ALTER TABLE {table} ADD COLUMN {column} {decl}")
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -162,7 +211,10 @@ class ServiceStore:
         can serve its stored report without running anything.  An
         identical campaign still ``queued``/``running`` coalesces onto
         the in-flight row; one that previously ``failed`` or was
-        ``cancelled`` is re-queued (its stale partial rows dropped).
+        ``cancelled`` is re-queued (its stale partial rows dropped).  A
+        ``dead_letter`` campaign is *not* revived by resubmission — it
+        exhausted its requeue budget and stays quarantined until an
+        operator calls :meth:`requeue_dead_letter`.
         """
         row = self.db.execute(
             "SELECT id, state FROM campaigns WHERE fingerprint = ?",
@@ -176,7 +228,8 @@ class ServiceStore:
                 self.db.execute(
                     "UPDATE campaigns SET state='queued', error=NULL, "
                     "progress='{}', report=NULL, short_circuited=0, "
-                    "stopped=0, total_jobs=0 WHERE id = ?",
+                    "stopped=0, total_jobs=0, lease_expires=NULL, "
+                    "requeues=0 WHERE id = ?",
                     (campaign_id,))
                 self.db.commit()
             return campaign_id, False
@@ -188,38 +241,179 @@ class ServiceStore:
         self.db.commit()
         return cursor.lastrowid, False
 
-    def claim_next(self) -> Optional[int]:
-        """Atomically move the oldest queued campaign to ``running``."""
+    def claim_next(self, lease_s: Optional[float] = None,
+                   now: Optional[float] = None) -> Optional[int]:
+        """Atomically move the oldest queued campaign to ``running``.
+
+        With ``lease_s`` the claim carries a lease: the row's
+        ``lease_expires`` is set ``lease_s`` seconds into the future and
+        must be kept fresh via :meth:`renew_lease` (the dispatcher
+        heartbeat), or a runtime reaper may re-queue the campaign.
+        """
         row = self.db.execute(
             "SELECT id FROM campaigns WHERE state='queued' "
             "ORDER BY id LIMIT 1").fetchone()
         if row is None:
             return None
+        expires = None
+        if lease_s is not None:
+            expires = (now if now is not None else time.time()) + lease_s
         self.db.execute(
-            "UPDATE campaigns SET state='running' WHERE id = ?", row)
+            "UPDATE campaigns SET state='running', lease_expires=? "
+            "WHERE id = ?", (expires, row[0]))
         self.db.commit()
         return row[0]
 
-    def recover_orphans(self) -> List[int]:
+    def renew_lease(self, campaign_id: int, lease_s: float,
+                    now: Optional[float] = None) -> None:
+        """Heartbeat: push a running campaign's lease into the future."""
+        expires = (now if now is not None else time.time()) + lease_s
+        self.db.execute(
+            "UPDATE campaigns SET lease_expires=? "
+            "WHERE id = ? AND state='running'", (expires, campaign_id))
+        self.db.commit()
+
+    def recover_orphans(self, requeue_budget: Optional[int] = None
+                        ) -> List[int]:
         """Re-queue campaigns a dead server left ``running``.
 
         Partial result rows from the interrupted attempt are dropped so
         the re-run starts clean; campaign determinism guarantees the
         re-run's stored report matches what the uninterrupted run would
-        have produced.
+        have produced.  With a ``requeue_budget``, campaigns already
+        re-queued that many times are dead-lettered instead of being
+        crash-looped; the returned list contains only the re-queued ids.
         """
         rows = self.db.execute(
-            "SELECT id FROM campaigns WHERE state='running' "
+            "SELECT id, requeues FROM campaigns WHERE state='running' "
             "ORDER BY id").fetchall()
-        orphans = [row[0] for row in rows]
-        for campaign_id in orphans:
-            self._drop_result_rows(campaign_id)
-            self.db.execute(
-                "UPDATE campaigns SET state='queued', progress='{}', "
-                "total_jobs=0 WHERE id = ?", (campaign_id,))
-        if orphans:
+        requeued = []
+        for campaign_id, requeues in rows:
+            if self._requeue_or_dead_letter(
+                    campaign_id, requeues, requeue_budget,
+                    reason="orphaned: server died while campaign ran"):
+                requeued.append(campaign_id)
+        if rows:
             self.db.commit()
-        return orphans
+        return requeued
+
+    def reap_expired(self, now: Optional[float] = None,
+                     requeue_budget: Optional[int] = None,
+                     skip: Iterable[int] = ()
+                     ) -> Tuple[List[int], List[int]]:
+        """Re-queue running campaigns whose lease has lapsed.
+
+        The runtime counterpart of :meth:`recover_orphans`: a live
+        server calls this periodically so work dropped by a dead sibling
+        (or a dispatcher that lost its heartbeat) is picked up without a
+        restart.  ``skip`` exempts campaigns the caller itself is
+        executing.  Returns ``(requeued_ids, dead_lettered_ids)``.
+        """
+        now = now if now is not None else time.time()
+        skip_set = set(skip)
+        rows = self.db.execute(
+            "SELECT id, requeues FROM campaigns WHERE state='running' "
+            "AND lease_expires IS NOT NULL AND lease_expires < ? "
+            "ORDER BY id", (now,)).fetchall()
+        requeued: List[int] = []
+        dead: List[int] = []
+        for campaign_id, requeues in rows:
+            if campaign_id in skip_set:
+                continue
+            if self._requeue_or_dead_letter(
+                    campaign_id, requeues, requeue_budget,
+                    reason="lease expired: dispatcher heartbeat lost"):
+                requeued.append(campaign_id)
+            else:
+                dead.append(campaign_id)
+        if requeued or dead:
+            self.db.commit()
+        return requeued, dead
+
+    def _requeue_or_dead_letter(self, campaign_id: int, requeues: int,
+                                requeue_budget: Optional[int],
+                                reason: str) -> bool:
+        """Re-queue one running campaign, or dead-letter it over budget.
+
+        Returns True when the campaign went back to the queue.  Does not
+        commit — callers batch their loop into one transaction.
+        """
+        self._drop_result_rows(campaign_id)
+        if requeue_budget is not None and requeues >= requeue_budget:
+            row = self.db.execute(
+                "SELECT fingerprint, kind FROM campaigns WHERE id = ?",
+                (campaign_id,)).fetchone()
+            detail = (f"{reason}; requeue budget exhausted "
+                      f"({requeues}/{requeue_budget} requeues used)")
+            self.db.execute(
+                "UPDATE campaigns SET state='dead_letter', error=?, "
+                "progress='{}', total_jobs=0, lease_expires=NULL "
+                "WHERE id = ?", (detail, campaign_id))
+            self.db.execute(
+                "INSERT OR REPLACE INTO dead_letters (campaign_id, "
+                "fingerprint, kind, reason, requeues) VALUES (?,?,?,?,?)",
+                (campaign_id, row[0], row[1], detail, requeues))
+            return False
+        self.db.execute(
+            "UPDATE campaigns SET state='queued', progress='{}', "
+            "total_jobs=0, lease_expires=NULL, requeues=? WHERE id = ?",
+            (requeues + 1, campaign_id))
+        return True
+
+    def requeue_dead_letter(self, campaign_id: int) -> None:
+        """Explicitly revive a dead-lettered campaign (operator action)."""
+        meta = self.campaign(campaign_id)
+        if meta.state != "dead_letter":
+            raise ValueError(
+                f"campaign #{campaign_id} is {meta.state}, not dead_letter")
+        self._drop_result_rows(campaign_id)
+        self.db.execute(
+            "DELETE FROM dead_letters WHERE campaign_id = ?",
+            (campaign_id,))
+        self.db.execute(
+            "UPDATE campaigns SET state='queued', error=NULL, "
+            "progress='{}', report=NULL, total_jobs=0, "
+            "lease_expires=NULL, requeues=0 WHERE id = ?", (campaign_id,))
+        self.db.commit()
+
+    def dead_letters(self) -> List[Tuple[int, str, str, str, int]]:
+        """The quarantine table: ``(id, fingerprint, kind, reason,
+        requeues)`` per dead-lettered campaign, oldest first."""
+        return list(self.db.execute(
+            "SELECT campaign_id, fingerprint, kind, reason, requeues "
+            "FROM dead_letters ORDER BY campaign_id"))
+
+    # ------------------------------------------------------------------
+    # health probes
+    # ------------------------------------------------------------------
+    def queue_depth(self) -> int:
+        """Campaigns waiting to run (the overload-protection input)."""
+        return self.db.execute(
+            "SELECT COUNT(*) FROM campaigns WHERE state='queued'"
+        ).fetchone()[0]
+
+    def counts_by_state(self) -> Dict[str, int]:
+        counts = dict.fromkeys(STATES, 0)
+        for state, count in self.db.execute(
+                "SELECT state, COUNT(*) FROM campaigns GROUP BY state"):
+            counts[state] = count
+        return counts
+
+    def lease_lag(self, now: Optional[float] = None) -> float:
+        """Seconds the most-stale running lease is overdue (0 if fresh).
+
+        A persistently positive lag means some dispatcher stopped
+        heartbeating and the reaper has not caught up — the health
+        signal operators alert on.
+        """
+        now = now if now is not None else time.time()
+        row = self.db.execute(
+            "SELECT MIN(lease_expires) FROM campaigns "
+            "WHERE state='running' AND lease_expires IS NOT NULL"
+        ).fetchone()
+        if row is None or row[0] is None:
+            return 0.0
+        return max(0.0, now - row[0])
 
     def _drop_result_rows(self, campaign_id: int) -> None:
         for table in _RESULT_TABLES:
@@ -236,7 +430,8 @@ class ServiceStore:
             raise ValueError(f"unknown state {state!r}; valid: "
                              f"{', '.join(STATES)}")
         self.db.execute(
-            "UPDATE campaigns SET state = ?, error = ? WHERE id = ?",
+            "UPDATE campaigns SET state = ?, error = ?, "
+            "lease_expires = NULL WHERE id = ?",
             (state, error, campaign_id))
         self.db.commit()
 
@@ -257,7 +452,7 @@ class ServiceStore:
         row = self.db.execute(
             "SELECT id, fingerprint, kind, params, state, "
             "short_circuited, stopped, total_jobs, error, progress, "
-            "report FROM campaigns WHERE id = ?",
+            "report, lease_expires, requeues FROM campaigns WHERE id = ?",
             (campaign_id,)).fetchone()
         if row is None:
             raise KeyError(f"no campaign #{campaign_id}")
@@ -266,7 +461,7 @@ class ServiceStore:
             params=json.loads(row[3]), state=row[4],
             short_circuited=bool(row[5]), stopped=bool(row[6]),
             total_jobs=row[7], error=row[8], progress=json.loads(row[9]),
-            report=row[10])
+            report=row[10], lease_expires=row[11], requeues=row[12])
 
     def find(self, fingerprint: str) -> Optional[int]:
         row = self.db.execute(
@@ -296,10 +491,11 @@ class ServiceStore:
         for job in campaign.jobs:
             self.db.execute(
                 "INSERT INTO jobs (campaign_id, idx, kind, label, ok, "
-                "timed_out, attempts, error) VALUES (?,?,?,?,?,?,?,?)",
+                "timed_out, attempts, error, crashed, quarantined) "
+                "VALUES (?,?,?,?,?,?,?,?,?,?)",
                 (campaign_id, job.index, job.kind, job.label,
                  int(job.ok), int(job.timed_out), job.attempts,
-                 job.error))
+                 job.error, int(job.crashed), int(job.quarantined)))
             if job.summary is None:
                 continue
             doc = summary_to_dict(job.summary)
@@ -336,8 +532,8 @@ class ServiceStore:
                  json.dumps(aggregate.to_dicts(), sort_keys=True)))
         self.db.execute(
             "UPDATE campaigns SET state='done', report=?, "
-            "short_circuited=?, stopped=?, total_jobs=?, error=NULL "
-            "WHERE id = ?",
+            "short_circuited=?, stopped=?, total_jobs=?, error=NULL, "
+            "lease_expires=NULL WHERE id = ?",
             (report, int(campaign.stats.short_circuited),
              int(campaign.stats.stopped), len(campaign.jobs),
              campaign_id))
@@ -370,7 +566,8 @@ class ServiceStore:
                 "WHERE campaign_id = ?", (campaign_id,))}
         jobs: List[JobResult] = []
         for row in self.db.execute(
-                "SELECT idx, kind, label, ok, timed_out, attempts, error "
+                "SELECT idx, kind, label, ok, timed_out, attempts, "
+                "error, crashed, quarantined "
                 "FROM jobs WHERE campaign_id = ? ORDER BY idx",
                 (campaign_id,)):
             idx = row[0]
@@ -391,6 +588,7 @@ class ServiceStore:
             jobs.append(JobResult(
                 index=idx, label=row[2], kind=row[1], ok=bool(row[3]),
                 summary=summary, error=row[6], timed_out=bool(row[4]),
+                crashed=bool(row[7]), quarantined=bool(row[8]),
                 attempts=row[5]))
         stats = CampaignStats(
             jobs_total=len(jobs),
@@ -399,6 +597,8 @@ class ServiceStore:
                             if job.ok and not job.passed),
             jobs_broken=sum(1 for job in jobs if not job.ok),
             jobs_timed_out=sum(1 for job in jobs if job.timed_out),
+            jobs_crashed=sum(1 for job in jobs if job.crashed),
+            poison_quarantined=sum(1 for job in jobs if job.quarantined),
             retries_used=sum(job.attempts - 1 for job in jobs),
             short_circuited=meta.short_circuited,
             stopped=meta.stopped)

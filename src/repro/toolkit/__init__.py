@@ -1,5 +1,14 @@
-"""Tuning toolkit: performance counters, SQL analysis, trace dump/reload."""
+"""Tuning toolkit: performance counters, SQL analysis, trace dump/reload,
+process-chaos injection."""
 
+from .chaos import (
+    CHAOS_KINDS,
+    POISON,
+    ChaosExecutor,
+    ChaosFault,
+    ChaosPlan,
+    chaos_specs,
+)
 from .compare import compare_runs, load_stats_dict, stats_to_dict, stats_to_json
 from .perfcounters import render_event_profile, render_report, \
     render_snapshot_report
@@ -7,6 +16,12 @@ from .sqltrace import TraceDb, connect
 from .tracedump import TraceCheckResult, TraceReader, TraceWriter, replay_trace
 
 __all__ = [
+    "CHAOS_KINDS",
+    "POISON",
+    "ChaosExecutor",
+    "ChaosFault",
+    "ChaosPlan",
+    "chaos_specs",
     "compare_runs",
     "load_stats_dict",
     "stats_to_dict",

@@ -282,7 +282,7 @@ def fuzz_campaign(seeds, length: int = 120, dut_config=None,
                   diff_config=None, workers=None, job_timeout=None,
                   retries: int = 1, fail_fast: bool = False,
                   on_result=None, collect_metrics: bool = False,
-                  obs=None):
+                  obs=None, supervision=None):
     """Run one fuzzing job per seed across all available cores.
 
     Each worker regenerates its program from the seed (specs carry only
@@ -302,5 +302,6 @@ def fuzz_campaign(seeds, length: int = 120, dut_config=None,
                        diff_config=diff_config)
     executor = CampaignExecutor(workers=workers, job_timeout=job_timeout,
                                 retries=retries, short_circuit=fail_fast,
-                                collect_metrics=collect_metrics, obs=obs)
+                                collect_metrics=collect_metrics, obs=obs,
+                                supervision=supervision)
     return executor.run(specs, on_result=on_result)

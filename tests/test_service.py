@@ -607,3 +607,256 @@ def test_cli_client_reports_missing_server(capsys):
     assert cli_main(["results", "1", "--port", "1"]) == 1
     out = capsys.readouterr().out
     assert "no service at" in out
+
+
+# ----------------------------------------------------------------------
+# Leases, the runtime reaper, and the dead-letter quarantine
+# ----------------------------------------------------------------------
+class TestLeases:
+    """Store-level lease mechanics (no campaigns actually run)."""
+
+    def _queued(self, store, seeds=2):
+        campaign_id, cached = store.submit(
+            build_submission("fuzz", {"seeds": seeds, "length": 30}))
+        assert not cached
+        return campaign_id
+
+    def test_claim_carries_a_lease_and_renew_extends_it(self):
+        with ServiceStore() as store:
+            campaign_id = self._queued(store)
+            assert store.claim_next(lease_s=30.0, now=1000.0) \
+                == campaign_id
+            row = store.campaign(campaign_id)
+            assert row.state == "running"
+            assert row.lease_expires == 1030.0
+            store.renew_lease(campaign_id, 30.0, now=1100.0)
+            assert store.campaign(campaign_id).lease_expires == 1130.0
+            # renew is a no-op once the campaign left 'running'
+            store.set_state(campaign_id, "done")
+            store.renew_lease(campaign_id, 30.0, now=1200.0)
+            assert store.campaign(campaign_id).lease_expires is None
+
+    def test_reap_requeues_only_expired_unskipped_leases(self):
+        with ServiceStore() as store:
+            expired = self._queued(store, seeds=1)
+            fresh = self._queued(store, seeds=2)
+            mine = self._queued(store, seeds=3)
+            assert store.claim_next(lease_s=1.0, now=1000.0) == expired
+            assert store.claim_next(lease_s=1000.0, now=1000.0) == fresh
+            assert store.claim_next(lease_s=1.0, now=1000.0) == mine
+            requeued, dead = store.reap_expired(
+                now=2000.0, requeue_budget=3, skip={mine})
+            assert requeued == [expired] and dead == []
+            row = store.campaign(expired)
+            assert row.state == "queued"
+            assert row.requeues == 1
+            assert row.lease_expires is None
+            assert store.campaign(fresh).state == "running"
+            assert store.campaign(mine).state == "running"
+
+    def test_lease_lag_reports_most_stale_lease(self):
+        with ServiceStore() as store:
+            assert store.lease_lag(now=1000.0) == 0.0
+            campaign_id = self._queued(store)
+            store.claim_next(lease_s=10.0, now=1000.0)
+            assert store.lease_lag(now=1005.0) == 0.0
+            assert store.lease_lag(now=1017.5) == 7.5
+            store.set_state(campaign_id, "done")
+            assert store.lease_lag(now=1017.5) == 0.0
+
+    def test_budget_exhaustion_dead_letters(self):
+        with ServiceStore() as store:
+            campaign_id = self._queued(store)
+            store.claim_next(lease_s=1.0, now=1000.0)
+            requeued, dead = store.reap_expired(now=2000.0,
+                                                requeue_budget=1)
+            assert requeued == [campaign_id]
+            store.claim_next(lease_s=1.0, now=3000.0)
+            requeued, dead = store.reap_expired(now=4000.0,
+                                                requeue_budget=1)
+            assert requeued == [] and dead == [campaign_id]
+            row = store.campaign(campaign_id)
+            assert row.state == "dead_letter"
+            assert "requeue budget exhausted (1/1 requeues used)" \
+                in row.error
+            letters = store.dead_letters()
+            assert [entry[0] for entry in letters] == [campaign_id]
+            assert "lease expired" in letters[0][3]
+
+    def test_dead_letter_is_not_revived_by_resubmission(self):
+        with ServiceStore() as store:
+            campaign_id = self._queued(store)
+            store.claim_next(lease_s=1.0, now=1000.0)
+            _, dead = store.reap_expired(now=2000.0, requeue_budget=0)
+            assert dead == [campaign_id]
+            submission = build_submission("fuzz",
+                                          {"seeds": 2, "length": 30})
+            resubmitted, cached = store.submit(submission)
+            assert resubmitted == campaign_id and not cached
+            assert store.campaign(campaign_id).state == "dead_letter"
+
+    def test_operator_revival_clears_the_quarantine(self):
+        with ServiceStore() as store:
+            campaign_id = self._queued(store)
+            store.claim_next(lease_s=1.0, now=1000.0)
+            store.reap_expired(now=2000.0, requeue_budget=0)
+            store.requeue_dead_letter(campaign_id)
+            row = store.campaign(campaign_id)
+            assert row.state == "queued"
+            assert row.requeues == 0 and row.error is None
+            assert store.dead_letters() == []
+            # revival is only for dead letters
+            with pytest.raises(ValueError, match="not dead_letter"):
+                store.requeue_dead_letter(campaign_id)
+
+    def test_migration_upgrades_an_old_schema_store(self, tmp_path):
+        """A store created before leases/dead-letters existed must come
+        up with the new columns patched in and old rows intact."""
+        import sqlite3
+
+        path = str(tmp_path / "old.db")
+        old = sqlite3.connect(path)
+        old.executescript("""
+            CREATE TABLE campaigns (
+                id INTEGER PRIMARY KEY AUTOINCREMENT,
+                fingerprint TEXT NOT NULL UNIQUE,
+                kind TEXT NOT NULL,
+                params TEXT NOT NULL,
+                state TEXT NOT NULL DEFAULT 'queued',
+                short_circuited INTEGER NOT NULL DEFAULT 0,
+                stopped INTEGER NOT NULL DEFAULT 0,
+                total_jobs INTEGER NOT NULL DEFAULT 0,
+                error TEXT,
+                progress TEXT NOT NULL DEFAULT '{}',
+                report TEXT
+            );
+            CREATE TABLE jobs (
+                campaign_id INTEGER NOT NULL,
+                idx INTEGER NOT NULL,
+                kind TEXT NOT NULL,
+                label TEXT NOT NULL,
+                ok INTEGER NOT NULL,
+                timed_out INTEGER NOT NULL DEFAULT 0,
+                attempts INTEGER NOT NULL DEFAULT 1,
+                error TEXT,
+                PRIMARY KEY (campaign_id, idx)
+            );
+            INSERT INTO campaigns (fingerprint, kind, params)
+                VALUES ('abc', 'fuzz', '{}');
+        """)
+        old.commit()
+        old.close()
+        with ServiceStore(path) as store:
+            row = store.campaigns()[0]
+            assert row.fingerprint == "abc"
+            assert row.lease_expires is None and row.requeues == 0
+            # the patched columns are fully functional
+            assert store.claim_next(lease_s=5.0, now=1000.0) == row.id
+            assert store.campaign(row.id).lease_expires == 1005.0
+            store.db.execute(
+                "INSERT INTO jobs (campaign_id, idx, kind, label, ok, "
+                "crashed, quarantined) VALUES (?, 0, 'fuzz', 'j', 0, "
+                "1, 1)", (row.id,))
+            store.db.commit()
+
+
+@pytest.mark.campaign
+def test_runtime_lease_expiry_reaper_requeues_and_rerun_is_identical(
+        tmp_path):
+    """Satellite 4: a sibling dispatcher claims a campaign and dies
+    (simulated: a ``running`` row with a lapsed lease and partial job
+    rows, injected while the service is live).  The runtime reaper must
+    notice without a restart, re-queue, and the re-run's stored report
+    must be byte-identical to an uninterrupted run's."""
+    params = {"seeds": 2, "length": 25}
+
+    async def uninterrupted(path):
+        with ServiceStore(path) as store:
+            service = CampaignService(store, workers=1)
+            client = InProcessClient(service)
+            await service.start()
+            reply = await client.submit("fuzz", params)
+            assert await client.wait(reply["campaign"]) == "done"
+            report = (await client.results(reply["campaign"]))["report"]
+            await service.stop()
+            return report
+
+    expected = asyncio.run(uninterrupted(str(tmp_path / "ref.db")))
+
+    async def interrupted(path):
+        with ServiceStore(path) as store:
+            service = CampaignService(store, workers=1, lease_s=30.0,
+                                      requeue_budget=3,
+                                      reap_interval=0.02)
+            client = InProcessClient(service)
+            await service.start()
+            # Inject the dead sibling's leftovers while the service is
+            # idle: claimed straight on the store (the local dispatcher
+            # never saw it), lease long lapsed, one partial job row.
+            campaign_id, _ = store.submit(
+                build_submission("fuzz", params))
+            assert store.claim_next(lease_s=1.0,
+                                    now=time.time() - 60) == campaign_id
+            store.set_total_jobs(campaign_id, 2)
+            store.db.execute(
+                "INSERT INTO jobs (campaign_id, idx, kind, label, ok) "
+                "VALUES (?, 0, 'fuzz', 'partial', 1)", (campaign_id,))
+            store.db.commit()
+            assert await client.wait(campaign_id) == "done"
+            report = (await client.results(campaign_id))["report"]
+            health = await service.health()
+            row = store.campaign(campaign_id)
+            await service.stop()
+            return report, row, health
+
+    report, row, health = asyncio.run(
+        interrupted(str(tmp_path / "reaped.db")))
+    assert report == expected
+    assert row.requeues == 1  # exactly one lease reap, then success
+    assert health["supervision"]["lease_reaps"] >= 1
+    assert health["supervision"]["requeues"] >= 1
+    assert health["states"]["dead_letter"] == 0
+
+
+def test_overload_rejects_new_campaigns_but_not_coalesces():
+    async def scenario():
+        with ServiceStore() as store:
+            # dispatcher never started: the queue cannot drain
+            service = CampaignService(store, max_queue=1)
+            client = InProcessClient(service)
+            first = await client.submit("fuzz", {"seeds": 1})
+            assert first["state"] == "queued"
+            with pytest.raises(ServiceError, match="queue full") as exc:
+                await client.submit("fuzz", {"seeds": 2})
+            assert exc.value.overloaded
+            # coalescing onto the queued row adds no work: exempt
+            again = await client.submit("fuzz", {"seeds": 1})
+            assert again["campaign"] == first["campaign"]
+            assert not again["cached"]
+
+    asyncio.run(scenario())
+
+
+@pytest.mark.campaign
+def test_health_verb_over_tcp(tmp_path):
+    async def scenario():
+        with ServiceStore(str(tmp_path / "svc.db")) as store:
+            service = CampaignService(store, workers=1)
+            server = ServiceServer(service, port=0)
+            await server.start()
+            host, port = server.address
+            async with ServiceClient(host, port) as client:
+                reply = await client.submit("fuzz", FUZZ_PARAMS)
+                assert await client.wait(reply["campaign"]) == "done"
+                health = await client.health()
+            await server.stop()
+            return health
+
+    health = asyncio.run(scenario())
+    assert health["queue_depth"] == 0
+    assert health["states"]["done"] == 1
+    assert health["lease_lag_s"] == 0.0
+    assert health["dead_letters"] == 0
+    assert set(health["supervision"]) == {
+        "pool_restarts", "requeues", "poison_quarantined",
+        "lease_reaps", "dead_letters"}
